@@ -1,0 +1,107 @@
+//! Timing ablations of the design choices DESIGN.md calls out: block size
+//! (lanes per coordinate), atomic vs wild write-back on the device,
+//! staleness window of the asynchronous engine, and partition strategy.
+//! (Convergence-side ablations are produced by the `ablation` binary.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::{Gpu, GpuProfile, MemSemantics};
+use scd_bench::figdata::webspam_fig_small;
+use scd_core::{AsyncSimScd, Form, Solver, TpaScd};
+use scd_distributed::{DistributedConfig, DistributedScd, PartitionStrategy};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn ablation_block_size(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("ablation_block_size");
+    group.sample_size(10);
+    for lanes in [16usize, 64, 256] {
+        group.bench_function(format!("tpa_epoch_{lanes}_lanes"), |b| {
+            let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+            let mut s = TpaScd::new(&problem, Form::Primal, gpu, 1)
+                .unwrap()
+                .with_lanes(lanes);
+            b.iter(|| black_box(s.epoch(&problem)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_write_semantics(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("ablation_atomics");
+    group.sample_size(10);
+    for (name, sem) in [
+        ("atomic", MemSemantics::Atomic),
+        ("wild", MemSemantics::Wild),
+    ] {
+        group.bench_function(format!("tpa_epoch_{name}"), |b| {
+            let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+            let mut s = TpaScd::new(&problem, Form::Primal, gpu, 1)
+                .unwrap()
+                .with_semantics(sem);
+            b.iter(|| black_box(s.epoch(&problem)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_staleness(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("ablation_staleness");
+    group.sample_size(10);
+    for window in [0usize, 4, 15, 63] {
+        group.bench_function(format!("async_epoch_window_{window}"), |b| {
+            let mut s = AsyncSimScd::a_scd(&problem, Form::Primal, 1).with_staleness(window);
+            b.iter(|| black_box(s.epoch(&problem)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_partitioning(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("ablation_partitioning");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("contiguous", PartitionStrategy::Contiguous),
+        ("random", PartitionStrategy::Random(7)),
+    ] {
+        group.bench_function(format!("distributed_epoch_{name}"), |b| {
+            let config = DistributedConfig::new(4, Form::Primal).with_strategy(strategy);
+            let mut dist = DistributedScd::new(&problem, &config).unwrap();
+            b.iter(|| black_box(dist.epoch(&problem)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_layout(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("ablation_layout");
+    group.sample_size(10);
+    group.bench_function("tpa_dual_epoch_csr", |b| {
+        let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+        let mut s = TpaScd::new(&problem, Form::Dual, gpu, 1).unwrap();
+        b.iter(|| black_box(s.epoch(&problem)))
+    });
+    group.bench_function("tpa_dual_epoch_ell", |b| {
+        let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+        let mut s = TpaScd::new(&problem, Form::Dual, gpu, 1)
+            .unwrap()
+            .with_ell_layout(&problem)
+            .unwrap();
+        b.iter(|| black_box(s.epoch(&problem)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_block_size,
+    ablation_write_semantics,
+    ablation_staleness,
+    ablation_partitioning,
+    ablation_layout
+);
+criterion_main!(benches);

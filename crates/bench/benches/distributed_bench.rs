@@ -1,0 +1,83 @@
+//! Wall-clock cost of the distributed machinery: one synchronous round at
+//! several cluster sizes, the aggregation closed form, and partitioning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scd_bench::figdata::webspam_fig_small;
+use scd_core::{optimal_gamma_primal, Form, Solver};
+use scd_distributed::{
+    partition_coords, partition_problem, DistributedConfig, DistributedScd, PartitionStrategy,
+};
+use std::hint::black_box;
+
+fn bench_distributed_epoch(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("distributed_epoch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(problem.csr().nnz() as u64));
+    for k in [1usize, 2, 4, 8] {
+        group.bench_function(format!("k{k}_sequential_workers"), |b| {
+            let config = DistributedConfig::new(k, Form::Primal);
+            let mut dist = DistributedScd::new(&problem, &config).unwrap();
+            b.iter(|| black_box(dist.epoch(&problem)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation_math(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let n = problem.n();
+    let y = problem.labels().to_vec();
+    let w = vec![0.3f32; n];
+    let dw = vec![0.01f32; n];
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(50);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("optimal_gamma_primal", |b| {
+        b.iter(|| {
+            black_box(optimal_gamma_primal(
+                black_box(&y),
+                black_box(&w),
+                black_box(&dw),
+                0.5,
+                0.25,
+                problem.n_lambda(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("contiguous", PartitionStrategy::Contiguous),
+        ("round_robin", PartitionStrategy::RoundRobin),
+        ("random", PartitionStrategy::Random(7)),
+    ] {
+        group.bench_function(format!("coords_{name}"), |b| {
+            b.iter(|| black_box(partition_coords(black_box(100_000), 8, strategy)))
+        });
+        group.bench_function(format!("problem_{name}"), |b| {
+            b.iter(|| {
+                black_box(partition_problem(
+                    black_box(&problem),
+                    Form::Dual,
+                    8,
+                    strategy,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distributed_epoch,
+    bench_aggregation_math,
+    bench_partitioning
+);
+criterion_main!(benches);

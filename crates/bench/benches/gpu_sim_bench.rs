@@ -1,0 +1,99 @@
+//! Microbenchmarks of the GPU simulator substrate itself: launch overhead,
+//! atomic-add throughput, the in-block tree reduction, and the block
+//! scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::{schedule_blocks, BlockCtx, DeviceBuffer, Gpu, GpuProfile, Kernel, MemSemantics};
+use std::hint::black_box;
+
+struct Noop;
+impl Kernel for Noop {
+    fn block(&self, _ctx: &mut BlockCtx) {}
+}
+
+struct AtomicStorm {
+    buf: DeviceBuffer,
+    adds_per_block: usize,
+    sem: MemSemantics,
+}
+impl Kernel for AtomicStorm {
+    fn block(&self, ctx: &mut BlockCtx) {
+        for i in 0..self.adds_per_block {
+            ctx.add(self.sem, &self.buf, i % self.buf.len(), 1.0);
+        }
+    }
+}
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    let gpu = Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1);
+    let mut group = c.benchmark_group("gpu_launch");
+    group.sample_size(20);
+    for blocks in [64usize, 1024] {
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_function(format!("noop_{blocks}_blocks"), |b| {
+            b.iter(|| black_box(gpu.launch(&Noop, blocks, 32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_atomic_throughput(c: &mut Criterion) {
+    let gpu = Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1);
+    let mut group = c.benchmark_group("gpu_atomics");
+    group.sample_size(15);
+    let adds = 1_000usize;
+    group.throughput(Throughput::Elements((adds * 64) as u64));
+    for (name, sem) in [
+        ("atomic_add", MemSemantics::Atomic),
+        ("wild_add", MemSemantics::Wild),
+    ] {
+        group.bench_function(name, |b| {
+            let kernel = AtomicStorm {
+                buf: DeviceBuffer::zeroed(4096),
+                adds_per_block: adds,
+                sem,
+            };
+            b.iter(|| black_box(gpu.launch(&kernel, 64, 32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_tree_reduce");
+    group.sample_size(50);
+    for lanes in [32usize, 256, 1024] {
+        group.bench_function(format!("{lanes}_lanes"), |b| {
+            b.iter(|| {
+                let mut ctx = BlockCtx::new(0, lanes, lanes);
+                for u in 0..lanes {
+                    ctx.shared()[u] = u as f32;
+                }
+                black_box(ctx.tree_reduce())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_scheduler");
+    group.sample_size(30);
+    let times: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 100) as f64 * 1e-7).collect();
+    group.throughput(Throughput::Elements(times.len() as u64));
+    for sms in [13usize, 24] {
+        group.bench_function(format!("{sms}_sms_10k_blocks"), |b| {
+            b.iter(|| black_box(schedule_blocks(black_box(&times), sms)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_launch_overhead,
+    bench_atomic_throughput,
+    bench_tree_reduce,
+    bench_scheduler
+);
+criterion_main!(benches);

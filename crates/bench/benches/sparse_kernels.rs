@@ -1,0 +1,100 @@
+//! Microbenchmarks of the sparse linear-algebra substrate: the kernels
+//! underneath every coordinate update and every duality-gap evaluation
+//! (real wall-clock of this implementation, unlike the figures' simulated
+//! hardware clocks).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scd_bench::figdata::webspam_fig_small;
+use std::hint::black_box;
+
+fn bench_matvec(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let nnz = problem.csr().nnz() as u64;
+    let beta = vec![0.1f32; problem.m()];
+    let alpha = vec![0.1f32; problem.n()];
+
+    let mut group = c.benchmark_group("matvec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(nnz));
+    group.bench_function("csr_matvec", |b| {
+        b.iter(|| black_box(problem.csr().matvec(black_box(&beta)).unwrap()))
+    });
+    group.bench_function("csc_matvec", |b| {
+        b.iter(|| black_box(problem.csc().matvec(black_box(&beta)).unwrap()))
+    });
+    group.bench_function("csr_matvec_t", |b| {
+        b.iter(|| black_box(problem.csr().matvec_t(black_box(&alpha)).unwrap()))
+    });
+    group.bench_function("csc_matvec_t", |b| {
+        b.iter(|| black_box(problem.csc().matvec_t(black_box(&alpha)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_coordinate_primitives(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let w = vec![0.5f32; problem.n()];
+    let mut group = c.benchmark_group("coordinate_primitives");
+    group.sample_size(30);
+    // The two passes of one primal coordinate update.
+    group.bench_function("column_dot_dense", |b| {
+        let col = problem.csc().col(0);
+        b.iter(|| black_box(col.dot_dense(black_box(&w))))
+    });
+    group.bench_function("column_axpy", |b| {
+        let col = problem.csc().col(0);
+        b.iter_batched(
+            || w.clone(),
+            |mut out| {
+                col.axpy_into(0.01, &mut out);
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("col_squared_norms_all", |b| {
+        b.iter(|| black_box(problem.csc().col_squared_norms()))
+    });
+    group.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let mut group = c.benchmark_group("format_conversions");
+    group.sample_size(10);
+    group.bench_function("csr_to_csc", |b| {
+        b.iter(|| black_box(problem.csr().to_csc()))
+    });
+    group.bench_function("csc_to_csr", |b| {
+        b.iter(|| black_box(problem.csc().to_csr()))
+    });
+    group.bench_function("select_half_the_rows", |b| {
+        let rows: Vec<usize> = (0..problem.n()).step_by(2).collect();
+        b.iter(|| black_box(problem.csr().select_rows(black_box(&rows))))
+    });
+    group.finish();
+}
+
+fn bench_duality_gap(c: &mut Criterion) {
+    let problem = webspam_fig_small();
+    let beta = vec![0.01f32; problem.m()];
+    let alpha = vec![0.01f32; problem.n()];
+    let mut group = c.benchmark_group("duality_gap");
+    group.sample_size(20);
+    group.bench_function("primal_gap", |b| {
+        b.iter(|| black_box(problem.primal_duality_gap(black_box(&beta))))
+    });
+    group.bench_function("dual_gap", |b| {
+        b.iter(|| black_box(problem.dual_duality_gap(black_box(&alpha))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_coordinate_primitives,
+    bench_conversions,
+    bench_duality_gap
+);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Convergence-side ablations of the design choices DESIGN.md calls out.
+//! (Timing-side ablations live in `benches/ablations.rs`.)
+//!
+//! 1. Wild collision rate → duality-gap plateau level.
+//! 2. Asynchrony staleness window → epochs to converge / instability.
+//! 3. Partition strategy → distributed epochs to converge.
+//! 4. Aggregation rule → distributed epochs to converge.
+//! 5. TPA lanes per block → solution equivalence and simulated epoch time.
+
+use gpu_sim::{Gpu, GpuProfile};
+use scd_bench::csv::{fmt, save_and_announce, Table};
+use scd_bench::figdata::{criteo_fig, describe, webspam_fig_small};
+use scd_core::{AsyScd, AsyncSimScd, Form, RidgeProblem, SequentialScd, Solver, TpaScd};
+use scd_distributed::{Aggregation, DistributedConfig, DistributedScd, PartitionStrategy};
+use scd_sparse::dense;
+use std::sync::Arc;
+
+fn epochs_to(solver: &mut dyn Solver, problem: &RidgeProblem, eps: f64, cap: usize) -> String {
+    for e in 1..=cap {
+        solver.epoch(problem);
+        let gap = solver.duality_gap(problem);
+        if !gap.is_finite() {
+            return "diverged".into();
+        }
+        if gap <= eps {
+            return e.to_string();
+        }
+    }
+    format!(">{cap}")
+}
+
+fn main() {
+    let problem = webspam_fig_small();
+    println!("{}", describe("webspam stand-in (small)", &problem));
+
+    // 1. Collision rate → plateau.
+    println!("\n## wild collision rate -> gap plateau (100 epochs, primal)");
+    let mut t1 = Table::new(["collision_rate", "best_gap"]);
+    for rate in [0.0, 1e-4, 5e-4, 2e-3, 1e-2] {
+        let mut s = AsyncSimScd::wild(&problem, Form::Primal, 1)
+            .with_staleness(0)
+            .with_collision_rate(rate);
+        let mut best = f64::INFINITY;
+        for _ in 0..100 {
+            s.epoch(&problem);
+            best = best.min(s.duality_gap(&problem));
+        }
+        println!("  rate {rate:>8}: best gap {best:.2e}");
+        t1.row([format!("{rate}"), fmt(best)]);
+    }
+    save_and_announce(&t1, "ablation_collision_rate.csv");
+
+    // 2. Staleness window → convergence.
+    println!("\n## staleness window -> epochs to gap 1e-4 (atomic, primal)");
+    let mut t2 = Table::new(["window", "epochs_to_1e-4"]);
+    for window in [0usize, 3, 15, 63, 255, 1023] {
+        let mut s = AsyncSimScd::a_scd(&problem, Form::Primal, 1).with_staleness(window);
+        let result = epochs_to(&mut s, &problem, 1e-4, 400);
+        println!("  window {window:>5}: {result}");
+        t2.row([window.to_string(), result]);
+    }
+    save_and_announce(&t2, "ablation_staleness.csv");
+
+    // 3. Partition strategy.
+    println!("\n## partition strategy -> epochs to gap 1e-4 (K=4, primal, averaging)");
+    let mut t3 = Table::new(["strategy", "epochs_to_1e-4"]);
+    for (name, strategy) in [
+        ("contiguous", PartitionStrategy::Contiguous),
+        ("round_robin", PartitionStrategy::RoundRobin),
+        ("random", PartitionStrategy::Random(7)),
+    ] {
+        let config = DistributedConfig::new(4, Form::Primal)
+            .with_strategy(strategy)
+            .with_seed(0xAB);
+        let mut dist = DistributedScd::new(&problem, &config).expect("cluster fits");
+        let result = epochs_to(&mut dist, &problem, 1e-4, 1000);
+        println!("  {name:<12}: {result}");
+        t3.row([name.to_string(), result]);
+    }
+    save_and_announce(&t3, "ablation_partitioning.csv");
+
+    // 4. Aggregation rule.
+    println!("\n## aggregation -> epochs to gap 1e-4 (K=8, primal)");
+    let mut t4 = Table::new(["aggregation", "epochs_to_1e-4"]);
+    for agg in [
+        Aggregation::Averaging,
+        Aggregation::Adding,
+        Aggregation::Adaptive,
+    ] {
+        let config = DistributedConfig::new(8, Form::Primal)
+            .with_aggregation(agg)
+            .with_seed(0xAB);
+        let mut dist = DistributedScd::new(&problem, &config).expect("cluster fits");
+        let result = epochs_to(&mut dist, &problem, 1e-4, 1000);
+        println!("  {:<10}: {result}", agg.label());
+        t4.row([agg.label().to_string(), result]);
+    }
+    save_and_announce(&t4, "ablation_aggregation.csv");
+
+    // 5. Lanes per block: same optimum, different simulated speed.
+    println!("\n## TPA lanes per block (primal, 30 epochs, M4000)");
+    let mut reference: Option<Vec<f32>> = None;
+    let mut t5 = Table::new(["lanes", "sim_seconds_per_epoch", "max_weight_diff_vs_64"]);
+    // 64 first so later rows can diff against it.
+    for lanes in [64usize, 16, 32, 128, 256] {
+        let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+        let mut s = TpaScd::new(&problem, Form::Primal, gpu, 1)
+            .unwrap()
+            .with_lanes(lanes);
+        let mut secs = 0.0;
+        for _ in 0..30 {
+            secs += s.epoch(&problem).breakdown.gpu;
+        }
+        let w = s.weights();
+        if lanes == 64 {
+            reference = Some(w.clone());
+        }
+        let diff = reference
+            .as_ref()
+            .map(|r| dense::max_abs_diff(&w, r))
+            .unwrap_or(f32::NAN);
+        println!(
+            "  lanes {lanes:>4}: {:.2e} s/epoch, diff vs 64 lanes: {diff:.1e}",
+            secs / 30.0
+        );
+        t5.row([
+            lanes.to_string(),
+            fmt(secs / 30.0),
+            format!("{diff:.2e}"),
+        ]);
+    }
+    save_and_announce(&t5, "ablation_lanes.csv");
+
+    // 6. AsySCD [15] vs Algorithm 1 — §III-B's "slower than even a single
+    // threaded implementation" claim, in simulated seconds to gap 1e-4.
+    println!("\n## AsySCD [15] vs sequential SCD (simulated time to gap 1e-4)");
+    let mut t6 = Table::new(["solver", "epochs", "sim_seconds", "state_bytes"]);
+    let to_gap = |solver: &mut dyn Solver| -> (String, f64) {
+        let mut secs = 0.0;
+        for e in 1..=400 {
+            secs += solver.epoch(&problem).seconds();
+            if solver.duality_gap(&problem) <= 1e-4 {
+                return (e.to_string(), secs);
+            }
+        }
+        (">400".into(), secs)
+    };
+    let mut seq = SequentialScd::primal(&problem, 1);
+    let (e_seq, t_seq) = to_gap(&mut seq);
+    let seq_bytes = problem.csc().memory_bytes();
+    println!("  SCD (1 thread): {e_seq} epochs, {t_seq:.3e} s, data {seq_bytes} B");
+    t6.row(["SCD (1 thread)".to_string(), e_seq, fmt(t_seq), seq_bytes.to_string()]);
+    let mut asy = AsyScd::new(&problem, 1.0, 1).expect("Hessian fits the cap");
+    let (e_asy, t_asy) = to_gap(&mut asy);
+    println!(
+        "  AsySCD (eta=1): {e_asy} epochs, {t_asy:.3e} s, Hessian {} B ({}x slower)",
+        asy.hessian_bytes(),
+        (t_asy / t_seq).round()
+    );
+    t6.row([
+        "AsySCD (eta=1)".to_string(),
+        e_asy,
+        fmt(t_asy),
+        asy.hessian_bytes().to_string(),
+    ]);
+    save_and_announce(&t6, "ablation_asyscd.csv");
+
+    // 7. GPU data layout: CSR (the paper's choice) vs ELLPACK, dual form.
+    println!("\n## dual-kernel data layout: CSR vs ELLPACK (simulated GPU s/epoch, M4000)");
+    let mut t7 = Table::new(["dataset", "layout", "padding_ratio", "gpu_seconds_per_epoch"]);
+    let criteo = criteo_fig();
+    for (name, p) in [("criteo-like (uniform rows)", &criteo), ("webspam-like (skewed rows)", &problem)] {
+        for ell in [false, true] {
+            let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+            let mut s = TpaScd::new(p, Form::Dual, gpu, 1).unwrap();
+            if ell {
+                s = s.with_ell_layout(p).expect("padded layout fits");
+            }
+            let mut secs = 0.0;
+            for _ in 0..5 {
+                secs += s.epoch(p).breakdown.gpu;
+            }
+            let layout = if ell { "ELLPACK" } else { "CSR" };
+            println!(
+                "  {name:<28} {layout:<8} padding {:.2}  {:.3e} s/epoch",
+                s.layout_padding_ratio(),
+                secs / 5.0
+            );
+            t7.row([
+                name.to_string(),
+                layout.to_string(),
+                format!("{:.3}", s.layout_padding_ratio()),
+                fmt(secs / 5.0),
+            ]);
+        }
+    }
+    save_and_announce(&t7, "ablation_layout.csv");
+}

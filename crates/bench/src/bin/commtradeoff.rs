@@ -1,0 +1,90 @@
+//! The computation/communication trade-off study (§IV-A, citing [23]):
+//! "there exists an infrastructure-dependent trade-off between computation
+//! and communication for distributed learning algorithms. By carefully
+//! tuning the ratio of communication to computation, it may be possible to
+//! improve the convergence behavior of the distributed algorithm further."
+//!
+//! We sweep H — the local coordinate updates each worker performs between
+//! synchronizations, as a multiple of its partition size — from 1/8 of a
+//! pass to 4 full passes, on two infrastructures (the paper-scaled 10 GbE
+//! link, and the same link with 100× the latency), and report simulated
+//! time to a fixed duality gap.
+//!
+//! Expected shape: communicating more often (small H) buys fresher shared
+//! vectors (fewer coordinate updates wasted on stale state) but pays more
+//! rounds of latency; the optimum H shifts *up* as the network gets slower
+//! — exactly the infrastructure dependence [23] describes.
+
+use scd_bench::csv::{fmt, save_and_announce, Table};
+use scd_bench::figdata::{describe, scaled_link, webspam_fig_small};
+use scd_core::{Form, Solver};
+use scd_distributed::{DistributedConfig, DistributedScd};
+use scd_perf_model::LinkProfile;
+
+fn main() {
+    let problem = webspam_fig_small();
+    println!("{}", describe("webspam stand-in (small)", &problem));
+    let form = Form::Primal;
+    let k = 4;
+    let target = 1e-4;
+    let coords_per_worker = problem.coords(form) / k;
+
+    let fast = scaled_link(&LinkProfile::ethernet_10g(), &problem, form);
+    // A much slower fabric: per-message latency comparable to a worker's
+    // full-pass compute, the regime where frequent synchronization hurts.
+    let slow = LinkProfile {
+        name: "high-latency fabric",
+        latency_seconds: fast.latency_seconds * 5000.0,
+        bandwidth_bytes_per_s: fast.bandwidth_bytes_per_s / 10.0,
+    };
+
+    let mut table = Table::new(["network", "h_fraction", "rounds", "sim_seconds"]);
+    for (net_name, link) in [("fast", fast), ("slow", slow)] {
+        println!("# {net_name} network:");
+        let mut best: Option<(f64, f64)> = None;
+        for h_num in [1usize, 2, 4, 8, 16, 32] {
+            // h = h_num / 8 full passes per round.
+            let h = h_num as f64 / 8.0;
+            let mut config = DistributedConfig::new(k, form)
+                .with_network(link.clone())
+                .with_seed(0x7E0);
+            if h_num < 8 {
+                config = config
+                    .with_local_updates_per_round((coords_per_worker * h_num / 8).max(1));
+            } else {
+                config = config.with_local_epochs_per_round(h_num / 8);
+            }
+            let mut dist = DistributedScd::new(&problem, &config).expect("cluster fits");
+            let mut seconds = 0.0;
+            let mut rounds = 0usize;
+            let reached = loop {
+                if rounds >= 20_000 {
+                    break false;
+                }
+                seconds += dist.epoch(&problem).seconds();
+                rounds += 1;
+                if dist.duality_gap(&problem) <= target {
+                    break true;
+                }
+            };
+            let cell = if reached { fmt(seconds) } else { "unreached".into() };
+            println!(
+                "#   H = {h:>5} passes/round: {rounds:>6} rounds, {} s to gap {target:.0e}",
+                cell
+            );
+            table.row([
+                net_name.to_string(),
+                format!("{h}"),
+                rounds.to_string(),
+                cell,
+            ]);
+            if reached && best.map(|(_, s)| seconds < s).unwrap_or(true) {
+                best = Some((h, seconds));
+            }
+        }
+        if let Some((h, s)) = best {
+            println!("#   best H on {net_name}: {h} passes/round ({s:.4} s)");
+        }
+    }
+    save_and_announce(&table, "commtradeoff.csv");
+}

@@ -1,0 +1,13 @@
+//! Figure 1: convergence in duality gap for different implementations of
+//! SCD, as a function of epochs (a) and of time (b), for the **primal**
+//! form of ridge regression on the webspam stand-in with λ = 0.001.
+//!
+//! Paper headline (§III-D): A-SCD ≈ 2×, PASSCoDe-Wild ≈ 4× (but plateaus
+//! above the optimum), TPA-SCD ≈ 14× (M4000) and ≈ 25× (Titan X).
+
+use scd_bench::single_node::run_figure;
+use scd_core::Form;
+
+fn main() {
+    run_figure(Form::Primal, 200, "fig1");
+}

@@ -1,0 +1,13 @@
+//! Figure 2: convergence in duality gap for different implementations of
+//! SCD, as a function of epochs (a) and of time (b), for the **dual** form
+//! of ridge regression on the webspam stand-in with λ = 0.001.
+//!
+//! Paper headline (§III-D): ≈ 10× for TPA-SCD on the M4000 and ≈ 35× on
+//! the Titan X, relative to single-thread sequential SCD.
+
+use scd_bench::single_node::run_figure;
+use scd_core::Form;
+
+fn main() {
+    run_figure(Form::Dual, 200, "fig2");
+}

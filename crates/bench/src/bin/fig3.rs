@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 of the paper. See
+//! [`scd_bench::distributed_figs::fig3`] for the experiment definition.
+
+fn main() {
+    scd_bench::distributed_figs::fig3();
+}

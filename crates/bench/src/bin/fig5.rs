@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 of the paper. See
+//! [`scd_bench::distributed_figs::fig5`] for the experiment definition.
+
+fn main() {
+    scd_bench::distributed_figs::fig5();
+}

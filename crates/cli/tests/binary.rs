@@ -1,0 +1,94 @@
+//! End-to-end tests of the compiled `scd` binary: real process, real
+//! argv, real files — the exact surface a downstream user touches.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scd"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("scd_bin_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn help_succeeds_and_mentions_subcommands() {
+    let out = scd(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for word in ["generate", "train", "predict", "sweep", "info"] {
+        assert!(text.contains(word), "help missing {word}");
+    }
+}
+
+#[test]
+fn bad_usage_fails_with_nonzero_exit_and_stderr() {
+    let out = scd(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("missing subcommand"));
+
+    let out = scd(&["train"]); // --data required
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--data"));
+
+    let out = scd(&["warp", "--engage", "9"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown subcommand"));
+}
+
+#[test]
+fn full_workflow_generate_train_predict() {
+    let data = tmp("wf_data.svm");
+    let model = tmp("wf_model.txt");
+    let data_s = data.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    let out = scd(&[
+        "generate", "--kind", "webspam", "--rows", "120", "--cols", "90", "--nnz-per-row", "8",
+        "--scale", "0.3", "--output", data_s,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = scd(&[
+        "train", "--data", data_s, "--features", "90", "--lambda", "0.01", "--epochs", "40",
+        "--eval-every", "20", "--save-model", model_s,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("model saved"), "{text}");
+
+    let out = scd(&["predict", "--model", model_s, "--data", data_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("accuracy:"), "{text}");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn distributed_gpu_training_from_the_command_line() {
+    let data = tmp("gpu_data.svm");
+    let data_s = data.to_str().unwrap();
+    let out = scd(&[
+        "generate", "--kind", "criteo", "--rows", "200", "--fields", "5", "--cardinality", "20",
+        "--output", data_s,
+    ]);
+    assert!(out.status.success());
+
+    let out = scd(&[
+        "train", "--data", data_s, "--features", "100", "--form", "dual", "--workers", "2",
+        "--aggregation", "adaptive", "--solver", "tpa-titanx", "--epochs", "10",
+        "--eval-every", "10",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("K=2"), "{text}");
+    assert!(text.contains("adaptive"));
+
+    std::fs::remove_file(&data).ok();
+}

@@ -1,0 +1,82 @@
+//! Exact reference solutions for small problems.
+//!
+//! Ridge regression has a closed form: β* = (AᵀA + NλI)⁻¹Aᵀy. The test
+//! suite uses this dense solver (normal equations + Gaussian elimination
+//! with partial pivoting, all in f64) to verify that every SCD engine
+//! converges to the true optimum, and the examples use it to show the
+//! duality gap honestly measures distance from β*.
+//!
+//! Only suitable for small M (dense M×M solve); the iterative solvers are
+//! the point of the library.
+
+use crate::problem::RidgeProblem;
+use scd_sparse::DenseMatrix;
+
+/// The exact primal optimum β* = (AᵀA + NλI)⁻¹Aᵀy, computed densely in f64.
+///
+/// # Panics
+/// Panics if the normal-equation system is singular (cannot happen for
+/// λ > 0 with finite data).
+pub fn exact_primal(problem: &RidgeProblem) -> Vec<f32> {
+    let mut gram = DenseMatrix::gram_from_csc(problem.csc());
+    gram.add_diagonal(problem.n_lambda());
+    let rhs: Vec<f64> = (0..problem.m())
+        .map(|c| problem.csc().col(c).dot_dense(problem.labels()))
+        .collect();
+    let beta = gram
+        .solve(rhs)
+        .expect("ridge normal equations are positive definite");
+    beta.into_iter().map(|x| x as f32).collect()
+}
+
+/// The exact dual optimum through Eq. 6: α* = (y − Aβ*)/N.
+pub fn exact_dual(problem: &RidgeProblem) -> Vec<f32> {
+    let beta = exact_primal(problem);
+    problem.induced_dual(&beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Form;
+    use crate::seq::SequentialScd;
+    use crate::solver::Solver;
+    use scd_datasets::dense_gaussian;
+    use scd_sparse::dense;
+    use scd_sparse::CooMatrix;
+
+    #[test]
+    fn exact_primal_matches_hand_computation() {
+        // 1×1: β* = ay/(a² + Nλ) = 6/4.5.
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 2.0).unwrap();
+        let p = RidgeProblem::new(coo.to_csr(), vec![3.0], 0.5).unwrap();
+        let beta = exact_primal(&p);
+        assert!((beta[0] - 4.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_solution_has_zero_gap() {
+        let p = RidgeProblem::from_labelled(&dense_gaussian(25, 8, 2), 0.1).unwrap();
+        let beta = exact_primal(&p);
+        // f32 rounding of the f64 solution leaves a ~1e-7 gap floor.
+        assert!(p.primal_duality_gap(&beta) < 1e-6);
+        let alpha = exact_dual(&p);
+        assert!(p.dual_duality_gap(&alpha) < 1e-6);
+    }
+
+    #[test]
+    fn scd_converges_to_the_exact_solution() {
+        let p = RidgeProblem::from_labelled(&dense_gaussian(25, 8, 6), 0.1).unwrap();
+        let exact = exact_primal(&p);
+        let mut s = SequentialScd::primal(&p, 4);
+        for _ in 0..150 {
+            s.epoch(&p);
+        }
+        assert!(
+            dense::max_abs_diff(&s.weights(), &exact) < 1e-3,
+            "SCD must land on the closed-form optimum"
+        );
+        assert_eq!(s.form(), Form::Primal);
+    }
+}

@@ -1,0 +1,201 @@
+//! Support vector machine training by stochastic dual coordinate ascent.
+//!
+//! Hinge-loss SVM in the SDCA formulation of Shalev-Shwartz & Zhang [9]
+//! (the paper's reference for the dual ridge update):
+//!
+//! primal: P(β) = (1/N)Σₙ max(0, 1 − yₙ⟨āₙ, β⟩) + (λ/2)‖β‖²
+//! dual:   D(α) = (1/N)Σₙ αₙ − (λ/2)‖β(α)‖²,  αₙ ∈ [0, 1],
+//! with β(α) = (1/(λN)) Σₙ αₙ yₙ āₙ maintained incrementally as the shared
+//! vector — the same pattern as the ridge dual's w̄ = Aᵀα.
+//!
+//! The closed-form box-constrained coordinate update is
+//! Δαₙ = clip(αₙ + (1 − yₙ⟨āₙ, β⟩)·λN/‖āₙ‖², 0, 1) − αₙ.
+
+use crate::problem::RidgeProblem;
+use scd_sparse::perm::Permutation;
+
+/// Hinge-loss SVM trained by SDCA over a [`RidgeProblem`]'s data (labels
+/// must be ±1; λ is taken from the problem).
+#[derive(Debug, Clone)]
+pub struct SdcaSvm {
+    alpha: Vec<f32>,
+    /// β(α), maintained incrementally.
+    beta: Vec<f32>,
+    seed: u64,
+    epoch_index: u64,
+}
+
+impl SdcaSvm {
+    /// New solver with α = 0 (so β = 0).
+    ///
+    /// # Panics
+    /// Panics if any label is not ±1.
+    pub fn new(problem: &RidgeProblem, seed: u64) -> Self {
+        assert!(
+            problem.labels().iter().all(|&y| y == 1.0 || y == -1.0),
+            "SVM requires ±1 labels"
+        );
+        SdcaSvm {
+            alpha: vec![0.0; problem.n()],
+            beta: vec![0.0; problem.m()],
+            seed,
+            epoch_index: 0,
+        }
+    }
+
+    /// Current primal weights β(α).
+    pub fn weights(&self) -> &[f32] {
+        &self.beta
+    }
+
+    /// Current dual variables α.
+    pub fn dual_variables(&self) -> &[f32] {
+        &self.alpha
+    }
+
+    /// Primal hinge objective.
+    pub fn primal_objective(&self, problem: &RidgeProblem) -> f64 {
+        let n = problem.n() as f64;
+        let mut hinge = 0.0f64;
+        for (i, row) in problem.csr().iter_rows().enumerate() {
+            let margin = problem.labels()[i] as f64 * row.dot_dense(&self.beta);
+            hinge += (1.0 - margin).max(0.0);
+        }
+        let reg: f64 = self
+            .beta
+            .iter()
+            .map(|&b| (b as f64) * (b as f64))
+            .sum();
+        hinge / n + problem.lambda() / 2.0 * reg
+    }
+
+    /// Dual SDCA objective.
+    pub fn dual_objective(&self, problem: &RidgeProblem) -> f64 {
+        let n = problem.n() as f64;
+        let sum_alpha: f64 = self.alpha.iter().map(|&a| a as f64).sum();
+        let reg: f64 = self
+            .beta
+            .iter()
+            .map(|&b| (b as f64) * (b as f64))
+            .sum();
+        sum_alpha / n - problem.lambda() / 2.0 * reg
+    }
+
+    /// Duality gap P − D (non-negative by weak duality; → 0 at optimality).
+    pub fn duality_gap(&self, problem: &RidgeProblem) -> f64 {
+        self.primal_objective(problem) - self.dual_objective(problem)
+    }
+
+    /// Fraction of training examples classified correctly by sign(⟨ā, β⟩).
+    pub fn train_accuracy(&self, problem: &RidgeProblem) -> f64 {
+        let mut correct = 0usize;
+        for (i, row) in problem.csr().iter_rows().enumerate() {
+            let pred = if row.dot_dense(&self.beta) >= 0.0 { 1.0 } else { -1.0 };
+            if pred == problem.labels()[i] as f64 {
+                correct += 1;
+            }
+        }
+        correct as f64 / problem.n() as f64
+    }
+
+    /// One permuted SDCA pass over all examples.
+    pub fn epoch(&mut self, problem: &RidgeProblem) {
+        let n = problem.n();
+        let lambda_n = problem.n_lambda();
+        let perm = Permutation::random(n, self.seed ^ (self.epoch_index.wrapping_mul(0x9E37)));
+        self.epoch_index += 1;
+        for j in 0..n {
+            let i = perm.apply(j);
+            let row = problem.csr().row(i);
+            let sq = problem.row_sq_norms()[i];
+            if sq == 0.0 {
+                continue;
+            }
+            let y = problem.labels()[i] as f64;
+            let margin = y * row.dot_dense(&self.beta);
+            let old = self.alpha[i] as f64;
+            let candidate = old + (1.0 - margin) * lambda_n / sq;
+            let new = candidate.clamp(0.0, 1.0);
+            let delta = new - old;
+            if delta != 0.0 {
+                self.alpha[i] = new as f32;
+                let scale = (delta * y / lambda_n) as f32;
+                row.axpy_into(scale, &mut self.beta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_datasets::webspam_like;
+
+    fn problem() -> RidgeProblem {
+        RidgeProblem::from_labelled(&webspam_like(150, 100, 10, 21), 1e-2).unwrap()
+    }
+
+    #[test]
+    fn alpha_stays_in_box() {
+        let p = problem();
+        let mut svm = SdcaSvm::new(&p, 1);
+        for _ in 0..20 {
+            svm.epoch(&p);
+        }
+        assert!(svm
+            .dual_variables()
+            .iter()
+            .all(|&a| (0.0..=1.0).contains(&a)));
+    }
+
+    #[test]
+    fn beta_tracks_alpha_exactly() {
+        let p = problem();
+        let mut svm = SdcaSvm::new(&p, 2);
+        for _ in 0..5 {
+            svm.epoch(&p);
+        }
+        // β(α) = (1/λN) Σ αₙ yₙ āₙ recomputed from scratch.
+        let scaled: Vec<f32> = svm
+            .dual_variables()
+            .iter()
+            .zip(p.labels())
+            .map(|(&a, &y)| a * y / p.n_lambda() as f32)
+            .collect();
+        let beta_ref = p.csr().matvec_t(&scaled).unwrap();
+        for (a, b) in svm.weights().iter().zip(&beta_ref) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn duality_gap_shrinks() {
+        let p = problem();
+        let mut svm = SdcaSvm::new(&p, 3);
+        let g0 = svm.duality_gap(&p);
+        for _ in 0..50 {
+            svm.epoch(&p);
+        }
+        let g = svm.duality_gap(&p);
+        assert!(g >= -1e-9, "weak duality");
+        assert!(g < g0 * 0.05, "gap {g0} -> {g}");
+    }
+
+    #[test]
+    fn learns_to_classify_training_data() {
+        let p = problem();
+        let mut svm = SdcaSvm::new(&p, 4);
+        for _ in 0..50 {
+            svm.epoch(&p);
+        }
+        let acc = svm.train_accuracy(&p);
+        assert!(acc > 0.9, "train accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "±1 labels")]
+    fn rejects_regression_labels() {
+        let p = RidgeProblem::from_labelled(&scd_datasets::dense_gaussian(10, 4, 1), 0.1).unwrap();
+        let _ = SdcaSvm::new(&p, 0);
+    }
+}

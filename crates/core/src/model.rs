@@ -1,0 +1,338 @@
+//! Trained-model persistence and prediction.
+//!
+//! The solvers produce weight vectors; this module packages them with their
+//! provenance (formulation, λ, dimensions) so a model trained by any engine
+//! can be saved, reloaded, and used for inference. The on-disk format is a
+//! self-describing text file (one header line, one weight per line) —
+//! trivially diffable and versioned by a magic string.
+
+use crate::problem::{Form, RidgeProblem};
+use scd_sparse::CsrMatrix;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Format magic + version.
+const MAGIC: &str = "tpa-scd-model v1";
+
+/// A trained linear model with its provenance.
+///
+/// ```
+/// use scd_core::{RidgeProblem, SequentialScd, Solver, TrainedModel};
+/// use scd_datasets::{scale_values, webspam_like};
+/// let data = scale_values(&webspam_like(60, 40, 6, 1), 0.3);
+/// let problem = RidgeProblem::from_labelled(&data, 1e-2).unwrap();
+/// let mut solver = SequentialScd::primal(&problem, 1);
+/// for _ in 0..30 { solver.epoch(&problem); }
+///
+/// let model = TrainedModel::from_primal(&problem, solver.weights());
+/// let mut bytes = Vec::new();
+/// model.save(&mut bytes).unwrap();
+/// let back = TrainedModel::load(bytes.as_slice()).unwrap();
+/// assert_eq!(back, model);
+/// assert!(back.accuracy(problem.csr(), problem.labels()) > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedModel {
+    /// Which formulation produced the weights.
+    pub form: Form,
+    /// The regularizer the model was trained with.
+    pub lambda: f64,
+    /// Primal weights β (length = features). Dual solutions are converted
+    /// through Eq. 5 at construction, so inference is always ⟨ā, β⟩.
+    pub beta: Vec<f32>,
+}
+
+/// Errors raised while loading a model file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The file does not start with the expected magic/version line.
+    BadMagic(String),
+    /// The header line is malformed.
+    BadHeader(String),
+    /// A weight line failed to parse.
+    BadWeight {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Fewer/more weights than the header declared.
+    WrongCount {
+        /// Declared in the header.
+        declared: usize,
+        /// Actually present.
+        found: usize,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadMagic(got) => {
+                write!(f, "not a tpa-scd model file (first line {got:?})")
+            }
+            ModelError::BadHeader(line) => write!(f, "malformed model header {line:?}"),
+            ModelError::BadWeight { line, token } => {
+                write!(f, "bad weight {token:?} on line {line}")
+            }
+            ModelError::WrongCount { declared, found } => {
+                write!(f, "header declares {declared} weights, file has {found}")
+            }
+            ModelError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl TrainedModel {
+    /// Package primal weights.
+    pub fn from_primal(problem: &RidgeProblem, beta: Vec<f32>) -> Self {
+        assert_eq!(beta.len(), problem.m(), "beta length must be M");
+        TrainedModel {
+            form: Form::Primal,
+            lambda: problem.lambda(),
+            beta,
+        }
+    }
+
+    /// Package a dual solution, converting α → β through Eq. 5
+    /// (β = Aᵀα / λ).
+    pub fn from_dual(problem: &RidgeProblem, alpha: &[f32]) -> Self {
+        assert_eq!(alpha.len(), problem.n(), "alpha length must be N");
+        TrainedModel {
+            form: Form::Dual,
+            lambda: problem.lambda(),
+            beta: problem.induced_primal(alpha),
+        }
+    }
+
+    /// Number of features the model scores.
+    pub fn features(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// Raw scores ⟨āₙ, β⟩ for every row of a design matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix width differs from the model's feature count.
+    pub fn scores(&self, data: &CsrMatrix) -> Vec<f32> {
+        assert_eq!(
+            data.cols(),
+            self.features(),
+            "feature-space mismatch: model {} vs data {}",
+            self.features(),
+            data.cols()
+        );
+        data.matvec(&self.beta).expect("checked width")
+    }
+
+    /// ±1 classification by the sign of the score.
+    pub fn classify(&self, data: &CsrMatrix) -> Vec<f32> {
+        self.scores(data)
+            .into_iter()
+            .map(|s| if s >= 0.0 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Classification accuracy against ±1 labels.
+    pub fn accuracy(&self, data: &CsrMatrix, labels: &[f32]) -> f64 {
+        let preds = self.classify(data);
+        let correct = preds
+            .iter()
+            .zip(labels)
+            .filter(|(&p, &y)| p == y)
+            .count();
+        correct as f64 / labels.len().max(1) as f64
+    }
+
+    /// Mean squared error of the raw scores against real-valued labels.
+    pub fn mse(&self, data: &CsrMatrix, labels: &[f32]) -> f64 {
+        let scores = self.scores(data);
+        let sse: f64 = scores
+            .iter()
+            .zip(labels)
+            .map(|(&s, &y)| {
+                let d = s as f64 - y as f64;
+                d * d
+            })
+            .sum();
+        sse / labels.len().max(1) as f64
+    }
+
+    /// Serialize to the text format.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{MAGIC}")?;
+        writeln!(
+            w,
+            "form={} lambda={} features={}",
+            self.form.label(),
+            self.lambda,
+            self.features()
+        )?;
+        for &b in &self.beta {
+            writeln!(w, "{b}")?;
+        }
+        Ok(())
+    }
+
+    /// Parse the text format.
+    pub fn load<R: Read>(r: R) -> Result<Self, ModelError> {
+        let mut lines = BufReader::new(r).lines();
+        let magic = lines
+            .next()
+            .ok_or_else(|| ModelError::BadMagic("<empty file>".into()))?
+            .map_err(|e| ModelError::Io(e.to_string()))?;
+        if magic != MAGIC {
+            return Err(ModelError::BadMagic(magic));
+        }
+        let header = lines
+            .next()
+            .ok_or_else(|| ModelError::BadHeader("<missing>".into()))?
+            .map_err(|e| ModelError::Io(e.to_string()))?;
+        let mut form = None;
+        let mut lambda = None;
+        let mut features = None;
+        for token in header.split_ascii_whitespace() {
+            match token.split_once('=') {
+                Some(("form", "primal")) => form = Some(Form::Primal),
+                Some(("form", "dual")) => form = Some(Form::Dual),
+                Some(("lambda", v)) => lambda = v.parse::<f64>().ok(),
+                Some(("features", v)) => features = v.parse::<usize>().ok(),
+                _ => return Err(ModelError::BadHeader(header.clone())),
+            }
+        }
+        let (form, lambda, features) = match (form, lambda, features) {
+            (Some(f), Some(l), Some(m)) => (f, l, m),
+            _ => return Err(ModelError::BadHeader(header)),
+        };
+        let mut beta = Vec::with_capacity(features);
+        for (i, line) in lines.enumerate() {
+            let line = line.map_err(|e| ModelError::Io(e.to_string()))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let v: f32 = trimmed.parse().map_err(|_| ModelError::BadWeight {
+                line: i + 3,
+                token: trimmed.to_string(),
+            })?;
+            beta.push(v);
+        }
+        if beta.len() != features {
+            return Err(ModelError::WrongCount {
+                declared: features,
+                found: beta.len(),
+            });
+        }
+        Ok(TrainedModel { form, lambda, beta })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SequentialScd;
+    use crate::solver::Solver;
+    use scd_datasets::{scale_values, webspam_like};
+
+    fn trained() -> (RidgeProblem, TrainedModel) {
+        let data = scale_values(&webspam_like(120, 90, 10, 17), 0.3);
+        let p = RidgeProblem::from_labelled(&data, 1e-2).unwrap();
+        let mut s = SequentialScd::primal(&p, 1);
+        for _ in 0..40 {
+            s.epoch(&p);
+        }
+        let model = TrainedModel::from_primal(&p, s.weights());
+        (p, model)
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let (_, model) = trained();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let back = TrainedModel::load(buf.as_slice()).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn predictions_fit_training_data() {
+        let (p, model) = trained();
+        let acc = model.accuracy(p.csr(), p.labels());
+        assert!(acc > 0.95, "training accuracy {acc}");
+        let mse = model.mse(p.csr(), p.labels());
+        assert!(mse < 0.5, "training MSE {mse}");
+    }
+
+    #[test]
+    fn dual_solutions_convert_through_eq5() {
+        let data = scale_values(&webspam_like(100, 80, 10, 23), 0.3);
+        let p = RidgeProblem::from_labelled(&data, 1e-2).unwrap();
+        let mut primal = SequentialScd::primal(&p, 2);
+        let mut dual = SequentialScd::dual(&p, 2);
+        for _ in 0..80 {
+            primal.epoch(&p);
+            dual.epoch(&p);
+        }
+        let mp = TrainedModel::from_primal(&p, primal.weights());
+        let md = TrainedModel::from_dual(&p, &dual.weights());
+        for (a, b) in mp.beta.iter().zip(&md.beta) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        assert_eq!(md.form, Form::Dual);
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let (_, model) = trained();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // Wrong magic.
+        let bad = text.replacen("tpa-scd-model v1", "something else", 1);
+        assert!(matches!(
+            TrainedModel::load(bad.as_bytes()),
+            Err(ModelError::BadMagic(_))
+        ));
+        // Corrupted weight.
+        let bad = text.replacen(&model.beta[0].to_string(), "not-a-number", 1);
+        assert!(matches!(
+            TrainedModel::load(bad.as_bytes()),
+            Err(ModelError::BadWeight { .. })
+        ));
+        // Truncated.
+        let truncated: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            TrainedModel::load(truncated.as_bytes()),
+            Err(ModelError::WrongCount { .. })
+        ));
+        // Broken header.
+        let bad = text.replacen("form=primal", "shape=weird", 1);
+        assert!(matches!(
+            TrainedModel::load(bad.as_bytes()),
+            Err(ModelError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature-space mismatch")]
+    fn width_mismatch_panics() {
+        let (_, model) = trained();
+        let other = scale_values(&webspam_like(10, 20, 3, 1), 0.3);
+        let _ = model.scores(&other.matrix.to_csr());
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(ModelError::BadMagic("x".into()).to_string().contains("not a tpa-scd"));
+        assert!(ModelError::WrongCount {
+            declared: 5,
+            found: 3
+        }
+        .to_string()
+        .contains("declares 5"));
+    }
+}

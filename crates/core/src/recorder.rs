@@ -1,0 +1,268 @@
+//! Convergence recording: the duality-gap-versus-epochs/seconds curves that
+//! every figure in the paper plots, plus the "time to reach duality gap ε"
+//! queries behind Figs. 6, 8 and 9.
+
+use crate::solver::TimeBreakdown;
+use scd_perf_model::Seconds;
+
+/// One recorded point: the state after a completed epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochPoint {
+    /// Epoch number, 1-based (0 is the initial state).
+    pub epoch: usize,
+    /// Cumulative simulated seconds up to and including this epoch.
+    pub seconds: Seconds,
+    /// Duality gap of the iterate after this epoch.
+    pub gap: f64,
+    /// Aggregation parameter used this epoch (distributed solvers; 0 for
+    /// single-node engines that don't aggregate).
+    pub gamma: f64,
+    /// Cumulative time breakdown.
+    pub breakdown: TimeBreakdown,
+}
+
+/// A convergence curve under construction.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceRecorder {
+    points: Vec<EpochPoint>,
+    cumulative: TimeBreakdown,
+    epochs: usize,
+}
+
+impl ConvergenceRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the initial (epoch-0) gap so curves start at the untrained
+    /// iterate, as the paper's do.
+    pub fn record_initial(&mut self, gap: f64) {
+        assert!(self.points.is_empty(), "initial point must come first");
+        self.points.push(EpochPoint {
+            epoch: 0,
+            seconds: 0.0,
+            gap,
+            gamma: 0.0,
+            breakdown: TimeBreakdown::default(),
+        });
+    }
+
+    /// Record one completed epoch.
+    pub fn record_epoch(&mut self, epoch_breakdown: TimeBreakdown, gap: f64, gamma: f64) {
+        self.cumulative.accumulate(&epoch_breakdown);
+        self.epochs += 1;
+        self.points.push(EpochPoint {
+            epoch: self.epochs,
+            seconds: self.cumulative.total(),
+            gap,
+            gamma,
+            breakdown: self.cumulative,
+        });
+    }
+
+    /// All recorded points in epoch order.
+    pub fn points(&self) -> &[EpochPoint] {
+        &self.points
+    }
+
+    /// Number of completed epochs recorded.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Final cumulative simulated time.
+    pub fn total_seconds(&self) -> Seconds {
+        self.cumulative.total()
+    }
+
+    /// Final cumulative breakdown.
+    pub fn total_breakdown(&self) -> TimeBreakdown {
+        self.cumulative
+    }
+
+    /// First epoch whose gap is ≤ ε.
+    pub fn epochs_to_gap(&self, epsilon: f64) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.gap <= epsilon)
+            .map(|p| p.epoch)
+    }
+
+    /// Simulated seconds until the gap first reaches ≤ ε (the y-axis of
+    /// Figs. 6 and 8).
+    pub fn seconds_to_gap(&self, epsilon: f64) -> Option<Seconds> {
+        self.points
+            .iter()
+            .find(|p| p.gap <= epsilon)
+            .map(|p| p.seconds)
+    }
+
+    /// Cumulative breakdown at the first epoch reaching gap ≤ ε (Fig. 9's
+    /// stacked bars).
+    pub fn breakdown_to_gap(&self, epsilon: f64) -> Option<TimeBreakdown> {
+        self.points
+            .iter()
+            .find(|p| p.gap <= epsilon)
+            .map(|p| p.breakdown)
+    }
+
+    /// The smallest gap seen (curves that plateau never reach small ε).
+    pub fn best_gap(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.gap)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Least-squares estimate of the linear convergence rate ρ from
+    /// gap(t) ≈ C·ρᵗ, fit on log₁₀(gap) over the recorded epochs (dropping
+    /// non-positive gaps and the noise floor below `floor`). Returns `None`
+    /// when fewer than two usable points exist.
+    ///
+    /// The distributed slow-down of Fig. 3 is "approximately linear in K"
+    /// precisely in the sense that log(ρ_K) ≈ log(ρ₁)/K.
+    pub fn linear_rate(&self, floor: f64) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|p| p.gap.is_finite() && p.gap > floor)
+            .map(|p| (p.epoch as f64, p.gap.log10()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom == 0.0 {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        Some(10f64.powf(slope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bd(host: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            host,
+            ..TimeBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(1.0);
+        r.record_epoch(bd(2.0), 0.1, 1.0);
+        r.record_epoch(bd(3.0), 0.01, 0.9);
+        assert_eq!(r.epochs(), 2);
+        assert_eq!(r.points().len(), 3);
+        assert_eq!(r.total_seconds(), 5.0);
+        assert_eq!(r.points()[2].seconds, 5.0);
+        assert_eq!(r.points()[2].epoch, 2);
+    }
+
+    #[test]
+    fn time_to_gap_queries() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(1.0);
+        r.record_epoch(bd(1.0), 0.5, 0.0);
+        r.record_epoch(bd(1.0), 0.05, 0.0);
+        r.record_epoch(bd(1.0), 0.001, 0.0);
+        assert_eq!(r.epochs_to_gap(0.5), Some(1));
+        assert_eq!(r.epochs_to_gap(0.06), Some(2));
+        assert_eq!(r.seconds_to_gap(0.01), Some(3.0));
+        assert_eq!(r.seconds_to_gap(1e-9), None);
+        assert_eq!(r.epochs_to_gap(2.0), Some(0), "initial point counts");
+    }
+
+    #[test]
+    fn best_gap_survives_plateaus() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(1.0);
+        r.record_epoch(bd(1.0), 0.01, 0.0);
+        r.record_epoch(bd(1.0), 0.02, 0.0); // wild-style bounce
+        assert_eq!(r.best_gap(), 0.01);
+    }
+
+    #[test]
+    fn breakdown_query_returns_cumulative_mix() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_epoch(
+            TimeBreakdown {
+                gpu: 1.0,
+                host: 0.5,
+                pcie: 0.25,
+                network: 0.25,
+            },
+            0.1,
+            1.0,
+        );
+        r.record_epoch(
+            TimeBreakdown {
+                gpu: 1.0,
+                host: 0.5,
+                pcie: 0.25,
+                network: 0.25,
+            },
+            0.001,
+            1.0,
+        );
+        let b = r.breakdown_to_gap(0.01).unwrap();
+        assert_eq!(b.gpu, 2.0);
+        assert_eq!(b.total(), 4.0);
+    }
+
+    #[test]
+    fn linear_rate_recovers_geometric_decay() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(1.0);
+        let rho: f64 = 0.8;
+        for e in 1..=40 {
+            r.record_epoch(bd(1.0), rho.powi(e), 0.0);
+        }
+        let est = r.linear_rate(1e-12).unwrap();
+        assert!((est - rho).abs() < 1e-6, "estimated {est}");
+    }
+
+    #[test]
+    fn linear_rate_ignores_noise_floor() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(1.0);
+        for e in 1..=20 {
+            r.record_epoch(bd(1.0), 0.5f64.powi(e), 0.0);
+        }
+        // Plateau at the floor: excluded from the fit.
+        for _ in 0..20 {
+            r.record_epoch(bd(1.0), 1e-9, 0.0);
+        }
+        let est = r.linear_rate(1e-8).unwrap();
+        assert!((est - 0.5).abs() < 0.01, "estimated {est}");
+    }
+
+    #[test]
+    fn linear_rate_needs_two_points() {
+        let mut r = ConvergenceRecorder::new();
+        assert!(r.linear_rate(0.0).is_none());
+        r.record_initial(1.0);
+        assert!(r.linear_rate(0.0).is_none());
+        r.record_epoch(bd(1.0), 0.1, 0.0);
+        assert!(r.linear_rate(0.0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial point must come first")]
+    fn initial_after_epochs_rejected() {
+        let mut r = ConvergenceRecorder::new();
+        r.record_epoch(bd(1.0), 0.1, 0.0);
+        r.record_initial(1.0);
+    }
+}

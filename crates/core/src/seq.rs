@@ -1,0 +1,375 @@
+//! Algorithm 1: sequential stochastic coordinate descent.
+//!
+//! The baseline every speed-up in the paper is measured against. One epoch
+//! draws a fresh random permutation of the coordinates and, for each
+//! coordinate in turn, solves the one-dimensional subproblem exactly
+//! (Eq. 2 primal / Eq. 4 dual) and applies the rank-one shared-vector
+//! update. The implementation mirrors the paper's C++ reference: 32-bit
+//! model and shared-vector state, sparse columns/rows streamed once per
+//! inner product and once per write-back.
+
+use crate::problem::{Form, RidgeProblem};
+use crate::solver::{EpochStats, Solver, TimeBreakdown};
+use crate::updates::{dual_delta, primal_delta};
+use scd_perf_model::CpuProfile;
+use scd_sparse::perm::Permutation;
+
+/// Sequential SCD (single CPU thread).
+#[derive(Debug, Clone)]
+pub struct SequentialScd {
+    form: Form,
+    /// β (len M) or α (len N).
+    weights: Vec<f32>,
+    /// w = Aβ (len N) or w̄ = Aᵀα (len M).
+    shared: Vec<f32>,
+    /// σ′ multiplier on the coordinate's quadratic term (CoCoA+ [24] safe
+    /// local subproblem; 1.0 = the paper's Algorithm 1/3 behaviour).
+    quadratic_scale: f64,
+    /// Cap on coordinate updates per `epoch()` call (None = full pass).
+    /// Models the communication-frequency knob of §IV-A: a distributed
+    /// worker that talks to the master after H < coords updates.
+    max_updates_per_call: Option<usize>,
+    /// Streaming position within the current permutation (for capped calls).
+    cursor: usize,
+    /// The permutation currently being consumed (capped calls span several
+    /// `epoch()` invocations).
+    current_perm: Option<Permutation>,
+    cpu: CpuProfile,
+    seed: u64,
+    epoch_index: u64,
+}
+
+impl SequentialScd {
+    /// A primal solver (coordinates = features, CSC access) with zero
+    /// initial weights.
+    pub fn primal(problem: &RidgeProblem, seed: u64) -> Self {
+        Self::new(problem, Form::Primal, seed)
+    }
+
+    /// A dual solver (coordinates = examples, CSR access) with zero initial
+    /// weights.
+    pub fn dual(problem: &RidgeProblem, seed: u64) -> Self {
+        Self::new(problem, Form::Dual, seed)
+    }
+
+    fn new(problem: &RidgeProblem, form: Form, seed: u64) -> Self {
+        SequentialScd {
+            form,
+            weights: vec![0.0; problem.coords(form)],
+            shared: vec![0.0; problem.shared_len(form)],
+            quadratic_scale: 1.0,
+            max_updates_per_call: None,
+            cursor: 0,
+            current_perm: None,
+            cpu: CpuProfile::xeon_e5_2640(),
+            seed,
+            epoch_index: 0,
+        }
+    }
+
+    /// Cap the coordinate updates performed per `epoch()` call. The
+    /// permutation streams across calls, so k capped calls of size
+    /// coords/k visit exactly the coordinates one full epoch would.
+    /// Models communicating "more frequently ... and thus perform[ing]
+    /// fewer coordinate updates on the workers between communication
+    /// stages" (§IV-A).
+    pub fn with_updates_per_call(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "need at least one update per call");
+        self.max_updates_per_call = Some(cap);
+        self
+    }
+
+    /// Scale the quadratic term of every coordinate subproblem by σ′ ≥ 1 —
+    /// the CoCoA+ safe local subproblem [24]. With σ′ = K a distributed
+    /// driver may *add* (γ = 1) the workers' updates without divergence.
+    pub fn with_quadratic_scale(mut self, sigma_prime: f64) -> Self {
+        assert!(sigma_prime >= 1.0, "sigma' must be >= 1 for safety");
+        self.quadratic_scale = sigma_prime;
+        self
+    }
+
+    /// Override the CPU profile used for simulated timing.
+    pub fn with_cpu(mut self, cpu: CpuProfile) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Warm-start from explicit state (used by the distributed driver when
+    /// a worker resumes from the aggregated model).
+    pub fn set_state(&mut self, weights: Vec<f32>, shared: Vec<f32>) {
+        assert_eq!(weights.len(), self.weights.len(), "weights length mismatch");
+        assert_eq!(shared.len(), self.shared.len(), "shared length mismatch");
+        self.weights = weights;
+        self.shared = shared;
+    }
+
+    /// Overwrite only the shared vector (the broadcast step of Algorithm 3).
+    pub fn set_shared(&mut self, shared: &[f32]) {
+        assert_eq!(shared.len(), self.shared.len(), "shared length mismatch");
+        self.shared.copy_from_slice(shared);
+    }
+
+    /// Overwrite only the model weights (the consistency rescale of
+    /// Algorithms 3/4).
+    pub fn set_weights(&mut self, weights: &[f32]) {
+        assert_eq!(weights.len(), self.weights.len(), "weights length mismatch");
+        self.weights.copy_from_slice(weights);
+    }
+
+    /// Mutable access to the weights (the local-model rescaling step of
+    /// Algorithms 3/4).
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Run one epoch (or one capped slice of an epoch) over an arbitrary
+    /// (sub)problem. The distributed driver calls this with each worker's
+    /// local partition.
+    fn run_epoch(&mut self, problem: &RidgeProblem) -> (usize, usize) {
+        let coords = problem.coords(self.form);
+        // Fetch (or continue) the permutation being consumed.
+        if self.current_perm.is_none() || self.cursor >= coords {
+            self.current_perm = Some(Permutation::random(
+                coords,
+                self.seed ^ (self.epoch_index.wrapping_mul(0x9E37)),
+            ));
+            self.cursor = 0;
+            self.epoch_index += 1;
+        }
+        let perm = self.current_perm.clone().expect("just ensured");
+        let start = self.cursor;
+        let end = match self.max_updates_per_call {
+            Some(cap) => (start + cap).min(coords),
+            None => coords,
+        };
+        self.cursor = end;
+        let n_lambda = problem.n_lambda();
+        let mut nnz_touched = 0usize;
+        match self.form {
+            Form::Primal => {
+                let y = problem.labels();
+                for j in start..end {
+                    let m = perm.apply(j);
+                    let col = problem.csc().col(m);
+                    nnz_touched += col.nnz();
+                    // ⟨y − w, a_m⟩
+                    let mut dot = 0.0f64;
+                    for (&i, &v) in col.indices.iter().zip(col.values) {
+                        let i = i as usize;
+                        dot += (y[i] as f64 - self.shared[i] as f64) * v as f64;
+                    }
+                    let delta = primal_delta(
+                        dot,
+                        self.weights[m] as f64,
+                        self.quadratic_scale * problem.col_sq_norms()[m],
+                        n_lambda,
+                    ) as f32;
+                    self.weights[m] += delta;
+                    col.axpy_into(delta, &mut self.shared);
+                }
+            }
+            Form::Dual => {
+                let lambda = problem.lambda();
+                for j in start..end {
+                    let n = perm.apply(j);
+                    let row = problem.csr().row(n);
+                    nnz_touched += row.nnz();
+                    let dot = row.dot_dense(&self.shared);
+                    let delta = dual_delta(
+                        dot,
+                        problem.labels()[n] as f64,
+                        self.weights[n] as f64,
+                        self.quadratic_scale * problem.row_sq_norms()[n],
+                        lambda,
+                        n_lambda,
+                    ) as f32;
+                    self.weights[n] += delta;
+                    row.axpy_into(delta, &mut self.shared);
+                }
+            }
+        }
+        (end - start, nnz_touched)
+    }
+}
+
+impl Solver for SequentialScd {
+    fn form(&self) -> Form {
+        self.form
+    }
+
+    fn name(&self) -> String {
+        "SCD (1 thread)".to_string()
+    }
+
+    fn epoch(&mut self, problem: &RidgeProblem) -> EpochStats {
+        let (coords, nnz) = self.run_epoch(problem);
+        EpochStats {
+            updates: coords,
+            breakdown: TimeBreakdown {
+                host: self.cpu.sequential_epoch_seconds(nnz, coords),
+                ..TimeBreakdown::default()
+            },
+        }
+    }
+
+    fn weights(&self) -> Vec<f32> {
+        self.weights.clone()
+    }
+
+    fn shared_vector(&self) -> Vec<f32> {
+        self.shared.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_datasets::{dense_gaussian, webspam_like};
+    use scd_sparse::dense;
+
+    fn small_problem() -> RidgeProblem {
+        RidgeProblem::from_labelled(&dense_gaussian(30, 10, 3), 0.1).unwrap()
+    }
+
+    #[test]
+    fn primal_gap_decreases_monotonically_to_zero() {
+        let p = small_problem();
+        let mut s = SequentialScd::primal(&p, 1);
+        let mut prev = f64::INFINITY;
+        let mut last = f64::INFINITY;
+        for _ in 0..60 {
+            s.epoch(&p);
+            let gap = s.duality_gap(&p);
+            // Above the f32 noise floor the descent is essentially monotone;
+            // below ~1e-7 the gap jitters with rounding.
+            if prev > 1e-7 {
+                assert!(gap <= prev * 1.5 + 1e-12, "gap should trend down");
+            }
+            prev = gap;
+            last = gap;
+        }
+        assert!(last < 1e-6, "final gap {last}");
+    }
+
+    #[test]
+    fn dual_gap_decreases_to_zero() {
+        let p = small_problem();
+        let mut s = SequentialScd::dual(&p, 1);
+        for _ in 0..60 {
+            s.epoch(&p);
+        }
+        assert!(s.duality_gap(&p) < 1e-6);
+    }
+
+    #[test]
+    fn primal_and_dual_agree_on_the_solution() {
+        let p = small_problem();
+        let mut sp = SequentialScd::primal(&p, 2);
+        let mut sd = SequentialScd::dual(&p, 2);
+        for _ in 0..100 {
+            sp.epoch(&p);
+            sd.epoch(&p);
+        }
+        let beta_from_dual = p.induced_primal(&sd.weights());
+        assert!(
+            dense::max_abs_diff(&sp.weights(), &beta_from_dual) < 1e-3,
+            "primal and dual solutions should match through Eq. 5"
+        );
+    }
+
+    #[test]
+    fn shared_vector_stays_consistent_with_weights() {
+        let p = small_problem();
+        let mut s = SequentialScd::primal(&p, 7);
+        for _ in 0..5 {
+            s.epoch(&p);
+        }
+        let w_true = p.csc().matvec(&s.weights()).unwrap();
+        assert!(
+            dense::max_abs_diff(&s.shared_vector(), &w_true) < 1e-3,
+            "sequential SCD never lets w drift from Aβ"
+        );
+    }
+
+    #[test]
+    fn sparse_webspam_like_converges() {
+        let d = webspam_like(150, 300, 10, 5);
+        let p = RidgeProblem::from_labelled(&d, 1e-3).unwrap();
+        let mut s = SequentialScd::primal(&p, 3);
+        let g0 = s.duality_gap(&p);
+        for _ in 0..50 {
+            s.epoch(&p);
+        }
+        let g = s.duality_gap(&p);
+        assert!(g < g0 * 1e-2, "gap {g0} -> {g}");
+    }
+
+    #[test]
+    fn epoch_stats_report_positive_time() {
+        let p = small_problem();
+        let mut s = SequentialScd::primal(&p, 1);
+        let stats = s.epoch(&p);
+        assert_eq!(stats.updates, p.m());
+        assert!(stats.breakdown.host > 0.0);
+        assert_eq!(stats.breakdown.gpu, 0.0);
+        assert_eq!(stats.breakdown.network, 0.0);
+    }
+
+    #[test]
+    fn different_seeds_still_converge_to_same_optimum() {
+        let p = small_problem();
+        let mut a = SequentialScd::primal(&p, 1);
+        let mut b = SequentialScd::primal(&p, 99);
+        for _ in 0..80 {
+            a.epoch(&p);
+            b.epoch(&p);
+        }
+        assert!(dense::max_abs_diff(&a.weights(), &b.weights()) < 1e-3);
+    }
+
+    #[test]
+    fn set_state_roundtrip() {
+        let p = small_problem();
+        let mut s = SequentialScd::primal(&p, 1);
+        s.epoch(&p);
+        let (w, sh) = (s.weights(), s.shared_vector());
+        let mut fresh = SequentialScd::primal(&p, 1);
+        fresh.set_state(w.clone(), sh.clone());
+        assert_eq!(fresh.weights(), w);
+        assert_eq!(fresh.shared_vector(), sh);
+    }
+
+    #[test]
+    fn capped_calls_stream_one_permutation() {
+        // Four quarter-epochs must visit exactly the coordinates of one
+        // full epoch, in the same order — bit-identical end state.
+        let p = small_problem();
+        let mut full = SequentialScd::primal(&p, 21);
+        let quarter = (p.m() / 4).max(1);
+        let mut capped = SequentialScd::primal(&p, 21).with_updates_per_call(quarter);
+        let full_stats = full.epoch(&p);
+        let mut capped_updates = 0;
+        while capped_updates < p.m() {
+            capped_updates += capped.epoch(&p).updates;
+        }
+        assert_eq!(capped_updates, full_stats.updates);
+        assert_eq!(full.weights(), capped.weights());
+        assert_eq!(full.shared_vector(), capped.shared_vector());
+    }
+
+    #[test]
+    fn capped_call_reports_partial_updates_and_time() {
+        let p = small_problem();
+        let mut s = SequentialScd::primal(&p, 3).with_updates_per_call(3);
+        let stats = s.epoch(&p);
+        assert_eq!(stats.updates, 3);
+        let mut full = SequentialScd::primal(&p, 3);
+        assert!(stats.seconds() < full.epoch(&p).seconds());
+    }
+
+    #[test]
+    fn name_matches_paper_legend() {
+        let p = small_problem();
+        assert_eq!(SequentialScd::primal(&p, 0).name(), "SCD (1 thread)");
+    }
+}

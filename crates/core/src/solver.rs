@@ -1,0 +1,159 @@
+//! The common solver interface shared by every SCD engine.
+
+use crate::problem::{Form, RidgeProblem};
+use scd_perf_model::Seconds;
+
+/// Simulated time spent in one epoch, broken down by where it went —
+/// exactly the categories of the paper's Fig. 9 ("Comp. Time (GPU)",
+/// "Comp. Time (Host)", "Comm. Time (PCIe)", "Comm. Time (Network)").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Kernel execution on the device.
+    pub gpu: Seconds,
+    /// Computation on the host CPU.
+    pub host: Seconds,
+    /// Host ↔ device transfers.
+    pub pcie: Seconds,
+    /// Worker ↔ master network traffic.
+    pub network: Seconds,
+}
+
+impl TimeBreakdown {
+    /// Total simulated seconds.
+    #[inline]
+    pub fn total(&self) -> Seconds {
+        self.gpu + self.host + self.pcie + self.network
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &TimeBreakdown) {
+        self.gpu += other.gpu;
+        self.host += other.host;
+        self.pcie += other.pcie;
+        self.network += other.network;
+    }
+
+    /// Element-wise maximum — used when parallel workers overlap: the
+    /// synchronous round costs the *slowest* worker in each category.
+    pub fn max(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            gpu: self.gpu.max(other.gpu),
+            host: self.host.max(other.host),
+            pcie: self.pcie.max(other.pcie),
+            network: self.network.max(other.network),
+        }
+    }
+}
+
+/// Result of running one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Coordinate updates performed.
+    pub updates: usize,
+    /// Simulated time of the epoch by category.
+    pub breakdown: TimeBreakdown,
+}
+
+impl EpochStats {
+    /// Total simulated seconds of the epoch.
+    #[inline]
+    pub fn seconds(&self) -> Seconds {
+        self.breakdown.total()
+    }
+}
+
+/// A stochastic coordinate descent engine for ridge regression.
+///
+/// One `epoch()` call performs one permuted pass over all coordinates of
+/// the solver's [`Form`] (Algorithm 1's inner loop; Algorithm 2's grid
+/// launch). Implementations keep the model weights and shared vector as
+/// state and report per-epoch simulated cost.
+pub trait Solver {
+    /// Which formulation this engine optimizes.
+    fn form(&self) -> Form;
+
+    /// Human-readable engine name (figure legends).
+    fn name(&self) -> String;
+
+    /// Run one epoch against the problem this solver was built for.
+    fn epoch(&mut self, problem: &RidgeProblem) -> EpochStats;
+
+    /// Current model weights: β (length M) for the primal, α (length N)
+    /// for the dual.
+    fn weights(&self) -> Vec<f32>;
+
+    /// Current shared vector as maintained incrementally by the engine:
+    /// w = Aβ for the primal, w̄ = Aᵀα for the dual. May have drifted from
+    /// the weights under the *wild* engines — that drift is the paper's
+    /// Fig. 1/2 plateau.
+    fn shared_vector(&self) -> Vec<f32>;
+
+    /// The duality gap of the current iterate, recomputed honestly from the
+    /// weights alone (never from the possibly-inconsistent shared vector).
+    fn duality_gap(&self, problem: &RidgeProblem) -> f64 {
+        problem.duality_gap(self.form(), &self.weights())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_accumulate() {
+        let mut a = TimeBreakdown {
+            gpu: 1.0,
+            host: 0.5,
+            pcie: 0.25,
+            network: 0.125,
+        };
+        assert_eq!(a.total(), 1.875);
+        a.accumulate(&TimeBreakdown {
+            gpu: 1.0,
+            host: 1.0,
+            pcie: 1.0,
+            network: 1.0,
+        });
+        assert_eq!(a.total(), 5.875);
+    }
+
+    #[test]
+    fn breakdown_max_is_elementwise() {
+        let a = TimeBreakdown {
+            gpu: 2.0,
+            host: 0.1,
+            pcie: 0.0,
+            network: 0.5,
+        };
+        let b = TimeBreakdown {
+            gpu: 1.0,
+            host: 0.2,
+            pcie: 0.3,
+            network: 0.4,
+        };
+        let m = a.max(&b);
+        assert_eq!(
+            m,
+            TimeBreakdown {
+                gpu: 2.0,
+                host: 0.2,
+                pcie: 0.3,
+                network: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_stats_seconds() {
+        let s = EpochStats {
+            updates: 10,
+            breakdown: TimeBreakdown {
+                gpu: 0.0,
+                host: 2.0,
+                pcie: 0.0,
+                network: 1.0,
+            },
+        };
+        assert_eq!(s.seconds(), 3.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The scalar coordinate update rules (Eqs. 2 and 4) shared by every engine
+//! — sequential, asynchronous CPU, and the GPU kernels.
+//!
+//! Keeping the closed forms in one place guarantees that all
+//! implementations optimize exactly the same subproblem; the engines differ
+//! only in *how* they evaluate the inner product and apply the shared-vector
+//! update.
+
+/// Primal update (Eq. 2): given the inner product ⟨y − w, a_m⟩, the current
+/// weight β_m, the column norm ‖a_m‖², and Nλ, return Δβ_m.
+///
+/// A coordinate with an empty column (‖a_m‖² = 0) still has a well-defined
+/// update: Δβ = −Nλβ/(Nλ) = −β, zeroing the weight in one step.
+#[inline]
+pub fn primal_delta(dot_y_minus_w_a: f64, beta_m: f64, col_sq_norm: f64, n_lambda: f64) -> f64 {
+    (dot_y_minus_w_a - n_lambda * beta_m) / (col_sq_norm + n_lambda)
+}
+
+/// Dual update (Eq. 4): given ⟨w̄, ā_n⟩, the label y_n, the current weight
+/// α_n, the row norm ‖ā_n‖², λ and Nλ, return Δα_n.
+#[inline]
+pub fn dual_delta(
+    dot_wbar_a: f64,
+    y_n: f64,
+    alpha_n: f64,
+    row_sq_norm: f64,
+    lambda: f64,
+    n_lambda: f64,
+) -> f64 {
+    (lambda * y_n - dot_wbar_a - n_lambda * alpha_n) / (n_lambda + row_sq_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primal_delta_exactly_minimizes_coordinate() {
+        // 1-d problem: N=1, a=2, y=3, λ=0.5 ⇒ β* = 6/4.5 starting from 0,
+        // w=0: Δβ = (⟨y, a⟩ − 0)/(4 + 0.5) = 6/4.5.
+        let d = primal_delta(6.0, 0.0, 4.0, 0.5);
+        assert!((d - 6.0 / 4.5).abs() < 1e-12);
+        // Second application from the optimum must be zero: w = aβ = 8/3,
+        // ⟨y−w, a⟩ = (3 − 8/3)·2 = 2/3; Nλβ = 0.5·4/3 = 2/3.
+        let d2 = primal_delta(2.0 / 3.0, 4.0 / 3.0, 4.0, 0.5);
+        assert!(d2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_delta_exactly_maximizes_coordinate() {
+        // Same 1-d problem: α* = λy/(λ + a²) = 1.5/4.5 = 1/3.
+        // From α=0, w̄=0: Δα = (λy − 0 − 0)/(λN + a²) = 1.5/4.5.
+        let d = dual_delta(0.0, 3.0, 0.0, 4.0, 0.5, 0.5);
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+        // At the optimum: w̄ = a·α = 2/3, ⟨w̄, ā⟩ = 4/3;
+        // λy − 4/3 − λα = 1.5 − 4/3 − 1/6 = 0.
+        let d2 = dual_delta(4.0 / 3.0, 3.0, 1.0 / 3.0, 4.0, 0.5, 0.5);
+        assert!(d2.abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_coordinate_zeroes_weight() {
+        let d = primal_delta(0.0, 5.0, 0.0, 2.0);
+        assert!((d + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deltas_are_finite_for_extreme_inputs() {
+        let d = primal_delta(1e30, -1e20, 1e-30, 1e-6);
+        assert!(d.is_finite());
+        let d = dual_delta(-1e30, 1e10, 1e20, 1e-20, 1e-9, 1e-3);
+        assert!(d.is_finite());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the solver engines: all engines are
+//! trajectory-equivalent where theory says they must be, and the update
+//! rules' conservation laws hold for arbitrary data.
+
+use proptest::prelude::*;
+use scd_core::{AsyncCpuMode, AsyncSimScd, Form, RidgeProblem, SequentialScd, Solver};
+use scd_datasets::{scale_values, webspam_like};
+use scd_sparse::dense;
+
+fn arb_problem() -> impl Strategy<Value = RidgeProblem> {
+    (20usize..60, 15usize..50, 3usize..8, 0u64..10_000, 1u32..50).prop_map(
+        |(n, m, nnz, seed, lam)| {
+            let data = scale_values(&webspam_like(n, m, nnz, seed), 0.4);
+            RidgeProblem::from_labelled(&data, lam as f64 / 1000.0).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential SCD keeps the shared vector exactly consistent with the
+    /// weights (up to f32 accumulation) on any problem.
+    #[test]
+    fn sequential_shared_vector_consistency(problem in arb_problem()) {
+        let mut s = SequentialScd::primal(&problem, 5);
+        for _ in 0..4 {
+            s.epoch(&problem);
+        }
+        let w_true = problem.csc().matvec(&s.weights()).unwrap();
+        let scale = w_true.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+        prop_assert!(dense::max_abs_diff(&s.shared_vector(), &w_true) < 1e-4 * scale);
+    }
+
+    /// The atomic async simulator with window 0 and the sequential solver
+    /// are bit-identical under the same seed, for both forms. (Wild is
+    /// *not*: even with a zero staleness window, 16 racing threads still
+    /// lose writes with the collision probability — that is exactly how
+    /// Fig. 1's plateau arises at paper-scaled staleness. Wild only
+    /// collapses to sequential when the collision rate is zeroed, covered
+    /// by `wild_without_collisions_is_atomic`.)
+    #[test]
+    fn zero_window_atomic_equals_sequential(problem in arb_problem(), seed in 0u64..100) {
+        for form in [Form::Primal, Form::Dual] {
+            let mut seq = match form {
+                Form::Primal => SequentialScd::primal(&problem, seed),
+                Form::Dual => SequentialScd::dual(&problem, seed),
+            };
+            let mut sim = AsyncSimScd::new(&problem, form, AsyncCpuMode::Atomic, 16, seed)
+                .with_staleness(0);
+            for _ in 0..2 {
+                seq.epoch(&problem);
+                sim.epoch(&problem);
+            }
+            prop_assert_eq!(seq.weights(), sim.weights());
+        }
+    }
+
+    /// Dual objective increases monotonically under exact dual coordinate
+    /// maximization (sequential engine).
+    #[test]
+    fn dual_objective_monotone(problem in arb_problem()) {
+        let mut s = SequentialScd::dual(&problem, 9);
+        let mut prev = problem.dual_objective(&s.weights());
+        for _ in 0..10 {
+            s.epoch(&problem);
+            let cur = problem.dual_objective(&s.weights());
+            prop_assert!(cur >= prev - 1e-5 * prev.abs().max(1e-9), "{prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    /// Gaps from both formulations certify the same optimum: running both
+    /// to convergence, each form's certified objective matches.
+    #[test]
+    fn both_forms_certify_one_optimum(problem in arb_problem()) {
+        let mut p = SequentialScd::primal(&problem, 2);
+        let mut d = SequentialScd::dual(&problem, 2);
+        for _ in 0..80 {
+            p.epoch(&problem);
+            d.epoch(&problem);
+        }
+        let p_obj = problem.primal_objective(&p.weights());
+        let d_obj = problem.dual_objective(&d.weights());
+        prop_assert!(
+            (p_obj - d_obj).abs() < 1e-3 * p_obj.abs().max(1e-9),
+            "P* {p_obj} vs D* {d_obj}"
+        );
+    }
+
+    /// Wild mode with collision rate 0 equals atomic mode exactly.
+    #[test]
+    fn wild_without_collisions_is_atomic(problem in arb_problem(), seed in 0u64..100) {
+        let mut atomic = AsyncSimScd::new(&problem, Form::Primal, AsyncCpuMode::Atomic, 8, seed);
+        let mut wild = AsyncSimScd::new(&problem, Form::Primal, AsyncCpuMode::Wild, 8, seed)
+            .with_collision_rate(0.0);
+        for _ in 0..3 {
+            atomic.epoch(&problem);
+            wild.epoch(&problem);
+        }
+        prop_assert_eq!(atomic.weights(), wild.weights());
+        prop_assert_eq!(atomic.shared_vector(), wild.shared_vector());
+    }
+}

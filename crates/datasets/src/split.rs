@@ -1,0 +1,143 @@
+//! Train/test splitting.
+//!
+//! The paper's webspam sample "was obtained by sampling the training
+//! examples uniformly at random to create a 75%/25% train/test split of the
+//! full dataset" — this module reproduces that operation for any labelled
+//! dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scd_sparse::io::LabelledData;
+use scd_sparse::CooMatrix;
+
+/// Split a dataset by example: each row lands in the train side with
+/// probability `train_fraction`, uniformly at random from `seed`.
+/// Feature-space width is preserved on both sides.
+///
+/// # Panics
+/// Panics if `train_fraction` is outside `[0, 1]`.
+pub fn train_test_split(
+    data: &LabelledData,
+    train_fraction: f64,
+    seed: u64,
+) -> (LabelledData, LabelledData) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train_fraction must be in [0, 1], got {train_fraction}"
+    );
+    let n = data.matrix.rows();
+    let m = data.matrix.cols();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let assignment: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < train_fraction).collect();
+
+    // New row index on its side, per original row.
+    let mut train_row = vec![usize::MAX; n];
+    let mut test_row = vec![usize::MAX; n];
+    let mut train_labels = Vec::new();
+    let mut test_labels = Vec::new();
+    for (r, &is_train) in assignment.iter().enumerate() {
+        if is_train {
+            train_row[r] = train_labels.len();
+            train_labels.push(data.labels[r]);
+        } else {
+            test_row[r] = test_labels.len();
+            test_labels.push(data.labels[r]);
+        }
+    }
+
+    let mut train_matrix = CooMatrix::new(train_labels.len(), m);
+    let mut test_matrix = CooMatrix::new(test_labels.len(), m);
+    for (r, c, v) in data.matrix.iter() {
+        if assignment[r] {
+            train_matrix
+                .push(train_row[r], c, v)
+                .expect("train row index in range");
+        } else {
+            test_matrix
+                .push(test_row[r], c, v)
+                .expect("test row index in range");
+        }
+    }
+    (
+        LabelledData {
+            matrix: train_matrix,
+            labels: train_labels,
+        },
+        LabelledData {
+            matrix: test_matrix,
+            labels: test_labels,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::webspam_like;
+
+    #[test]
+    fn split_preserves_rows_and_nnz() {
+        let d = webspam_like(200, 100, 8, 1);
+        let (train, test) = train_test_split(&d, 0.75, 9);
+        assert_eq!(train.matrix.rows() + test.matrix.rows(), 200);
+        assert_eq!(train.labels.len(), train.matrix.rows());
+        assert_eq!(test.labels.len(), test.matrix.rows());
+        assert_eq!(train.matrix.nnz() + test.matrix.nnz(), d.matrix.nnz());
+        assert_eq!(train.matrix.cols(), 100);
+        assert_eq!(test.matrix.cols(), 100);
+    }
+
+    #[test]
+    fn split_fraction_roughly_honoured() {
+        let d = webspam_like(1000, 50, 5, 2);
+        let (train, _test) = train_test_split(&d, 0.75, 3);
+        let frac = train.matrix.rows() as f64 / 1000.0;
+        assert!((0.70..0.80).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = webspam_like(100, 50, 5, 4);
+        let (a, _) = train_test_split(&d, 0.5, 7);
+        let (b, _) = train_test_split(&d, 0.5, 7);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.matrix.to_dense(), b.matrix.to_dense());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let d = webspam_like(50, 30, 4, 5);
+        let (train, test) = train_test_split(&d, 1.0, 1);
+        assert_eq!(train.matrix.rows(), 50);
+        assert_eq!(test.matrix.rows(), 0);
+        let (train, test) = train_test_split(&d, 0.0, 1);
+        assert_eq!(train.matrix.rows(), 0);
+        assert_eq!(test.matrix.rows(), 50);
+    }
+
+    #[test]
+    fn rows_keep_their_labels() {
+        let d = webspam_like(100, 40, 4, 6);
+        let (train, test) = train_test_split(&d, 0.6, 8);
+        // Every (label, row-signature) pair in the output exists in the input.
+        let sig = |m: &CooMatrix, rows: usize| -> Vec<Vec<(usize, f32)>> {
+            let mut per = vec![Vec::new(); rows];
+            for (r, c, v) in m.iter() {
+                per[r].push((c, v));
+            }
+            per
+        };
+        let orig = sig(&d.matrix, 100);
+        let tr = sig(&train.matrix, train.matrix.rows());
+        let te = sig(&test.matrix, test.matrix.rows());
+        for (rows, labels) in [(&tr, &train.labels), (&te, &test.labels)] {
+            for (r, row_sig) in rows.iter().enumerate() {
+                let found = orig
+                    .iter()
+                    .enumerate()
+                    .any(|(o, s)| s == row_sig && d.labels[o] == labels[r]);
+                assert!(found, "row {r} lost its label or content");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Dataset summary statistics.
+//!
+//! The experiment harness prints these alongside every figure so the scale
+//! of the synthetic stand-ins (versus the paper's webspam/criteo) is always
+//! visible in the output.
+
+use scd_sparse::io::LabelledData;
+
+/// Structural summary of a labelled sparse dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Examples (N).
+    pub rows: usize,
+    /// Features (M).
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// nnz / (rows × cols).
+    pub density: f64,
+    /// Mean nonzeros per example.
+    pub avg_nnz_per_row: f64,
+    /// Mean nonzeros per feature.
+    pub avg_nnz_per_col: f64,
+    /// Fraction of +1 labels (for ±1 labelled sets; NaN-free otherwise).
+    pub positive_fraction: f64,
+    /// CSR memory footprint in bytes (4 B values + 4 B indices + offsets).
+    pub csr_bytes: usize,
+}
+
+impl DatasetStats {
+    /// Compute the summary for a dataset.
+    pub fn of(data: &LabelledData) -> Self {
+        let rows = data.matrix.rows();
+        let cols = data.matrix.cols();
+        let nnz = data.matrix.nnz();
+        let positives = data.labels.iter().filter(|&&y| y > 0.0).count();
+        DatasetStats {
+            rows,
+            cols,
+            nnz,
+            density: nnz as f64 / (rows.max(1) as f64 * cols.max(1) as f64),
+            avg_nnz_per_row: nnz as f64 / rows.max(1) as f64,
+            avg_nnz_per_col: nnz as f64 / cols.max(1) as f64,
+            positive_fraction: positives as f64 / data.labels.len().max(1) as f64,
+            csr_bytes: nnz * 8 + (rows + 1) * 8,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N={} M={} nnz={} density={:.2e} nnz/row={:.1} nnz/col={:.1} pos={:.1}% csr={:.1} MB",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.density,
+            self.avg_nnz_per_row,
+            self.avg_nnz_per_col,
+            100.0 * self.positive_fraction,
+            self.csr_bytes as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{criteo_like, webspam_like};
+
+    #[test]
+    fn stats_of_webspam_like() {
+        let d = webspam_like(100, 400, 10, 1);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.rows, 100);
+        assert_eq!(s.cols, 400);
+        assert_eq!(s.nnz, d.matrix.nnz());
+        assert!((s.avg_nnz_per_row - s.nnz as f64 / 100.0).abs() < 1e-12);
+        assert!(s.density > 0.0 && s.density < 1.0);
+        assert!(s.positive_fraction > 0.0 && s.positive_fraction < 1.0);
+    }
+
+    #[test]
+    fn stats_of_criteo_like_fixed_row_nnz() {
+        let d = criteo_like(50, 6, 20, 2);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.nnz, 300);
+        assert!((s.avg_nnz_per_row - 6.0).abs() < 1e-12);
+        assert_eq!(s.csr_bytes, 300 * 8 + 51 * 8);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let d = criteo_like(10, 2, 5, 3);
+        let text = DatasetStats::of(&d).to_string();
+        assert!(text.contains("N=10"));
+        assert!(text.contains("M=10"));
+        assert!(text.contains("nnz=20"));
+    }
+}

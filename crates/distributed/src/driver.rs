@@ -1,0 +1,496 @@
+//! The synchronous distributed SCD driver: Algorithm 3 (fixed aggregation)
+//! and Algorithm 4 (adaptive aggregation) over an in-process cluster with a
+//! modeled network.
+//!
+//! Each epoch: workers run one permuted pass over their local coordinates
+//! against the last broadcast shared vector (genuinely executed, in
+//! sequence on this host — the workers are independent state machines, so
+//! the result is identical to parallel execution); the master reduces the
+//! Δ-shared-vectors and the adaptive scalars, picks γ (1/K averaging, 1
+//! adding, or the closed-form optimum), applies the aggregated update, and
+//! conceptually broadcasts it back. Simulated time charges the round at the
+//! *slowest* worker (synchronous barrier) plus master host work plus the
+//! network reduce/broadcast and any PCIe traffic.
+
+use crate::local::LocalSolver;
+use crate::partition::{partition_problem, PartitionStrategy};
+use crate::worker::Worker;
+use gpu_sim::{Gpu, GpuError, GpuProfile};
+use scd_core::{
+    async_sim::scaled_staleness, optimal_gamma_dual, optimal_gamma_primal, AsyncCpuMode,
+    AsyncSimScd, EpochStats, Form, RidgeProblem, SequentialScd, Solver, TimeBreakdown, TpaScd,
+    WorkerScalars,
+};
+use scd_perf_model::{CpuProfile, LinkProfile};
+use scd_sparse::dense;
+use std::sync::Arc;
+
+/// How the master combines the workers' updates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// γ = 1/K (Algorithm 3; CoCoA-style averaging [7]).
+    Averaging,
+    /// γ = 1 (the "adding" end of the spectrum studied in [24]; unsafe —
+    /// can diverge on correlated partitions).
+    Adding,
+    /// γ = γ*ₜ, the closed-form optimum of §IV-B (Algorithm 4).
+    Adaptive,
+    /// CoCoA+ [24]: γ = 1 made *safe* by scaling every worker's local
+    /// quadratic term by σ′ = K.
+    CocoaPlus,
+    /// Explicit numerical line search for γ on the master (the [21]
+    /// approach the paper cites) — must agree with [`Self::Adaptive`] up to
+    /// search tolerance, at higher master cost.
+    LineSearch,
+}
+
+impl Aggregation {
+    /// Label used in figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Aggregation::Averaging => "averaging",
+            Aggregation::Adding => "adding",
+            Aggregation::Adaptive => "adaptive",
+            Aggregation::CocoaPlus => "cocoa+",
+            Aggregation::LineSearch => "line-search",
+        }
+    }
+}
+
+/// Golden-section minimizer for the master's explicit line search.
+fn golden_min(mut f: impl FnMut(f64) -> f64, mut lo: f64, mut hi: f64) -> f64 {
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..120 {
+        let a = hi - phi * (hi - lo);
+        let b = lo + phi * (hi - lo);
+        if f(a) < f(b) {
+            hi = b;
+        } else {
+            lo = a;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+/// Which engine every worker runs locally.
+#[derive(Debug, Clone)]
+pub enum LocalSolverKind {
+    /// Algorithm 1 on one thread (the paper's Fig. 3–6 configuration).
+    Sequential,
+    /// The deterministic asynchronous engine (PASSCoDe-Wild workers in
+    /// Fig. 10 use `mode = Wild, threads = 16`). `paper_scale_staleness`
+    /// maps the staleness window onto the local partition size.
+    AsyncSim {
+        /// Write-back semantics.
+        mode: AsyncCpuMode,
+        /// Thread count being modeled.
+        threads: usize,
+        /// Scale the staleness window by the paper's coordinate counts.
+        paper_scale_staleness: bool,
+    },
+    /// TPA-SCD on one simulated GPU per worker (Figs. 8–10).
+    Tpa {
+        /// Device model for every worker's GPU.
+        profile: GpuProfile,
+        /// Lanes per thread block.
+        lanes: usize,
+        /// Run device blocks on one host thread for bit-reproducible runs.
+        deterministic: bool,
+    },
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Number of workers K.
+    pub workers: usize,
+    /// Which formulation to solve (decides the partitioning axis).
+    pub form: Form,
+    /// Aggregation rule.
+    pub aggregation: Aggregation,
+    /// Coordinate-assignment strategy.
+    pub strategy: PartitionStrategy,
+    /// The local engine.
+    pub solver: LocalSolverKind,
+    /// Worker ↔ master link.
+    pub network: LinkProfile,
+    /// Host ↔ device link on each worker.
+    pub pcie: LinkProfile,
+    /// Host CPU on workers and master.
+    pub cpu: CpuProfile,
+    /// Full local passes each worker performs per communication round
+    /// (H > 1 side of the §IV-A computation/communication trade-off).
+    pub local_epochs_per_round: usize,
+    /// Cap on local coordinate updates per round (the H < coords side of
+    /// the trade-off); `None` = one full pass. Sequential workers only.
+    pub local_updates_per_round: Option<usize>,
+    /// Per-worker speed multipliers on compute cost (1.0 = nominal; 3.0 =
+    /// a 3× straggler). Shorter vectors repeat 1.0 for remaining workers.
+    /// Synchronous rounds cost the *slowest* worker, so one straggler
+    /// stretches every round — the barrier's known weakness.
+    pub worker_slowdowns: Vec<f64>,
+    /// Base RNG seed (workers derive per-worker seeds).
+    pub seed: u64,
+}
+
+impl DistributedConfig {
+    /// The paper's default cluster: K sequential-SCD workers on 10 GbE with
+    /// averaging aggregation.
+    pub fn new(workers: usize, form: Form) -> Self {
+        DistributedConfig {
+            workers,
+            form,
+            aggregation: Aggregation::Averaging,
+            strategy: PartitionStrategy::Random(0xC0C0A),
+            solver: LocalSolverKind::Sequential,
+            network: LinkProfile::ethernet_10g(),
+            pcie: LinkProfile::pcie3_x16(),
+            cpu: CpuProfile::xeon_e5_2640(),
+            local_epochs_per_round: 1,
+            local_updates_per_round: None,
+            worker_slowdowns: Vec::new(),
+            seed: 1,
+        }
+    }
+
+    /// Mark stragglers: worker k's compute costs are multiplied by
+    /// `slowdowns[k]` (missing entries default to 1.0).
+    pub fn with_worker_slowdowns(mut self, slowdowns: Vec<f64>) -> Self {
+        assert!(
+            slowdowns.iter().all(|&s| s > 0.0),
+            "slowdown factors must be positive"
+        );
+        self.worker_slowdowns = slowdowns;
+        self
+    }
+
+    /// Full local passes per communication round (H > 1).
+    pub fn with_local_epochs_per_round(mut self, h: usize) -> Self {
+        assert!(h >= 1, "need at least one local pass per round");
+        self.local_epochs_per_round = h;
+        self
+    }
+
+    /// Cap local coordinate updates per round (H < coords; sequential
+    /// workers only).
+    pub fn with_local_updates_per_round(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "need at least one update per round");
+        self.local_updates_per_round = Some(cap);
+        self
+    }
+
+    /// Select the aggregation rule.
+    pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Select the local engine.
+    pub fn with_solver(mut self, solver: LocalSolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Select the partitioning strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select the worker ↔ master link.
+    pub fn with_network(mut self, network: LinkProfile) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Select the host ↔ device link on each worker.
+    pub fn with_pcie(mut self, pcie: LinkProfile) -> Self {
+        self.pcie = pcie;
+        self
+    }
+
+    /// Select the host CPU profile for workers and master.
+    pub fn with_cpu(mut self, cpu: CpuProfile) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The distributed solver (implements [`Solver`], so the same harness
+/// drives single-node and distributed runs).
+pub struct DistributedScd {
+    form: Form,
+    aggregation: Aggregation,
+    workers: Vec<Worker>,
+    /// The master's aggregated shared vector w⁽ᵗ⁾ / w̄⁽ᵗ⁾.
+    shared: Vec<f32>,
+    coords_total: usize,
+    weights_total: usize,
+    cpu: CpuProfile,
+    network: LinkProfile,
+    last_gamma: f64,
+}
+
+impl DistributedScd {
+    /// Partition the problem and stand up the cluster.
+    pub fn new(full: &RidgeProblem, config: &DistributedConfig) -> Result<Self, GpuError> {
+        let partitions = partition_problem(full, config.form, config.workers, config.strategy);
+        // CoCoA+ makes adding safe by scaling the local quadratic term.
+        let sigma_prime = if config.aggregation == Aggregation::CocoaPlus {
+            config.workers as f64
+        } else {
+            1.0
+        };
+        let mut workers = Vec::with_capacity(config.workers);
+        for (k, part) in partitions.into_iter().enumerate() {
+            let worker_seed = config.seed ^ ((k as u64 + 1) * 0x5DEECE66D);
+            let slowdown = config.worker_slowdowns.get(k).copied().unwrap_or(1.0);
+            let worker_cpu = CpuProfile {
+                seconds_per_nnz: config.cpu.seconds_per_nnz * slowdown,
+                seconds_per_coord: config.cpu.seconds_per_coord * slowdown,
+                host_stream_bytes_per_s: config.cpu.host_stream_bytes_per_s / slowdown,
+                ..config.cpu.clone()
+            };
+            let solver: Box<dyn LocalSolver> = match &config.solver {
+                LocalSolverKind::Sequential => {
+                    let mut s = match config.form {
+                        Form::Primal => SequentialScd::primal(&part.problem, worker_seed),
+                        Form::Dual => SequentialScd::dual(&part.problem, worker_seed),
+                    }
+                    .with_cpu(worker_cpu.clone())
+                    .with_quadratic_scale(sigma_prime);
+                    if let Some(cap) = config.local_updates_per_round {
+                        s = s.with_updates_per_call(cap);
+                    }
+                    Box::new(s)
+                }
+                LocalSolverKind::AsyncSim {
+                    mode,
+                    threads,
+                    paper_scale_staleness,
+                } => {
+                    let coords = part.problem.coords(config.form);
+                    let mut s =
+                        AsyncSimScd::new(&part.problem, config.form, *mode, *threads, worker_seed)
+                            .with_cpu(worker_cpu.clone());
+                    if *paper_scale_staleness {
+                        let reference = match config.form {
+                            Form::Primal => 680_715,
+                            Form::Dual => 262_938,
+                        };
+                        s = s.with_staleness(scaled_staleness(*threads, coords, reference));
+                    }
+                    Box::new(s.with_quadratic_scale(sigma_prime))
+                }
+                LocalSolverKind::Tpa {
+                    profile,
+                    lanes,
+                    deterministic,
+                } => {
+                    let mut gpu = Gpu::new(profile.clone());
+                    if *deterministic {
+                        gpu = gpu.with_host_threads(1);
+                    }
+                    let s = TpaScd::new(&part.problem, config.form, Arc::new(gpu), worker_seed)?
+                        .with_lanes(*lanes)
+                        .with_cpu(worker_cpu.clone())
+                        .with_quadratic_scale(sigma_prime);
+                    Box::new(s)
+                }
+            };
+            workers.push(Worker::new(
+                k,
+                part,
+                solver,
+                config.form,
+                worker_cpu,
+                config.pcie.clone(),
+            )
+            .with_local_epochs(config.local_epochs_per_round));
+        }
+        Ok(DistributedScd {
+            form: config.form,
+            aggregation: config.aggregation,
+            workers,
+            shared: vec![0.0; full.shared_len(config.form)],
+            coords_total: full.coords(config.form),
+            weights_total: full.coords(config.form),
+            cpu: config.cpu.clone(),
+            network: config.network.clone(),
+            last_gamma: 1.0,
+        })
+    }
+
+    /// Number of workers K.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The aggregation parameter chosen in the most recent epoch (Fig. 5's
+    /// y-axis).
+    pub fn last_gamma(&self) -> f64 {
+        self.last_gamma
+    }
+
+    /// Scatter the workers' local weights into the global coordinate space.
+    pub fn assemble_weights(&self) -> Vec<f32> {
+        let mut global = vec![0.0f32; self.weights_total];
+        for worker in &self.workers {
+            for (local, &g) in worker.global_ids().iter().enumerate() {
+                global[g] = worker.weights()[local];
+            }
+        }
+        global
+    }
+}
+
+impl Solver for DistributedScd {
+    fn form(&self) -> Form {
+        self.form
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Distributed {} (K={}, {})",
+            self.workers
+                .first()
+                .map(|w| w.solver_name())
+                .unwrap_or_else(|| "SCD".into()),
+            self.workers.len(),
+            self.aggregation.label()
+        )
+    }
+
+    fn epoch(&mut self, full: &RidgeProblem) -> EpochStats {
+        let k = self.workers.len();
+        // Workers run their local epochs (synchronous round: the barrier
+        // costs the slowest worker in each time category).
+        let mut compute = TimeBreakdown::default();
+        let mut delta = vec![0.0f32; self.shared.len()];
+        let mut scalars = Vec::with_capacity(k);
+        for worker in self.workers.iter_mut() {
+            let round = worker.run_round(&self.shared);
+            compute = compute.max(&round.breakdown);
+            dense::axpy(1.0, &round.delta_shared, &mut delta);
+            scalars.push(round.scalars);
+        }
+        let reduced = WorkerScalars::reduce(scalars);
+
+        // Master: choose γ.
+        let gamma = match self.aggregation {
+            Aggregation::Averaging => 1.0 / k as f64,
+            Aggregation::Adding | Aggregation::CocoaPlus => 1.0,
+            Aggregation::LineSearch => match self.form {
+                Form::Primal => {
+                    // φ(γ) = (1/2N)‖w+γΔw−y‖² + λ(γ⟨β,Δβ⟩ + γ²‖Δβ‖²/2) + const.
+                    let n = full.n() as f64;
+                    let lambda = full.lambda();
+                    let fit_a: f64 = delta
+                        .iter()
+                        .map(|&d| (d as f64) * (d as f64))
+                        .sum::<f64>()
+                        / (2.0 * n);
+                    let fit_b: f64 = self
+                        .shared
+                        .iter()
+                        .zip(full.labels())
+                        .zip(&delta)
+                        .map(|((&w, &y), &d)| (w as f64 - y as f64) * d as f64)
+                        .sum::<f64>()
+                        / n;
+                    let phi = |g: f64| {
+                        fit_a * g * g
+                            + fit_b * g
+                            + lambda * (g * reduced.x_dot_dx + g * g * reduced.dx_sq / 2.0)
+                    };
+                    golden_min(phi, -4.0, 4.0)
+                }
+                Form::Dual => {
+                    // maximize ψ(γ) ⇔ minimize −ψ(γ).
+                    let n = full.n() as f64;
+                    let lambda = full.lambda();
+                    let quad_w: f64 = delta
+                        .iter()
+                        .map(|&d| (d as f64) * (d as f64))
+                        .sum::<f64>()
+                        / (2.0 * lambda);
+                    let lin_w: f64 = self
+                        .shared
+                        .iter()
+                        .zip(&delta)
+                        .map(|(&w, &d)| w as f64 * d as f64)
+                        .sum::<f64>()
+                        / lambda;
+                    let neg_psi = |g: f64| {
+                        n / 2.0 * (2.0 * g * reduced.x_dot_dx + g * g * reduced.dx_sq)
+                            + quad_w * g * g
+                            + lin_w * g
+                            - g * reduced.dx_dot_y
+                    };
+                    golden_min(neg_psi, -4.0, 4.0)
+                }
+            },
+            Aggregation::Adaptive => match self.form {
+                Form::Primal => optimal_gamma_primal(
+                    full.labels(),
+                    &self.shared,
+                    &delta,
+                    reduced.x_dot_dx,
+                    reduced.dx_sq,
+                    full.n_lambda(),
+                ),
+                Form::Dual => optimal_gamma_dual(
+                    &self.shared,
+                    &delta,
+                    reduced.dx_dot_y,
+                    reduced.x_dot_dx,
+                    reduced.dx_sq,
+                    full.n(),
+                    full.lambda(),
+                ),
+            },
+        };
+        self.last_gamma = gamma;
+
+        // Apply on the master and rescale on the workers.
+        dense::axpy(gamma as f32, &delta, &mut self.shared);
+        for worker in self.workers.iter_mut() {
+            worker.apply_gamma(gamma);
+        }
+
+        // Master-side aggregation arithmetic: K Δ-vectors summed + applied.
+        let mut breakdown = compute;
+        breakdown.host += self
+            .cpu
+            .host_vector_op_seconds((k + 1) * self.shared.len());
+        // Reduce + broadcast of the shared vector, plus the adaptive
+        // scalars (a few extra bytes, as the paper stresses).
+        let extra_scalars = if self.aggregation == Aggregation::Adaptive {
+            3
+        } else {
+            0
+        };
+        breakdown.network +=
+            self.network
+                .aggregation_round_seconds(k, 4 * self.shared.len(), extra_scalars);
+
+        EpochStats {
+            updates: self.coords_total,
+            breakdown,
+        }
+    }
+
+    fn weights(&self) -> Vec<f32> {
+        self.assemble_weights()
+    }
+
+    fn shared_vector(&self) -> Vec<f32> {
+        self.shared.clone()
+    }
+}

@@ -1,0 +1,99 @@
+//! The local-solver abstraction: any SCD engine that can participate in a
+//! synchronous distributed round.
+//!
+//! §IV-A: "The coordinate updates on each worker can be computed using any
+//! of the techniques discussed in the previous section" — a worker's engine
+//! must run epochs (the [`Solver`] contract) *and* accept the master's
+//! broadcast state between rounds.
+
+use scd_core::{AsyncSimScd, SequentialScd, Solver, TpaScd};
+
+/// A [`Solver`] that can be re-synchronized by the distributed driver.
+pub trait LocalSolver: Solver {
+    /// Load the aggregated shared vector the master broadcast (Algorithm
+    /// 3's "Broadcast w(t−1) to the K workers").
+    fn load_shared(&mut self, shared: &[f32]);
+
+    /// Load the rescaled local model weights (the consistency step
+    /// β(t,k) = β(t−1,k) + γΔβ(t,k)).
+    fn load_weights(&mut self, weights: &[f32]);
+
+    /// Bytes that loading/retrieving the shared vector moves over PCIe per
+    /// round-trip, or 0 for engines whose state lives in host memory.
+    fn pcie_bytes_per_exchange(&self) -> usize {
+        0
+    }
+}
+
+impl LocalSolver for SequentialScd {
+    fn load_shared(&mut self, shared: &[f32]) {
+        self.set_shared(shared);
+    }
+
+    fn load_weights(&mut self, weights: &[f32]) {
+        self.set_weights(weights);
+    }
+}
+
+impl LocalSolver for AsyncSimScd {
+    fn load_shared(&mut self, shared: &[f32]) {
+        self.set_shared(shared);
+    }
+
+    fn load_weights(&mut self, weights: &[f32]) {
+        self.set_weights(weights);
+    }
+}
+
+impl LocalSolver for TpaScd {
+    fn load_shared(&mut self, shared: &[f32]) {
+        self.upload_shared(shared);
+    }
+
+    fn load_weights(&mut self, weights: &[f32]) {
+        self.upload_weights(weights);
+    }
+
+    fn pcie_bytes_per_exchange(&self) -> usize {
+        TpaScd::pcie_bytes_per_exchange(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_core::{Form, RidgeProblem};
+    use scd_datasets::webspam_like;
+
+    #[test]
+    fn cpu_solvers_report_no_pcie() {
+        let p = RidgeProblem::from_labelled(&webspam_like(30, 20, 4, 1), 1e-2).unwrap();
+        let seq = SequentialScd::primal(&p, 1);
+        assert_eq!(LocalSolver::pcie_bytes_per_exchange(&seq), 0);
+        let sim = AsyncSimScd::a_scd(&p, Form::Primal, 1);
+        assert_eq!(LocalSolver::pcie_bytes_per_exchange(&sim), 0);
+    }
+
+    #[test]
+    fn load_roundtrip_through_trait_object() {
+        let p = RidgeProblem::from_labelled(&webspam_like(30, 20, 4, 2), 1e-2).unwrap();
+        let mut solver: Box<dyn LocalSolver> = Box::new(SequentialScd::primal(&p, 3));
+        let shared = vec![0.5f32; p.n()];
+        let weights = vec![-0.25f32; p.m()];
+        solver.load_shared(&shared);
+        solver.load_weights(&weights);
+        assert_eq!(solver.shared_vector(), shared);
+        assert_eq!(solver.weights(), weights);
+    }
+
+    #[test]
+    fn tpa_reports_pcie_traffic() {
+        use gpu_sim::{Gpu, GpuProfile};
+        use std::sync::Arc;
+        let p = RidgeProblem::from_labelled(&webspam_like(30, 20, 4, 4), 1e-2).unwrap();
+        let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()));
+        let tpa = TpaScd::new(&p, Form::Dual, gpu, 1).unwrap();
+        // Dual shared vector has length M = 20; down + up = 2 × 4 × 20.
+        assert_eq!(LocalSolver::pcie_bytes_per_exchange(&tpa), 160);
+    }
+}

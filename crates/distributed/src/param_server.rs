@@ -1,0 +1,433 @@
+//! Asynchronous parameter-server distribution — the *other* distribution
+//! family the paper's introduction discusses (Li et al., OSDI'14 [6]):
+//! "worker nodes perform stochastic updates of a local model and
+//! asynchronously communicate their model updates to a parameter server",
+//! in contrast to the synchronous CoCoA-style rounds of Algorithms 3/4
+//! that the paper adopts.
+//!
+//! The deterministic simulation: workers own coordinate partitions exactly
+//! as in the synchronous driver, but instead of a global barrier each
+//! worker repeatedly
+//!
+//! 1. **pulls** a snapshot of the server's shared vector that is
+//!    `staleness` pushes old (the pipeline depth of a real async system),
+//! 2. runs a *chunk* of coordinate updates against that stale snapshot
+//!    (its own weights are always fresh — single owner), and
+//! 3. **pushes** the resulting shared-vector delta, which the server
+//!    applies additively (γ = 1; there is no aggregation step to tune,
+//!    which is precisely what Algorithm 4 adds to the synchronous side).
+//!
+//! Workers are interleaved round-robin, so the execution is reproducible.
+//! One `epoch()` = every coordinate updated once, as everywhere else.
+//!
+//! ### Timing
+//!
+//! The async design's selling point is that communication overlaps
+//! computation: no barrier, pushes stream while workers compute. The
+//! breakdown therefore charges the slowest worker's compute plus only the
+//! *excess* of total server traffic over what compute hides (the server
+//! link saturates when K·push-bytes outpaces a chunk's compute).
+
+use crate::partition::{partition_problem, PartitionStrategy};
+use scd_core::{EpochStats, Form, RidgeProblem, SequentialScd, Solver, TimeBreakdown};
+use scd_perf_model::{CpuProfile, LinkProfile};
+use scd_sparse::dense;
+use std::collections::VecDeque;
+
+/// Configuration for the parameter-server run.
+#[derive(Debug, Clone)]
+pub struct ParamServerConfig {
+    /// Number of workers.
+    pub workers: usize,
+    /// Formulation (decides the partition axis, as in the sync driver).
+    pub form: Form,
+    /// Snapshot age in pushes: 0 = every pull sees the latest server state
+    /// (sequential-equivalent at K=1), larger = deeper pipeline.
+    pub staleness: usize,
+    /// Coordinate updates per push.
+    pub chunk: usize,
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+    /// Worker ↔ server link.
+    pub network: LinkProfile,
+    /// Host CPU profile.
+    pub cpu: CpuProfile,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ParamServerConfig {
+    /// Defaults mirroring [`crate::DistributedConfig::new`].
+    pub fn new(workers: usize, form: Form) -> Self {
+        ParamServerConfig {
+            workers,
+            form,
+            staleness: workers, // one in-flight push per worker
+            chunk: 64,
+            strategy: PartitionStrategy::Random(0xC0C0A),
+            network: LinkProfile::ethernet_10g(),
+            cpu: CpuProfile::xeon_e5_2640(),
+            seed: 1,
+        }
+    }
+
+    /// Set the snapshot age in pushes.
+    pub fn with_staleness(mut self, staleness: usize) -> Self {
+        self.staleness = staleness;
+        self
+    }
+
+    /// Set the partitioning strategy.
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the updates-per-push chunk.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "need at least one update per push");
+        self.chunk = chunk;
+        self
+    }
+
+    /// Set the worker ↔ server link.
+    pub fn with_network(mut self, network: LinkProfile) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+struct PsWorker {
+    solver: SequentialScd,
+    global_ids: Vec<usize>,
+    /// Coordinate updates still owed this epoch.
+    remaining: usize,
+    problem: RidgeProblem,
+}
+
+/// The asynchronous parameter-server trainer (implements [`Solver`]).
+pub struct ParamServerScd {
+    form: Form,
+    workers: Vec<PsWorker>,
+    /// The server's authoritative shared vector.
+    server: Vec<f32>,
+    /// Ring of past server states for stale pulls (front = oldest).
+    history: VecDeque<Vec<f32>>,
+    staleness: usize,
+    chunk: usize,
+    coords_total: usize,
+    weights_total: usize,
+    cpu: CpuProfile,
+    network: LinkProfile,
+}
+
+impl ParamServerScd {
+    /// Partition the problem and stand up the server and workers.
+    pub fn new(full: &RidgeProblem, config: &ParamServerConfig) -> Self {
+        let partitions = partition_problem(full, config.form, config.workers, config.strategy);
+        let workers = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(k, part)| {
+                let worker_seed = config.seed ^ ((k as u64 + 1) * 0x5DEECE66D);
+                let solver = match config.form {
+                    Form::Primal => SequentialScd::primal(&part.problem, worker_seed),
+                    Form::Dual => SequentialScd::dual(&part.problem, worker_seed),
+                }
+                .with_cpu(config.cpu.clone())
+                .with_updates_per_call(config.chunk);
+                PsWorker {
+                    solver,
+                    global_ids: part.global_ids,
+                    remaining: 0,
+                    problem: part.problem,
+                }
+            })
+            .collect();
+        ParamServerScd {
+            form: config.form,
+            workers,
+            server: vec![0.0; full.shared_len(config.form)],
+            history: VecDeque::new(),
+            staleness: config.staleness,
+            chunk: config.chunk,
+            coords_total: full.coords(config.form),
+            weights_total: full.coords(config.form),
+            cpu: config.cpu.clone(),
+            network: config.network.clone(),
+        }
+    }
+
+    /// Scatter the workers' local weights into the global coordinate space.
+    pub fn assemble_weights(&self) -> Vec<f32> {
+        let mut global = vec![0.0f32; self.weights_total];
+        for w in &self.workers {
+            let weights = w.solver.weights();
+            for (local, &g) in w.global_ids.iter().enumerate() {
+                global[g] = weights[local];
+            }
+        }
+        global
+    }
+
+    /// The snapshot a pull sees: the server state `staleness` pushes ago.
+    fn stale_snapshot(&self) -> Vec<f32> {
+        self.history
+            .front()
+            .cloned()
+            .unwrap_or_else(|| self.server.clone())
+    }
+
+    fn record_history(&mut self) {
+        if self.staleness == 0 {
+            return;
+        }
+        self.history.push_back(self.server.clone());
+        while self.history.len() > self.staleness {
+            self.history.pop_front();
+        }
+    }
+}
+
+impl Solver for ParamServerScd {
+    fn form(&self) -> Form {
+        self.form
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Parameter server (K={}, staleness {}, chunk {})",
+            self.workers.len(),
+            self.staleness,
+            self.chunk
+        )
+    }
+
+    fn epoch(&mut self, _full: &RidgeProblem) -> EpochStats {
+        // Reset the per-epoch quota.
+        for w in self.workers.iter_mut() {
+            w.remaining = w.problem.coords(self.form);
+        }
+        let mut per_worker_compute = vec![0.0f64; self.workers.len()];
+        let mut pushes = 0usize;
+        // Round-robin until every worker exhausted its quota.
+        loop {
+            let mut any = false;
+            for k in 0..self.workers.len() {
+                if self.workers[k].remaining == 0 {
+                    continue;
+                }
+                any = true;
+                // Pull (stale), compute a chunk, push.
+                let snapshot = self.stale_snapshot();
+                let before = snapshot.clone();
+                let w = &mut self.workers[k];
+                w.solver.set_shared(&snapshot);
+                let stats = w.solver.epoch(&w.problem);
+                w.remaining = w.remaining.saturating_sub(stats.updates);
+                per_worker_compute[k] += stats.breakdown.total();
+                let after = w.solver.shared_vector();
+                let delta = dense::sub(&after, &before);
+                self.record_history();
+                dense::axpy(1.0, &delta, &mut self.server);
+                pushes += 1;
+            }
+            if !any {
+                break;
+            }
+        }
+        // Async overlap: compute runs continuously on the slowest worker;
+        // the server link only costs what compute cannot hide.
+        let compute = per_worker_compute.iter().copied().fold(0.0f64, f64::max);
+        let server_host = self
+            .cpu
+            .host_vector_op_seconds(pushes * self.server.len());
+        let net_total =
+            pushes as f64 * self.network.transfer_seconds(4 * self.server.len());
+        let network_excess = (net_total - compute).max(0.0);
+        EpochStats {
+            updates: self.coords_total,
+            breakdown: TimeBreakdown {
+                host: compute + server_host,
+                network: network_excess,
+                ..TimeBreakdown::default()
+            },
+        }
+    }
+
+    fn weights(&self) -> Vec<f32> {
+        self.assemble_weights()
+    }
+
+    fn shared_vector(&self) -> Vec<f32> {
+        self.server.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_datasets::{scale_values, webspam_like_custom};
+
+    fn problem() -> RidgeProblem {
+        let data = scale_values(&webspam_like_custom(400, 600, 25, 0.3, 0xEB), 0.4);
+        RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+    }
+
+    #[test]
+    fn k1_zero_staleness_matches_sequential() {
+        // One worker, fresh pulls, chunked pushes: the chunks stream one
+        // permutation, so the result equals Algorithm 1 exactly.
+        let p = problem();
+        let config = ParamServerConfig::new(1, Form::Primal)
+            .with_staleness(0)
+            .with_chunk(13)
+            .with_strategy(PartitionStrategy::Contiguous)
+            .with_seed(5);
+        let mut ps = ParamServerScd::new(&p, &config);
+        let mut seq = SequentialScd::primal(&p, 5 ^ 0x5DEECE66D);
+        for _ in 0..3 {
+            ps.epoch(&p);
+            seq.epoch(&p);
+        }
+        assert!(
+            dense::max_abs_diff(&ps.weights(), &seq.weights()) < 1e-5,
+            "K=1 fresh parameter server must track Algorithm 1"
+        );
+    }
+
+    #[test]
+    fn converges_with_bounded_staleness() {
+        // The in-flight window is K·chunk coordinates; on this scaled-down
+        // problem (600 coordinates) the chunk must shrink with the problem,
+        // exactly like the staleness scaling of the async CPU engines.
+        let p = problem();
+        let config = ParamServerConfig::new(4, Form::Primal)
+            .with_chunk(8)
+            .with_seed(7);
+        let mut ps = ParamServerScd::new(&p, &config);
+        for _ in 0..300 {
+            ps.epoch(&p);
+        }
+        let gap = ps.duality_gap(&p);
+        assert!(gap < 1e-3, "parameter server must converge, gap {gap}");
+    }
+
+    #[test]
+    fn dual_form_converges_too() {
+        let p = problem();
+        let config = ParamServerConfig::new(3, Form::Dual)
+            .with_chunk(8)
+            .with_seed(8);
+        let mut ps = ParamServerScd::new(&p, &config);
+        for _ in 0..300 {
+            ps.epoch(&p);
+        }
+        let gap = ps.duality_gap(&p);
+        assert!(gap < 5e-3, "gap {gap}");
+    }
+
+    #[test]
+    fn oversized_inflight_window_destabilizes() {
+        // The flip side: K·chunk comparable to the coordinate count is the
+        // "adding overshoot" regime — the async analogue of the divergence
+        // the synchronous Adding aggregation exhibits.
+        let p = problem();
+        let gap_after = |chunk: usize| {
+            let config = ParamServerConfig::new(4, Form::Primal)
+                .with_chunk(chunk)
+                .with_seed(11);
+            let mut ps = ParamServerScd::new(&p, &config);
+            for _ in 0..60 {
+                ps.epoch(&p);
+            }
+            ps.duality_gap(&p)
+        };
+        let small = gap_after(8);
+        let big = gap_after(128);
+        assert!(
+            big.is_nan() || big > small,
+            "chunk 128 (gap {big}) should destabilize vs chunk 8 (gap {small})"
+        );
+    }
+
+    #[test]
+    fn deeper_staleness_converges_slower() {
+        let p = problem();
+        let gap_after = |staleness: usize| {
+            let config = ParamServerConfig::new(4, Form::Primal)
+                .with_staleness(staleness)
+                .with_seed(9);
+            let mut ps = ParamServerScd::new(&p, &config);
+            for _ in 0..40 {
+                ps.epoch(&p);
+            }
+            ps.duality_gap(&p)
+        };
+        let fresh = gap_after(0);
+        let deep = gap_after(64);
+        assert!(
+            deep > fresh,
+            "staleness 64 (gap {deep}) should trail staleness 0 (gap {fresh})"
+        );
+    }
+
+    #[test]
+    fn server_state_tracks_assembled_weights() {
+        // All pushes are applied additively and exactly once, so at epoch
+        // boundaries the server's shared vector equals A·(assembled model).
+        let p = problem();
+        let config = ParamServerConfig::new(4, Form::Primal).with_seed(3);
+        let mut ps = ParamServerScd::new(&p, &config);
+        for _ in 0..5 {
+            ps.epoch(&p);
+        }
+        let w_true = p.csc().matvec(&ps.weights()).unwrap();
+        let drift = dense::max_abs_diff(&ps.shared_vector(), &w_true);
+        assert!(drift < 1e-3, "server must apply every push exactly once, drift {drift}");
+    }
+
+    #[test]
+    fn async_overlap_hides_network_on_fast_links() {
+        let p = problem();
+        // A link whose latency/bandwidth are scaled to the problem (see
+        // scd_perf_model::scaling): pushes are then fully hidden by compute.
+        let fast = LinkProfile {
+            name: "scaled link",
+            latency_seconds: 1e-12,
+            bandwidth_bytes_per_s: 1e15,
+        };
+        let config = ParamServerConfig::new(4, Form::Primal)
+            .with_chunk(8)
+            .with_network(fast)
+            .with_seed(2);
+        let mut ps = ParamServerScd::new(&p, &config);
+        let stats = ps.epoch(&p);
+        assert!(stats.breakdown.host > 0.0);
+        assert_eq!(
+            stats.breakdown.network, 0.0,
+            "fully-hidden pushes must add no wall-clock"
+        );
+        assert!(ps.name().contains("Parameter server"));
+
+        // A link slower than compute leaks excess into the breakdown.
+        let slow = LinkProfile {
+            name: "slow link",
+            latency_seconds: 1e-3,
+            bandwidth_bytes_per_s: 1e6,
+        };
+        let config = ParamServerConfig::new(4, Form::Primal)
+            .with_chunk(8)
+            .with_network(slow)
+            .with_seed(2);
+        let mut ps = ParamServerScd::new(&p, &config);
+        let stats = ps.epoch(&p);
+        assert!(stats.breakdown.network > 0.0);
+    }
+}

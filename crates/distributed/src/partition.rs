@@ -1,0 +1,243 @@
+//! Partitioning the training data across K workers.
+//!
+//! §IV-A: "The training data can either be distributed by sample (rows of
+//! the matrix A) or by feature (columns of the matrix A)" — by feature for
+//! the primal, by example for the dual. §IV-B closes by noting that with
+//! structured data "one can partition the coordinates in an intelligent way
+//! to achieve a faster convergence" [22]; the strategy enum exposes the
+//! knob and the partitioning ablation bench measures it.
+
+use scd_core::{Form, RidgeProblem};
+use scd_sparse::perm::Permutation;
+
+/// How coordinates are assigned to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Worker k gets the contiguous block [k·C/K, (k+1)·C/K).
+    Contiguous,
+    /// Coordinate c goes to worker c mod K.
+    RoundRobin,
+    /// Uniformly random assignment from the given seed (the paper's
+    /// "randomly distribute the rows ... across the 4 workers").
+    Random(u64),
+}
+
+/// Assign `total` coordinates to `workers` parts.
+///
+/// ```
+/// use scd_distributed::{partition_coords, PartitionStrategy};
+/// let parts = partition_coords(10, 3, PartitionStrategy::RoundRobin);
+/// assert_eq!(parts[0], vec![0, 3, 6, 9]);
+/// let total: usize = parts.iter().map(Vec::len).sum();
+/// assert_eq!(total, 10);
+/// ```
+///
+/// Every part is non-empty when `total ≥ workers`; parts are disjoint and
+/// jointly exhaustive, and within each part the global indices are listed
+/// in increasing order (matching the column/row order of the extracted
+/// submatrix).
+///
+/// # Panics
+/// Panics if `workers` is zero or exceeds `total`.
+pub fn partition_coords(
+    total: usize,
+    workers: usize,
+    strategy: PartitionStrategy,
+) -> Vec<Vec<usize>> {
+    assert!(workers > 0, "need at least one worker");
+    assert!(
+        workers <= total,
+        "cannot spread {total} coordinates over {workers} workers"
+    );
+    let mut parts = vec![Vec::with_capacity(total / workers + 1); workers];
+    match strategy {
+        PartitionStrategy::Contiguous => {
+            for k in 0..workers {
+                let lo = k * total / workers;
+                let hi = (k + 1) * total / workers;
+                parts[k].extend(lo..hi);
+            }
+        }
+        PartitionStrategy::RoundRobin => {
+            for c in 0..total {
+                parts[c % workers].push(c);
+            }
+        }
+        PartitionStrategy::Random(seed) => {
+            let perm = Permutation::random(total, seed);
+            for (slot, c) in perm.iter().enumerate() {
+                parts[slot % workers].push(c);
+            }
+            for part in parts.iter_mut() {
+                part.sort_unstable();
+            }
+        }
+    }
+    parts
+}
+
+/// A worker's share of the problem: the global coordinate ids it owns and
+/// the extracted local [`RidgeProblem`].
+#[derive(Debug, Clone)]
+pub struct LocalPartition {
+    /// Local coordinate index → global coordinate id (sorted ascending).
+    pub global_ids: Vec<usize>,
+    /// The worker's local problem. For a by-feature (primal) partition this
+    /// is N × m_k with the full label vector; for a by-example (dual)
+    /// partition it is n_k × M with the worker's labels and the
+    /// regularization count pinned to the *global* N.
+    pub problem: RidgeProblem,
+}
+
+/// Split a full problem into per-worker local problems for the given form.
+pub fn partition_problem(
+    full: &RidgeProblem,
+    form: Form,
+    workers: usize,
+    strategy: PartitionStrategy,
+) -> Vec<LocalPartition> {
+    let parts = partition_coords(full.coords(form), workers, strategy);
+    parts
+        .into_iter()
+        .map(|global_ids| {
+            let problem = match form {
+                Form::Primal => {
+                    // Columns subset, all rows, full labels.
+                    let csc = full.csc().select_cols(&global_ids);
+                    RidgeProblem::new(csc.to_csr(), full.labels().to_vec(), full.lambda())
+                        .expect("partition of a valid problem is valid")
+                }
+                Form::Dual => {
+                    // Rows subset, all columns, labels subset; Nλ stays global.
+                    let csr = full.csr().select_rows(&global_ids);
+                    let labels: Vec<f32> =
+                        global_ids.iter().map(|&r| full.labels()[r]).collect();
+                    RidgeProblem::new(csr, labels, full.lambda())
+                        .expect("partition of a valid problem is valid")
+                        .with_regularization_examples(full.n())
+                }
+            };
+            LocalPartition {
+                global_ids,
+                problem,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_datasets::webspam_like;
+
+    fn assert_disjoint_exhaustive(parts: &[Vec<usize>], total: usize) {
+        let mut seen = vec![false; total];
+        for part in parts {
+            assert!(!part.is_empty(), "no empty parts");
+            for &c in part {
+                assert!(!seen[c], "coordinate {c} assigned twice");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every coordinate assigned");
+    }
+
+    #[test]
+    fn contiguous_partition() {
+        let parts = partition_coords(10, 3, PartitionStrategy::Contiguous);
+        assert_eq!(parts[0], vec![0, 1, 2]);
+        assert_eq!(parts[1], vec![3, 4, 5]);
+        assert_eq!(parts[2], vec![6, 7, 8, 9]);
+        assert_disjoint_exhaustive(&parts, 10);
+    }
+
+    #[test]
+    fn round_robin_partition() {
+        let parts = partition_coords(7, 2, PartitionStrategy::RoundRobin);
+        assert_eq!(parts[0], vec![0, 2, 4, 6]);
+        assert_eq!(parts[1], vec![1, 3, 5]);
+        assert_disjoint_exhaustive(&parts, 7);
+    }
+
+    #[test]
+    fn random_partition_valid_and_deterministic() {
+        let a = partition_coords(100, 8, PartitionStrategy::Random(4));
+        assert_disjoint_exhaustive(&a, 100);
+        let b = partition_coords(100, 8, PartitionStrategy::Random(4));
+        assert_eq!(a, b);
+        let c = partition_coords(100, 8, PartitionStrategy::Random(5));
+        assert_ne!(a, c);
+        // Balanced within one coordinate.
+        for part in &a {
+            assert!((12..=13).contains(&part.len()));
+        }
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::Random(1),
+        ] {
+            let parts = partition_coords(5, 1, strategy);
+            assert_eq!(parts.len(), 1);
+            assert_eq!(parts[0], vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn more_workers_than_coords_rejected() {
+        let _ = partition_coords(2, 3, PartitionStrategy::Contiguous);
+    }
+
+    #[test]
+    fn primal_partition_shapes() {
+        let full = RidgeProblem::from_labelled(&webspam_like(50, 40, 6, 1), 1e-2).unwrap();
+        let parts = partition_problem(&full, Form::Primal, 4, PartitionStrategy::Contiguous);
+        assert_eq!(parts.len(), 4);
+        let total_cols: usize = parts.iter().map(|p| p.problem.m()).sum();
+        assert_eq!(total_cols, 40);
+        for p in &parts {
+            assert_eq!(p.problem.n(), 50, "primal partitions keep all rows");
+            assert_eq!(p.problem.labels(), full.labels());
+            assert_eq!(p.global_ids.len(), p.problem.m());
+            // Nλ unchanged: same rows.
+            assert_eq!(p.problem.n_lambda(), full.n_lambda());
+        }
+    }
+
+    #[test]
+    fn dual_partition_shapes_and_global_n() {
+        let full = RidgeProblem::from_labelled(&webspam_like(60, 30, 6, 2), 1e-2).unwrap();
+        let parts = partition_problem(&full, Form::Dual, 3, PartitionStrategy::RoundRobin);
+        let total_rows: usize = parts.iter().map(|p| p.problem.n()).sum();
+        assert_eq!(total_rows, 60);
+        for p in &parts {
+            assert_eq!(p.problem.m(), 30, "dual partitions keep all columns");
+            assert_eq!(
+                p.problem.n_lambda(),
+                full.n_lambda(),
+                "dual partitions must regularize against the global N"
+            );
+            for (local, &global) in p.global_ids.iter().enumerate() {
+                assert_eq!(p.problem.labels()[local], full.labels()[global]);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_preserves_data_content() {
+        let full = RidgeProblem::from_labelled(&webspam_like(40, 25, 5, 3), 1e-2).unwrap();
+        let parts = partition_problem(&full, Form::Dual, 2, PartitionStrategy::Contiguous);
+        for p in &parts {
+            for (local, &global) in p.global_ids.iter().enumerate() {
+                let local_row = p.problem.csr().row(local);
+                let full_row = full.csr().row(global);
+                assert_eq!(local_row.indices, full_row.indices);
+                assert_eq!(local_row.values, full_row.values);
+            }
+        }
+    }
+}

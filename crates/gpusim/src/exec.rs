@@ -1,0 +1,428 @@
+//! The device object: memory capacity accounting and kernel launch.
+
+use crate::buffer::DeviceBuffer;
+use crate::kernel::{BlockCost, BlockCtx, Kernel};
+use crate::schedule::schedule_blocks;
+use parking_lot::Mutex;
+use scd_perf_model::{GpuProfile, Seconds};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Errors raised by the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// An allocation would exceed device memory — the constraint that, on
+    /// real hardware, forces datasets like criteo out of a single GPU.
+    OutOfMemory {
+        /// Bytes requested by the failed allocation.
+        requested: usize,
+        /// Bytes already allocated.
+        allocated: usize,
+        /// Device capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                allocated,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {allocated} B \
+                 already allocated of {capacity} B capacity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Result of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// Grid size (thread blocks executed).
+    pub blocks: usize,
+    /// Lanes per block.
+    pub lanes: usize,
+    /// Summed cost counters across all blocks.
+    pub total: BlockCost,
+    /// Simulated busy time per SM.
+    pub per_sm_seconds: Vec<Seconds>,
+    /// Simulated kernel duration: block makespan + launch overhead.
+    pub simulated_seconds: Seconds,
+}
+
+impl LaunchStats {
+    /// Mean SM busy fraction over the kernel's makespan: 1.0 means every SM
+    /// streamed work for the whole launch, small values mean the grid was
+    /// too shallow or too skewed to fill the device.
+    pub fn utilization(&self) -> f64 {
+        let makespan = self
+            .per_sm_seconds
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        if makespan == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.per_sm_seconds.iter().sum();
+        busy / (makespan * self.per_sm_seconds.len() as f64)
+    }
+
+    /// Load imbalance: makespan over mean per-SM busy time (1.0 = perfectly
+    /// balanced; large values mean one SM serialized the kernel).
+    pub fn imbalance(&self) -> f64 {
+        let busy: f64 = self.per_sm_seconds.iter().sum();
+        if busy == 0.0 {
+            return 1.0;
+        }
+        let mean = busy / self.per_sm_seconds.len() as f64;
+        let makespan = self
+            .per_sm_seconds
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        makespan / mean
+    }
+}
+
+/// A simulated GPU device.
+///
+/// ```
+/// use gpu_sim::{Gpu, GpuProfile, Kernel, BlockCtx};
+/// struct Double(gpu_sim::DeviceBuffer);
+/// impl Kernel for Double {
+///     fn block(&self, ctx: &mut BlockCtx) {
+///         let i = ctx.block_id();
+///         let v = ctx.read(&self.0, i);
+///         ctx.write(&self.0, i, 2.0 * v);
+///     }
+/// }
+/// let gpu = Gpu::new(GpuProfile::quadro_m4000());
+/// let buf = gpu.upload_f32(&[1.0, 2.0, 3.0]).unwrap();
+/// let stats = gpu.launch(&Double(buf.clone()), 3, 32);
+/// assert_eq!(buf.to_host(), vec![2.0, 4.0, 6.0]);
+/// assert!(stats.simulated_seconds > 0.0);
+/// ```
+pub struct Gpu {
+    profile: GpuProfile,
+    allocated_bytes: AtomicUsize,
+    host_threads: usize,
+}
+
+impl Gpu {
+    /// Create a device with the given profile. Kernel blocks execute on a
+    /// host pool of `min(sm_count, available_parallelism)` threads.
+    pub fn new(profile: GpuProfile) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let host_threads = host.min(profile.sm_count).max(1);
+        Gpu {
+            profile,
+            allocated_bytes: AtomicUsize::new(0),
+            host_threads,
+        }
+    }
+
+    /// Fix the host execution pool size. `1` makes launches fully
+    /// deterministic (blocks run sequentially in launch order) — useful for
+    /// reproducible figure generation and tests; the simulated clock is
+    /// unaffected because timing comes from counted work, not host time.
+    pub fn with_host_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one host thread");
+        self.host_threads = n;
+        self
+    }
+
+    /// The device's performance profile.
+    #[inline]
+    pub fn profile(&self) -> &GpuProfile {
+        &self.profile
+    }
+
+    /// Bytes currently accounted against device memory.
+    #[inline]
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes` of device memory for data that lives outside a
+    /// [`DeviceBuffer`] (the sparse matrix arrays kernels borrow from host
+    /// structures). Fails when capacity would be exceeded.
+    pub fn reserve_bytes(&self, bytes: usize) -> Result<(), GpuError> {
+        let mut current = self.allocated_bytes.load(Ordering::Relaxed);
+        loop {
+            let new = current + bytes;
+            if new > self.profile.mem_capacity_bytes {
+                return Err(GpuError::OutOfMemory {
+                    requested: bytes,
+                    allocated: current,
+                    capacity: self.profile.mem_capacity_bytes,
+                });
+            }
+            match self.allocated_bytes.compare_exchange_weak(
+                current,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Release previously reserved bytes.
+    pub fn release_bytes(&self, bytes: usize) {
+        self.allocated_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Allocate a zeroed f32 buffer in device memory, counted against
+    /// capacity.
+    pub fn alloc_f32(&self, len: usize) -> Result<DeviceBuffer, GpuError> {
+        self.reserve_bytes(len * 4)?;
+        Ok(DeviceBuffer::zeroed(len))
+    }
+
+    /// Allocate a buffer initialized from host data (H2D copy), counted
+    /// against capacity.
+    pub fn upload_f32(&self, data: &[f32]) -> Result<DeviceBuffer, GpuError> {
+        self.reserve_bytes(data.len() * 4)?;
+        Ok(DeviceBuffer::from_host(data))
+    }
+
+    /// Launch `blocks` thread blocks of `lanes` lanes each.
+    ///
+    /// Blocks are dispatched dynamically to the host pool and execute
+    /// concurrently; the returned simulated duration replays the measured
+    /// per-block costs through the greedy block-to-SM scheduler of the
+    /// device profile.
+    pub fn launch<K: Kernel>(&self, kernel: &K, blocks: usize, lanes: usize) -> LaunchStats {
+        let mut costs: Mutex<Vec<BlockCost>> = Mutex::new(vec![BlockCost::default(); blocks]);
+        let next = AtomicUsize::new(0);
+        let workers = self.host_threads.min(blocks.max(1));
+        let shared_len = kernel.shared_len(lanes);
+        assert!(
+            shared_len * 4 <= self.profile.shared_mem_per_block_bytes,
+            "kernel requests {} B of shared memory per block; {} provides {} B",
+            shared_len * 4,
+            self.profile.name,
+            self.profile.shared_mem_per_block_bytes
+        );
+
+        if workers <= 1 {
+            // Fast path: sequential, deterministic.
+            let costs = costs.get_mut();
+            for b in 0..blocks {
+                let mut ctx = BlockCtx::new(b, lanes, shared_len);
+                kernel.block(&mut ctx);
+                costs[b] = ctx.cost();
+            }
+        } else {
+            crossbeam::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks {
+                            break;
+                        }
+                        let mut ctx = BlockCtx::new(b, lanes, shared_len);
+                        kernel.block(&mut ctx);
+                        costs.lock()[b] = ctx.cost();
+                    });
+                }
+            })
+            .expect("kernel block panicked");
+        }
+
+        let costs = costs.into_inner();
+        let mut total = BlockCost::default();
+        let block_seconds: Vec<Seconds> = costs
+            .iter()
+            .map(|c| {
+                total.accumulate(c);
+                self.profile.block_seconds(c.lane_ops, c.bytes, c.atomics)
+            })
+            .collect();
+        let schedule = schedule_blocks(&block_seconds, self.profile.sm_count);
+        LaunchStats {
+            blocks,
+            lanes,
+            total,
+            per_sm_seconds: schedule.per_sm_seconds,
+            simulated_seconds: schedule.makespan_seconds + self.profile.kernel_launch_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+    use std::sync::atomic::AtomicU64;
+
+    struct CountingKernel {
+        out: DeviceBuffer,
+        executed: AtomicU64,
+    }
+
+    impl Kernel for CountingKernel {
+        fn block(&self, ctx: &mut BlockCtx) {
+            // Each block atomically bumps slot (block_id % len).
+            let i = ctx.block_id() % self.out.len();
+            ctx.atomic_add(&self.out, i, 1.0);
+            ctx.charge_lane_ops(ctx.lanes() as u64);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuProfile::quadro_m4000())
+    }
+
+    #[test]
+    fn launch_runs_every_block_exactly_once() {
+        let g = gpu();
+        let k = CountingKernel {
+            out: DeviceBuffer::zeroed(7),
+            executed: AtomicU64::new(0),
+        };
+        let stats = g.launch(&k, 100, 32);
+        assert_eq!(k.executed.load(Ordering::Relaxed), 100);
+        assert_eq!(stats.blocks, 100);
+        assert_eq!(stats.lanes, 32);
+        let total: f32 = k.out.to_host().iter().sum();
+        assert_eq!(total, 100.0);
+        assert_eq!(stats.total.atomics, 100);
+    }
+
+    #[test]
+    fn deterministic_single_thread_launch() {
+        let g = gpu().with_host_threads(1);
+        let k = CountingKernel {
+            out: DeviceBuffer::zeroed(3),
+            executed: AtomicU64::new(0),
+        };
+        let s1 = g.launch(&k, 10, 4);
+        assert_eq!(k.executed.load(Ordering::Relaxed), 10);
+        assert!(s1.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn simulated_time_includes_launch_overhead() {
+        let g = gpu();
+        struct Noop;
+        impl Kernel for Noop {
+            fn block(&self, _ctx: &mut BlockCtx) {}
+        }
+        let stats = g.launch(&Noop, 0, 32);
+        assert_eq!(stats.simulated_seconds, g.profile().kernel_launch_seconds);
+        assert_eq!(stats.total, BlockCost::default());
+    }
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let g = gpu();
+        let cap = g.profile().mem_capacity_bytes;
+        assert!(g.alloc_f32(16).is_ok());
+        assert_eq!(g.allocated_bytes(), 64);
+        let err = g.reserve_bytes(cap).unwrap_err();
+        match err {
+            GpuError::OutOfMemory {
+                requested,
+                allocated,
+                capacity,
+            } => {
+                assert_eq!(requested, cap);
+                assert_eq!(allocated, 64);
+                assert_eq!(capacity, cap);
+            }
+        }
+        g.release_bytes(64);
+        assert_eq!(g.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn upload_roundtrip() {
+        let g = gpu();
+        let buf = g.upload_f32(&[1.0, 2.0]).unwrap();
+        assert_eq!(buf.to_host(), vec![1.0, 2.0]);
+        assert_eq!(g.allocated_bytes(), 8);
+    }
+
+    #[test]
+    fn more_work_means_more_simulated_time() {
+        let g = gpu();
+        struct Busy(u64);
+        impl Kernel for Busy {
+            fn block(&self, ctx: &mut BlockCtx) {
+                ctx.charge_read_bytes(self.0);
+                ctx.charge_lane_ops(self.0);
+            }
+        }
+        let light = g.launch(&Busy(1_000), 50, 32).simulated_seconds;
+        let heavy = g.launch(&Busy(1_000_000), 50, 32).simulated_seconds;
+        assert!(heavy > light);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_shared_memory_rejected_at_launch() {
+        struct Greedy;
+        impl Kernel for Greedy {
+            fn shared_len(&self, _lanes: usize) -> usize {
+                1 << 20 // 4 MB — far beyond Maxwell's 48 KB per block
+            }
+            fn block(&self, _ctx: &mut BlockCtx) {}
+        }
+        let g = gpu();
+        let _ = g.launch(&Greedy, 1, 32);
+    }
+
+    #[test]
+    fn utilization_and_imbalance_metrics() {
+        let g = gpu();
+        struct Busy(u64);
+        impl Kernel for Busy {
+            fn block(&self, ctx: &mut BlockCtx) {
+                ctx.charge_read_bytes(self.0);
+            }
+        }
+        // Deep uniform grid: near-perfect utilization, imbalance ≈ 1.
+        let deep = g.launch(&Busy(100_000), 1300, 32);
+        assert!(deep.utilization() > 0.9, "deep grid util {}", deep.utilization());
+        assert!(deep.imbalance() < 1.1, "deep grid imbalance {}", deep.imbalance());
+        // One block: a single SM busy, the rest idle.
+        let shallow = g.launch(&Busy(100_000), 1, 32);
+        assert!(
+            shallow.utilization() < 0.2,
+            "one-block util {}",
+            shallow.utilization()
+        );
+        assert!(shallow.imbalance() > 5.0);
+        // Empty grid degenerates gracefully.
+        struct Noop2;
+        impl Kernel for Noop2 {
+            fn block(&self, _ctx: &mut BlockCtx) {}
+        }
+        let empty = g.launch(&Noop2, 0, 32);
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GpuError::OutOfMemory {
+            requested: 10,
+            allocated: 5,
+            capacity: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("requested 10"));
+        assert!(s.contains("12 B capacity"));
+    }
+}

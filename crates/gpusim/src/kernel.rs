@@ -1,0 +1,286 @@
+//! The kernel programming model: thread blocks, lanes, shared memory,
+//! barriers, and cost counters.
+//!
+//! A kernel implements [`Kernel::block`], the body executed once per thread
+//! block (the paper launches one block per coordinate update). Inside the
+//! body, the [`BlockCtx`] provides the CUDA-like facilities Algorithm 2
+//! uses:
+//!
+//! * `lanes()` — the block's thread count (`nthreads`);
+//! * `shared()` — the per-block shared-memory scratchpad (`cache[u]`);
+//! * `barrier()` — `synchronizeThreads()`;
+//! * counted global-memory accessors that wrap [`DeviceBuffer`];
+//! * [`BlockCtx::tree_reduce`] — the log₂(nthreads) shared-memory reduction
+//!   from Algorithm 2.
+//!
+//! ### Lane execution semantics
+//!
+//! Within one block, lanes execute *phase by phase*: everything between two
+//! barriers is a data-parallel phase in which lanes may not communicate
+//! except through disjoint shared-memory slots (the same discipline valid
+//! CUDA code must follow, since warp scheduling order is unspecified). The
+//! simulator is free to run a phase's lanes in any order on one host
+//! thread — any program that is correct under CUDA's model is correct here.
+//! Blocks, in contrast, run genuinely concurrently on the executor's thread
+//! pool and interact only through atomic global memory, which is exactly
+//! the asynchrony the "twice parallel, asynchronous" name refers to.
+
+use crate::buffer::{DeviceBuffer, MemSemantics};
+
+/// Measured cost of one executed thread block, fed to the roofline model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCost {
+    /// Bytes of global memory moved (reads + non-atomic writes).
+    pub bytes: u64,
+    /// Atomic additions issued.
+    pub atomics: u64,
+    /// Lane-operations executed (one per elementary per-lane step).
+    pub lane_ops: u64,
+    /// Block-wide barriers crossed.
+    pub barriers: u64,
+}
+
+impl BlockCost {
+    /// Accumulate another block's cost (used for kernel totals).
+    pub fn accumulate(&mut self, other: &BlockCost) {
+        self.bytes += other.bytes;
+        self.atomics += other.atomics;
+        self.lane_ops += other.lane_ops;
+        self.barriers += other.barriers;
+    }
+}
+
+/// Per-block execution context handed to [`Kernel::block`].
+pub struct BlockCtx {
+    block_id: usize,
+    lanes: usize,
+    shared: Vec<f32>,
+    cost: BlockCost,
+}
+
+impl BlockCtx {
+    /// Build a context for one block. `shared_len` is the shared-memory
+    /// scratchpad size in f32 elements (Algorithm 2 needs `nthreads`).
+    pub fn new(block_id: usize, lanes: usize, shared_len: usize) -> Self {
+        assert!(lanes > 0, "a block needs at least one lane");
+        assert!(
+            lanes.is_power_of_two(),
+            "tree reduction requires a power-of-two lane count, got {lanes}"
+        );
+        BlockCtx {
+            block_id,
+            lanes,
+            shared: vec![0.0; shared_len],
+            cost: BlockCost::default(),
+        }
+    }
+
+    /// This block's index within the grid (`j` in Algorithm 2).
+    #[inline]
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Threads per block (`nthreads`).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The shared-memory scratchpad (`cache`).
+    #[inline]
+    pub fn shared(&mut self) -> &mut [f32] {
+        &mut self.shared
+    }
+
+    /// `synchronizeThreads()`. Within the simulator a phase boundary; also
+    /// counted for the cost model.
+    #[inline]
+    pub fn barrier(&mut self) {
+        self.cost.barriers += 1;
+    }
+
+    /// Counted read of one f32 from global memory.
+    #[inline]
+    pub fn read(&mut self, buf: &DeviceBuffer, i: usize) -> f32 {
+        self.cost.bytes += 4;
+        self.cost.lane_ops += 1;
+        buf.load(i)
+    }
+
+    /// Counted non-atomic write of one f32 to global memory.
+    #[inline]
+    pub fn write(&mut self, buf: &DeviceBuffer, i: usize, v: f32) {
+        self.cost.bytes += 4;
+        self.cost.lane_ops += 1;
+        buf.store(i, v);
+    }
+
+    /// Counted atomic addition to global memory (Algorithm 2's
+    /// `wi = wi + Ai,m Δβm {Atomic addition}`).
+    #[inline]
+    pub fn atomic_add(&mut self, buf: &DeviceBuffer, i: usize, v: f32) {
+        self.cost.atomics += 1;
+        self.cost.lane_ops += 1;
+        buf.atomic_add(i, v);
+    }
+
+    /// Counted addition with selectable semantics (atomic vs wild ablation).
+    #[inline]
+    pub fn add(&mut self, sem: MemSemantics, buf: &DeviceBuffer, i: usize, v: f32) {
+        match sem {
+            MemSemantics::Atomic => self.atomic_add(buf, i, v),
+            MemSemantics::Wild => {
+                self.cost.bytes += 8; // racy load + store
+                self.cost.lane_ops += 1;
+                buf.wild_add(i, v);
+            }
+        }
+    }
+
+    /// Charge `bytes` of global traffic read through captured host-side
+    /// read-only data (the sparse matrix arrays, which kernels borrow
+    /// directly rather than through a [`DeviceBuffer`]).
+    #[inline]
+    pub fn charge_read_bytes(&mut self, bytes: u64) {
+        self.cost.bytes += bytes;
+    }
+
+    /// Charge `n` pure-compute lane operations (FLOPs, index arithmetic).
+    #[inline]
+    pub fn charge_lane_ops(&mut self, n: u64) {
+        self.cost.lane_ops += n;
+    }
+
+    /// The shared-memory tree reduction of Algorithm 2: assumes each lane
+    /// `u` has deposited its partial value in `shared()[u]`; after the call,
+    /// `shared()[0]` holds the block-wide sum. Crosses log₂(lanes) barriers.
+    ///
+    /// Mirrors the paper's loop, including its additive form
+    /// (`cache[u] = cache[u] + cache[u+v]`).
+    pub fn tree_reduce(&mut self) -> f32 {
+        let mut v = self.lanes / 2;
+        while v != 0 {
+            for u in 0..v {
+                if u + v < self.shared.len() {
+                    self.shared[u] += self.shared[u + v];
+                }
+            }
+            self.charge_lane_ops(v as u64);
+            self.barrier();
+            v /= 2;
+        }
+        self.shared.first().copied().unwrap_or(0.0)
+    }
+
+    /// Snapshot of the accumulated cost.
+    #[inline]
+    pub fn cost(&self) -> BlockCost {
+        self.cost
+    }
+}
+
+/// A device kernel: the body run once per thread block.
+///
+/// Implementations must be `Sync` — blocks execute concurrently and share
+/// the kernel object, exactly as CUDA kernels share their parameters.
+pub trait Kernel: Sync {
+    /// Shared-memory f32 elements each block needs.
+    fn shared_len(&self, lanes: usize) -> usize {
+        lanes
+    }
+
+    /// Execute one thread block.
+    fn block(&self, ctx: &mut BlockCtx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduce_sums_all_lanes() {
+        for lanes in [1usize, 2, 4, 8, 32, 256] {
+            let mut ctx = BlockCtx::new(0, lanes, lanes);
+            for u in 0..lanes {
+                ctx.shared()[u] = (u + 1) as f32;
+            }
+            let sum = ctx.tree_reduce();
+            let expected = (lanes * (lanes + 1) / 2) as f32;
+            assert_eq!(sum, expected, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_counts_barriers() {
+        let mut ctx = BlockCtx::new(0, 8, 8);
+        ctx.tree_reduce();
+        assert_eq!(ctx.cost().barriers, 3); // log2(8)
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_lanes_rejected() {
+        let _ = BlockCtx::new(0, 6, 6);
+    }
+
+    #[test]
+    fn counters_track_accesses() {
+        let buf = DeviceBuffer::from_host(&[1.0, 2.0]);
+        let mut ctx = BlockCtx::new(3, 2, 2);
+        assert_eq!(ctx.block_id(), 3);
+        assert_eq!(ctx.lanes(), 2);
+        let v = ctx.read(&buf, 0);
+        assert_eq!(v, 1.0);
+        ctx.write(&buf, 1, 5.0);
+        ctx.atomic_add(&buf, 0, 1.0);
+        ctx.charge_read_bytes(16);
+        ctx.charge_lane_ops(7);
+        let c = ctx.cost();
+        assert_eq!(c.bytes, 4 + 4 + 16);
+        assert_eq!(c.atomics, 1);
+        assert_eq!(c.lane_ops, 1 + 1 + 1 + 7);
+        assert_eq!(buf.load(0), 2.0);
+        assert_eq!(buf.load(1), 5.0);
+    }
+
+    #[test]
+    fn add_semantics_cost_differs() {
+        let buf = DeviceBuffer::zeroed(1);
+        let mut a = BlockCtx::new(0, 1, 1);
+        a.add(MemSemantics::Atomic, &buf, 0, 1.0);
+        assert_eq!(a.cost().atomics, 1);
+        assert_eq!(a.cost().bytes, 0);
+        let mut w = BlockCtx::new(0, 1, 1);
+        w.add(MemSemantics::Wild, &buf, 0, 1.0);
+        assert_eq!(w.cost().atomics, 0);
+        assert_eq!(w.cost().bytes, 8);
+        assert_eq!(buf.load(0), 2.0);
+    }
+
+    #[test]
+    fn block_cost_accumulates() {
+        let mut total = BlockCost::default();
+        total.accumulate(&BlockCost {
+            bytes: 10,
+            atomics: 2,
+            lane_ops: 5,
+            barriers: 1,
+        });
+        total.accumulate(&BlockCost {
+            bytes: 1,
+            atomics: 1,
+            lane_ops: 1,
+            barriers: 1,
+        });
+        assert_eq!(
+            total,
+            BlockCost {
+                bytes: 11,
+                atomics: 3,
+                lane_ops: 6,
+                barriers: 2
+            }
+        );
+    }
+}

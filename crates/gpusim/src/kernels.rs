@@ -1,0 +1,241 @@
+//! A small library of reusable device kernels.
+//!
+//! TPA-SCD (in `scd-core`) is the headline kernel, but the execution model
+//! is general; these building blocks exercise the classic CUDA idioms —
+//! grid-stride loops, per-block tree reductions, atomic result
+//! accumulation — and double as executable documentation of the
+//! [`Kernel`]/[`BlockCtx`] API.
+
+use crate::buffer::DeviceBuffer;
+use crate::exec::Gpu;
+use crate::kernel::{BlockCtx, Kernel};
+
+/// `y ← y + a·x` with a grid-stride loop: block b's lanes cover the
+/// elements `b·lanes + u + k·grid_stride`.
+pub struct AxpyKernel {
+    /// Scalar multiplier.
+    pub a: f32,
+    /// Operand vector (read).
+    pub x: DeviceBuffer,
+    /// Accumulator vector (read-modify-write; no contention, each element
+    /// has exactly one owner lane).
+    pub y: DeviceBuffer,
+    /// Grid size this kernel will be launched with (needed to compute the
+    /// stride).
+    pub grid_blocks: usize,
+}
+
+impl Kernel for AxpyKernel {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let lanes = ctx.lanes();
+        let stride = self.grid_blocks * lanes;
+        let n = self.x.len();
+        for u in 0..lanes {
+            let mut i = ctx.block_id() * lanes + u;
+            while i < n {
+                let xi = ctx.read(&self.x, i);
+                let yi = ctx.read(&self.y, i);
+                ctx.write(&self.y, i, yi + self.a * xi);
+                i += stride;
+            }
+        }
+        ctx.charge_lane_ops((n / self.grid_blocks.max(1)) as u64);
+    }
+}
+
+/// Launch helper: `y ← y + a·x` on the device, returning simulated seconds.
+pub fn device_axpy(gpu: &Gpu, a: f32, x: &DeviceBuffer, y: &DeviceBuffer) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let blocks = gpu.profile().sm_count * 4;
+    let kernel = AxpyKernel {
+        a,
+        x: x.clone(),
+        y: y.clone(),
+        grid_blocks: blocks,
+    };
+    gpu.launch(&kernel, blocks, 64).simulated_seconds
+}
+
+/// Block-parallel dot product: each block computes a partial inner product
+/// over its grid-stride slice, tree-reduces it in shared memory, and lane 0
+/// adds the block total into `result[0]` atomically.
+pub struct DotKernel {
+    /// Left operand.
+    pub x: DeviceBuffer,
+    /// Right operand.
+    pub y: DeviceBuffer,
+    /// Single-element output accumulator (zero it before launch).
+    pub result: DeviceBuffer,
+    /// Grid size this kernel will be launched with.
+    pub grid_blocks: usize,
+}
+
+impl Kernel for DotKernel {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let lanes = ctx.lanes();
+        let stride = self.grid_blocks * lanes;
+        let n = self.x.len();
+        let mut partials = vec![0.0f32; lanes];
+        for u in 0..lanes {
+            let mut acc = 0.0f32;
+            let mut i = ctx.block_id() * lanes + u;
+            while i < n {
+                acc += ctx.read(&self.x, i) * ctx.read(&self.y, i);
+                i += stride;
+            }
+            partials[u] = acc;
+        }
+        ctx.shared()[..lanes].copy_from_slice(&partials);
+        ctx.barrier();
+        let block_total = ctx.tree_reduce();
+        ctx.atomic_add(&self.result, 0, block_total);
+    }
+}
+
+/// Launch helper: device dot product, returning (value, simulated seconds).
+pub fn device_dot(gpu: &Gpu, x: &DeviceBuffer, y: &DeviceBuffer) -> (f32, f64) {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let blocks = gpu.profile().sm_count * 4;
+    let result = DeviceBuffer::zeroed(1);
+    let kernel = DotKernel {
+        x: x.clone(),
+        y: y.clone(),
+        result: result.clone(),
+        grid_blocks: blocks,
+    };
+    let stats = gpu.launch(&kernel, blocks, 64);
+    (result.load(0), stats.simulated_seconds)
+}
+
+/// Histogram with atomic bin updates — the classic contended-atomics
+/// pattern (every lane may hit the same bin).
+pub struct HistogramKernel {
+    /// Input values.
+    pub values: DeviceBuffer,
+    /// Bin accumulators (counts stored as f32 — the device's atomic unit).
+    pub bins: DeviceBuffer,
+    /// Inclusive lower bound of the histogram range.
+    pub lo: f32,
+    /// Exclusive upper bound of the histogram range.
+    pub hi: f32,
+    /// Grid size this kernel will be launched with.
+    pub grid_blocks: usize,
+}
+
+impl Kernel for HistogramKernel {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let lanes = ctx.lanes();
+        let stride = self.grid_blocks * lanes;
+        let n = self.values.len();
+        let nbins = self.bins.len();
+        for u in 0..lanes {
+            let mut i = ctx.block_id() * lanes + u;
+            while i < n {
+                let v = ctx.read(&self.values, i);
+                if v >= self.lo && v < self.hi {
+                    let bin = ((v - self.lo) / (self.hi - self.lo) * nbins as f32) as usize;
+                    ctx.atomic_add(&self.bins, bin.min(nbins - 1), 1.0);
+                }
+                i += stride;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_perf_model::GpuProfile;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuProfile::quadro_m4000())
+    }
+
+    #[test]
+    fn axpy_matches_host() {
+        let g = gpu();
+        let n = 10_000;
+        let xv: Vec<f32> = (0..n).map(|i| (i as f32) * 0.001).collect();
+        let yv: Vec<f32> = (0..n).map(|i| 1.0 - (i as f32) * 0.0005).collect();
+        let x = DeviceBuffer::from_host(&xv);
+        let y = DeviceBuffer::from_host(&yv);
+        let secs = device_axpy(&g, 2.5, &x, &y);
+        assert!(secs > 0.0);
+        let out = y.to_host();
+        for i in [0usize, 1, 999, 9_999] {
+            let want = yv[i] + 2.5 * xv[i];
+            assert!((out[i] - want).abs() < 1e-5, "{} vs {want}", out[i]);
+        }
+    }
+
+    #[test]
+    fn dot_matches_host_reduction() {
+        let g = gpu();
+        let n = 50_000;
+        let xv: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) * 0.01).collect();
+        let yv: Vec<f32> = (0..n).map(|i| ((i % 7) as f32 - 3.0) * 0.01).collect();
+        let want: f64 = xv.iter().zip(&yv).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let (got, secs) = device_dot(
+            &g,
+            &DeviceBuffer::from_host(&xv),
+            &DeviceBuffer::from_host(&yv),
+        );
+        assert!(secs > 0.0);
+        assert!(
+            (got as f64 - want).abs() < 1e-3 * want.abs().max(1.0),
+            "device {got} vs host {want}"
+        );
+    }
+
+    #[test]
+    fn dot_is_deterministic_single_thread() {
+        let g = Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1);
+        let xv: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let x = DeviceBuffer::from_host(&xv);
+        let (a, _) = device_dot(&g, &x, &x);
+        let (b, _) = device_dot(&g, &x, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_counts_everything_despite_contention() {
+        let g = gpu();
+        let n = 20_000;
+        let values: Vec<f32> = (0..n).map(|i| (i % 100) as f32 / 100.0).collect();
+        let bins = DeviceBuffer::zeroed(10);
+        let blocks = g.profile().sm_count * 4;
+        let kernel = HistogramKernel {
+            values: DeviceBuffer::from_host(&values),
+            bins: bins.clone(),
+            lo: 0.0,
+            hi: 1.0,
+            grid_blocks: blocks,
+        };
+        let stats = g.launch(&kernel, blocks, 64);
+        // Atomics: one per in-range value — none lost.
+        assert_eq!(stats.total.atomics, n as u64);
+        let counts = bins.to_host();
+        let total: f32 = counts.iter().sum();
+        assert_eq!(total, n as f32);
+        // Uniform input → uniform bins.
+        for &c in &counts {
+            assert_eq!(c, (n / 10) as f32);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_dropped() {
+        let g = gpu().with_host_threads(1);
+        let values = DeviceBuffer::from_host(&[-1.0, 0.5, 2.0]);
+        let bins = DeviceBuffer::zeroed(4);
+        let kernel = HistogramKernel {
+            values,
+            bins: bins.clone(),
+            lo: 0.0,
+            hi: 1.0,
+            grid_blocks: 2,
+        };
+        g.launch(&kernel, 2, 32);
+        assert_eq!(bins.to_host().iter().sum::<f32>(), 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! A software GPU for executing TPA-SCD-style kernels.
+//!
+//! The paper runs Algorithm 2 on real CUDA hardware. This crate substitutes
+//! a *behavioural* GPU: kernels are written against a CUDA-like execution
+//! model — a grid of thread blocks, each with `lanes` SIMT lanes, block-wide
+//! barriers, per-block shared memory, and global device memory supporting
+//! f32 **atomic additions** — and the simulator executes them with real
+//! concurrency (blocks run asynchronously on a host thread pool, atomics are
+//! real compare-and-swap loops), so the *numerical* behaviour the paper
+//! relies on (shared vector kept consistent by atomics; blocks racing on
+//! overlapping coordinates) genuinely happens.
+//!
+//! Timing does not come from the host clock (the host is not a GPU): every
+//! block's global-memory traffic, atomics, and lane operations are counted
+//! during execution, converted to seconds by the roofline model of
+//! [`scd_perf_model::GpuProfile`], and the blocks are replayed through a
+//! greedy block-to-SM scheduler to obtain the kernel's simulated wall-clock
+//! — the quantity the reproduced figures plot.
+//!
+//! Two write-back semantics mirror the paper's discussion:
+//! * [`MemSemantics::Atomic`] — Algorithm 2's `atomicAdd` write-back.
+//! * [`MemSemantics::Wild`] — PASSCoDe-Wild-style racy read-modify-write
+//!   (used for ablation; real TPA-SCD always uses atomics).
+
+pub mod buffer;
+pub mod exec;
+pub mod kernel;
+pub mod kernels;
+pub mod schedule;
+
+pub use buffer::{DeviceBuffer, MemSemantics};
+pub use exec::{Gpu, GpuError, LaunchStats};
+pub use kernel::{BlockCost, BlockCtx, Kernel};
+pub use schedule::schedule_blocks;
+
+pub use scd_perf_model::GpuProfile;

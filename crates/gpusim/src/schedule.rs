@@ -1,0 +1,113 @@
+//! Block-to-SM scheduling for the simulated clock.
+//!
+//! A CUDA grid launch hands thread blocks to SMs greedily: whenever an SM
+//! finishes a block it receives the next unscheduled one. Replaying the
+//! measured per-block times through the same greedy policy yields the
+//! kernel's makespan — the simulated kernel duration.
+
+use scd_perf_model::Seconds;
+
+/// Result of scheduling a kernel's blocks onto `sm_count` SMs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Busy time accumulated by each SM.
+    pub per_sm_seconds: Vec<Seconds>,
+    /// Kernel makespan: the latest SM finish time.
+    pub makespan_seconds: Seconds,
+}
+
+/// Greedy in-order list scheduling: block `i` goes to the SM that frees up
+/// earliest (a binary heap keyed on finish time). This is the classic
+/// 2-approximation of optimal makespan and matches hardware behaviour for
+/// in-order grid dispatch.
+pub fn schedule_blocks(block_seconds: &[Seconds], sm_count: usize) -> Schedule {
+    assert!(sm_count > 0, "need at least one SM");
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // f64 is not Ord; simulated times are always finite and non-negative, so
+    // order by bits of the canonical non-negative representation.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Key(u64, usize); // (time bits, sm index)
+
+    let mut per_sm = vec![0.0f64; sm_count];
+    let mut heap: BinaryHeap<Reverse<Key>> = (0..sm_count)
+        .map(|sm| Reverse(Key(0u64, sm)))
+        .collect();
+    for &t in block_seconds {
+        assert!(t.is_finite() && t >= 0.0, "block time must be finite and non-negative");
+        let Reverse(Key(_, sm)) = heap.pop().expect("heap never empty");
+        per_sm[sm] += t;
+        heap.push(Reverse(Key(per_sm[sm].to_bits(), sm)));
+    }
+    let makespan = per_sm.iter().copied().fold(0.0f64, f64::max);
+    Schedule {
+        per_sm_seconds: per_sm,
+        makespan_seconds: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_sm_serializes() {
+        let s = schedule_blocks(&[1.0, 2.0, 3.0], 1);
+        assert_eq!(s.makespan_seconds, 6.0);
+        assert_eq!(s.per_sm_seconds, vec![6.0]);
+    }
+
+    #[test]
+    fn equal_blocks_balance_perfectly() {
+        let blocks = vec![1.0; 8];
+        let s = schedule_blocks(&blocks, 4);
+        assert_eq!(s.makespan_seconds, 2.0);
+        assert!(s.per_sm_seconds.iter().all(|&t| (t - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn more_sms_than_blocks() {
+        let s = schedule_blocks(&[3.0, 1.0], 8);
+        assert_eq!(s.makespan_seconds, 3.0);
+        let busy: Vec<f64> = s
+            .per_sm_seconds
+            .iter()
+            .copied()
+            .filter(|&t| t > 0.0)
+            .collect();
+        assert_eq!(busy.len(), 2);
+    }
+
+    #[test]
+    fn makespan_bounded_by_total_and_max() {
+        let blocks = [0.5, 0.25, 1.5, 0.75, 0.125, 2.0, 0.3];
+        let total: f64 = blocks.iter().sum();
+        let longest = 2.0;
+        for sm in 1..6 {
+            let s = schedule_blocks(&blocks, sm);
+            assert!(s.makespan_seconds >= longest);
+            assert!(s.makespan_seconds >= total / sm as f64 - 1e-12);
+            assert!(s.makespan_seconds <= total + 1e-12);
+            let busy_sum: f64 = s.per_sm_seconds.iter().sum();
+            assert!((busy_sum - total).abs() < 1e-9, "work must be conserved");
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_instant() {
+        let s = schedule_blocks(&[], 4);
+        assert_eq!(s.makespan_seconds, 0.0);
+    }
+
+    #[test]
+    fn makespan_never_increases_with_more_sms() {
+        let blocks: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64 * 0.01 + 0.001).collect();
+        let mut prev = f64::INFINITY;
+        for sm in [1, 2, 4, 8, 13, 24, 64] {
+            let s = schedule_blocks(&blocks, sm);
+            assert!(s.makespan_seconds <= prev + 1e-12);
+            prev = s.makespan_seconds;
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! GPU cost model.
+//!
+//! TPA-SCD is memory-bound: every coordinate update streams a sparse column
+//! (value + index pairs) out of device memory, gathers from the dense shared
+//! vector, and writes back with float atomic additions. The model is a
+//! per-block roofline — a thread block's execution time is the maximum of
+//! its compute time (lane-ops over the SM's cores) and its memory time
+//! (bytes over the SM's share of device bandwidth) plus a scheduling
+//! overhead — and the `gpu-sim` crate feeds it **measured** per-block
+//! operation counts and schedules blocks onto SMs.
+//!
+//! Device parameters are the published specs of the paper's two GPUs;
+//! `mem_efficiency` (the achieved fraction of peak bandwidth under the
+//! scattered access pattern of sparse coordinate updates) and the atomic
+//! surcharge are calibrated so the end-to-end webspam speed-ups land in the
+//! paper's 10–35× band (§III-D).
+
+use crate::Seconds;
+
+/// An analytic GPU performance profile.
+#[derive(Debug, Clone)]
+pub struct GpuProfile {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores per SM (Maxwell: 128).
+    pub cores_per_sm: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Peak device-memory bandwidth in bytes/s.
+    pub mem_bandwidth_bytes_per_s: f64,
+    /// Achieved fraction of peak bandwidth under sparse scattered access.
+    pub mem_efficiency: f64,
+    /// Effective extra memory traffic charged per atomic addition, in bytes
+    /// (read-modify-write plus serialization under contention).
+    pub atomic_cost_bytes: f64,
+    /// Fixed cost to schedule one thread block onto an SM. Maxwell retires
+    /// small resident blocks at sub-microsecond rates when the grid is
+    /// deep, so this is the *amortized* per-block cost.
+    pub block_overhead_seconds: f64,
+    /// Fixed cost per kernel launch.
+    pub kernel_launch_seconds: f64,
+    /// Device memory capacity in bytes (the paper's 8 GB / 12 GB limits).
+    pub mem_capacity_bytes: usize,
+    /// Shared-memory bytes available to one thread block (Maxwell: 48 KB).
+    pub shared_mem_per_block_bytes: usize,
+}
+
+impl GpuProfile {
+    /// NVIDIA Quadro M4000 (Maxwell GM204): 13 SMs, 1664 cores, 773 MHz,
+    /// 192 GB/s, 8 GB — the paper notes webspam's 7.3 GB "fits inside the
+    /// memory capacity of the M4000 (the limit is 8 GB)".
+    pub fn quadro_m4000() -> Self {
+        GpuProfile {
+            name: "Quadro M4000",
+            sm_count: 13,
+            cores_per_sm: 128,
+            clock_hz: 773.0e6,
+            mem_bandwidth_bytes_per_s: 192.0e9,
+            mem_efficiency: 0.42,
+            atomic_cost_bytes: 8.0,
+            block_overhead_seconds: 0.4e-6,
+            kernel_launch_seconds: 10.0e-6,
+            mem_capacity_bytes: 8 * (1 << 30),
+            shared_mem_per_block_bytes: 48 << 10,
+        }
+    }
+
+    /// NVIDIA GeForce GTX Titan X (Maxwell GM200): 24 SMs, 3072 cores,
+    /// 1000 MHz, 336 GB/s, 12 GB.
+    pub fn titan_x_maxwell() -> Self {
+        GpuProfile {
+            name: "GTX Titan X",
+            sm_count: 24,
+            cores_per_sm: 128,
+            clock_hz: 1000.0e6,
+            mem_bandwidth_bytes_per_s: 336.0e9,
+            mem_efficiency: 0.62,
+            atomic_cost_bytes: 8.0,
+            block_overhead_seconds: 0.3e-6,
+            kernel_launch_seconds: 10.0e-6,
+            mem_capacity_bytes: 12 * (1 << 30),
+            shared_mem_per_block_bytes: 48 << 10,
+        }
+    }
+
+    /// Achieved bandwidth available to one SM when all SMs stream
+    /// concurrently.
+    #[inline]
+    pub fn per_sm_bandwidth(&self) -> f64 {
+        self.mem_bandwidth_bytes_per_s * self.mem_efficiency / self.sm_count as f64
+    }
+
+    /// Roofline time for one thread block that executed `lane_ops` lane
+    /// operations, moved `bytes` of global memory, and issued `atomics`
+    /// atomic additions.
+    pub fn block_seconds(&self, lane_ops: u64, bytes: u64, atomics: u64) -> Seconds {
+        let compute = lane_ops as f64 / (self.cores_per_sm as f64 * self.clock_hz);
+        let traffic = bytes as f64 + atomics as f64 * self.atomic_cost_bytes;
+        let memory = traffic / self.per_sm_bandwidth();
+        self.block_overhead_seconds + compute.max(memory)
+    }
+
+    /// Whether a dataset of `bytes` fits in device memory — the constraint
+    /// that forces the move to distributed training in §IV.
+    pub fn fits_in_memory(&self, bytes: usize) -> bool {
+        bytes <= self.mem_capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn webspam_fits_m4000_but_criteo_does_not() {
+        // The paper's motivating capacity facts.
+        let m4000 = GpuProfile::quadro_m4000();
+        let webspam_bytes = 7_300_000_000usize; // ≈7.3 GB
+        let criteo_bytes = 40_000_000_000usize; // ≈40 GB
+        assert!(m4000.fits_in_memory(webspam_bytes));
+        assert!(!m4000.fits_in_memory(criteo_bytes));
+        let titan = GpuProfile::titan_x_maxwell();
+        assert!(!titan.fits_in_memory(criteo_bytes));
+    }
+
+    #[test]
+    fn titan_x_is_faster_than_m4000() {
+        let m = GpuProfile::quadro_m4000();
+        let t = GpuProfile::titan_x_maxwell();
+        // Same block workload must be strictly faster on the Titan X.
+        let work = (10_000u64, 80_000u64, 3_000u64);
+        assert!(t.block_seconds(work.0, work.1, work.2) < m.block_seconds(work.0, work.1, work.2));
+    }
+
+    #[test]
+    fn block_time_has_floor_and_scales() {
+        let g = GpuProfile::quadro_m4000();
+        let empty = g.block_seconds(0, 0, 0);
+        assert!((empty - g.block_overhead_seconds).abs() < 1e-15);
+        let small = g.block_seconds(100, 800, 100);
+        let big = g.block_seconds(100_000, 800_000, 100_000);
+        assert!(big > small && small > empty);
+    }
+
+    #[test]
+    fn memory_bound_blocks_ignore_extra_lane_ops() {
+        let g = GpuProfile::quadro_m4000();
+        // Heavy traffic, trivial compute: adding compute below the roofline
+        // must not change the time.
+        let base = g.block_seconds(10, 1_000_000, 0);
+        let more_compute = g.block_seconds(1_000, 1_000_000, 0);
+        assert!((base - more_compute).abs() < 1e-15);
+    }
+
+    #[test]
+    fn atomics_are_charged_as_traffic() {
+        let g = GpuProfile::quadro_m4000();
+        let without = g.block_seconds(0, 1_000_000, 0);
+        let with = g.block_seconds(0, 1_000_000, 100_000);
+        let expected_extra = 100_000.0 * g.atomic_cost_bytes / g.per_sm_bandwidth();
+        assert!(((with - without) - expected_extra).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whole_device_webspam_epoch_in_paper_band() {
+        // End-to-end sanity: an epoch that streams webspam's ≈9e8 nonzeros
+        // (8 B of CSC data + 4 B dense gather each) and issues one atomic per
+        // nnz, split evenly across SMs, should cost tenths of a second —
+        // the regime that yields the paper's 10–35× over a ≈5 s CPU epoch.
+        for g in [GpuProfile::quadro_m4000(), GpuProfile::titan_x_maxwell()] {
+            let nnz_total: u64 = 900_000_000;
+            let per_sm = nnz_total / g.sm_count as u64;
+            let t = g.block_seconds(2 * per_sm, 12 * per_sm, per_sm) * 1.0; // one mega-block per SM
+            assert!(
+                (0.05..1.0).contains(&t),
+                "{}: epoch estimate {t} outside band",
+                g.name
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Network and interconnect cost model.
+//!
+//! The distributed experiments exchange the shared vector between workers
+//! and master once per epoch: a Reduce of each worker's Δ-vector to the
+//! master followed by a Broadcast of the aggregated vector (Algorithms 3
+//! and 4), implemented in the paper with Open MPI over 10 Gbit Ethernet, or
+//! over PCIe 3.0 when the four Titan X GPUs share one host. Adaptive
+//! aggregation adds a few scalars per worker per epoch — the paper stresses
+//! this extra traffic is negligible, which the model preserves.
+
+use crate::Seconds;
+
+/// A point-to-point link profile.
+///
+/// ```
+/// use scd_perf_model::LinkProfile;
+/// let eth = LinkProfile::ethernet_10g();
+/// // Moving webspam's 1 MB shared vector: latency + bytes/bandwidth.
+/// let t = eth.transfer_seconds(1_051_752);
+/// assert!(t > 9e-4 && t < 2e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkProfile {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// One-way message latency in seconds.
+    pub latency_seconds: f64,
+    /// Sustained bandwidth in bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl LinkProfile {
+    /// 10 Gbit Ethernet: ≈1.1 GB/s effective, ≈50 µs latency.
+    pub fn ethernet_10g() -> Self {
+        LinkProfile {
+            name: "10GbE",
+            latency_seconds: 50.0e-6,
+            bandwidth_bytes_per_s: 1.1e9,
+        }
+    }
+
+    /// 100 Gbit Ethernet — the faster fabric the paper suggests would
+    /// improve scaling further (§V-A).
+    pub fn ethernet_100g() -> Self {
+        LinkProfile {
+            name: "100GbE",
+            latency_seconds: 30.0e-6,
+            bandwidth_bytes_per_s: 11.0e9,
+        }
+    }
+
+    /// PCIe 3.0 x16 with pinned host memory: ≈12 GB/s, ≈10 µs per transfer
+    /// ("pinned memory functionality offered by CUDA to achieve maximum
+    /// throughput over the PCIe interface").
+    pub fn pcie3_x16() -> Self {
+        LinkProfile {
+            name: "PCIe 3.0 x16",
+            latency_seconds: 10.0e-6,
+            bandwidth_bytes_per_s: 12.0e9,
+        }
+    }
+
+    /// Time to move one message of `bytes` across the link.
+    #[inline]
+    pub fn transfer_seconds(&self, bytes: usize) -> Seconds {
+        self.latency_seconds + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Reduce: `workers` messages of `bytes` each arriving at the master.
+    ///
+    /// Modeled as a binomial-tree reduction (what Open MPI uses for large
+    /// communicators): ⌈log₂ K⌉ rounds, each moving one message.
+    pub fn reduce_seconds(&self, workers: usize, bytes: usize) -> Seconds {
+        if workers <= 1 {
+            return 0.0;
+        }
+        let rounds = usize::BITS as usize - (workers - 1).leading_zeros() as usize;
+        rounds as f64 * self.transfer_seconds(bytes)
+    }
+
+    /// Broadcast: the master's `bytes` reaching all `workers`
+    /// (binomial tree, same round structure as [`Self::reduce_seconds`]).
+    pub fn broadcast_seconds(&self, workers: usize, bytes: usize) -> Seconds {
+        self.reduce_seconds(workers, bytes)
+    }
+
+    /// One synchronous aggregation step: Reduce of every worker's Δ-vector
+    /// plus Broadcast of the result, both of `bytes`, plus `extra_scalars`
+    /// f64 values (the adaptive-aggregation bookkeeping) piggybacked on the
+    /// reduce.
+    pub fn aggregation_round_seconds(
+        &self,
+        workers: usize,
+        bytes: usize,
+        extra_scalars: usize,
+    ) -> Seconds {
+        self.reduce_seconds(workers, bytes + extra_scalars * 8) + self.broadcast_seconds(workers, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_has_latency_floor() {
+        let link = LinkProfile::ethernet_10g();
+        assert!((link.transfer_seconds(0) - 50.0e-6).abs() < 1e-12);
+        let t = link.transfer_seconds(1_100_000_000);
+        assert!((t - (50.0e-6 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_worker_needs_no_network() {
+        let link = LinkProfile::ethernet_10g();
+        assert_eq!(link.reduce_seconds(1, 1_000_000), 0.0);
+        assert_eq!(link.broadcast_seconds(1, 1_000_000), 0.0);
+        assert_eq!(link.aggregation_round_seconds(1, 1_000_000, 3), 0.0);
+    }
+
+    #[test]
+    fn tree_rounds_grow_logarithmically() {
+        let link = LinkProfile::ethernet_10g();
+        let b = 1_000_000;
+        let t2 = link.reduce_seconds(2, b);
+        let t4 = link.reduce_seconds(4, b);
+        let t8 = link.reduce_seconds(8, b);
+        assert!((t4 / t2 - 2.0).abs() < 1e-9);
+        assert!((t8 / t2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_beats_ethernet() {
+        let eth = LinkProfile::ethernet_10g();
+        let pcie = LinkProfile::pcie3_x16();
+        let b = 4 * 262_938; // webspam shared vector
+        assert!(pcie.aggregation_round_seconds(4, b, 3) < eth.aggregation_round_seconds(4, b, 3));
+    }
+
+    #[test]
+    fn adaptive_extra_scalars_are_negligible() {
+        // The paper: "the additional communication ... amounts to the
+        // transfer of a few scalars over the network interface per epoch".
+        let link = LinkProfile::ethernet_10g();
+        let b = 4 * 262_938;
+        let plain = link.aggregation_round_seconds(8, b, 0);
+        let adaptive = link.aggregation_round_seconds(8, b, 3);
+        assert!((adaptive - plain) / plain < 1e-4);
+    }
+
+    #[test]
+    fn webspam_round_is_milliseconds_on_10gbe() {
+        // 8 workers exchanging a 1 MB shared vector should cost single-digit
+        // milliseconds — small against a ≈0.5 s GPU epoch but visible, which
+        // is what makes Fig. 9's ≈17% communication share at K=8 plausible
+        // once per-epoch time shrinks with K.
+        let link = LinkProfile::ethernet_10g();
+        let t = link.aggregation_round_seconds(8, 4 * 262_938, 3);
+        assert!((1e-3..2e-2).contains(&t), "got {t}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Scale-preserving adjustment of hardware profiles for shrunken stand-in
+//! datasets.
+//!
+//! A stand-in dataset thousands of times smaller than the original distorts
+//! *ratios*: per-epoch compute shrinks by the nonzero ratio, the exchanged
+//! shared vector by a (smaller) dimension ratio, and fixed per-message /
+//! per-launch costs not at all. Left unscaled, a reproduction run would be
+//! latency- and overhead-bound in ways the paper's testbed was not. These
+//! helpers rescale exactly the scale-sensitive terms:
+//!
+//! * [`scale_link`] — message latency ÷ compute scale; bandwidth ×
+//!   (compute scale / vector scale), so both the latency and the
+//!   bytes-over-bandwidth term keep their original proportion to an epoch's
+//!   compute.
+//! * [`scale_gpu`] — kernel-launch cost (per epoch) ÷ compute scale;
+//!   block-scheduling cost (per coordinate) ÷ per-coordinate-work scale.
+//! * [`scale_cpu`] — host dense-vector bookkeeping rate × (compute scale /
+//!   vector scale), the same correction as the link bandwidth.
+//!
+//! The scale factors are ratios of *paper quantities to stand-in
+//! quantities*: `compute_scale` = paper nonzeros / stand-in nonzeros,
+//! `vector_scale` = paper shared-vector length / stand-in shared-vector
+//! length, `coord_scale` = paper nonzeros-per-coordinate / stand-in
+//! nonzeros-per-coordinate.
+
+use crate::{CpuProfile, GpuProfile, LinkProfile};
+
+/// Rescale a link profile (see module docs).
+///
+/// # Panics
+/// Panics if either scale is not strictly positive.
+pub fn scale_link(base: &LinkProfile, compute_scale: f64, vector_scale: f64) -> LinkProfile {
+    assert!(
+        compute_scale > 0.0 && vector_scale > 0.0,
+        "scales must be positive"
+    );
+    LinkProfile {
+        name: base.name,
+        latency_seconds: base.latency_seconds / compute_scale,
+        bandwidth_bytes_per_s: base.bandwidth_bytes_per_s * compute_scale / vector_scale,
+    }
+}
+
+/// Rescale a GPU profile's fixed costs (see module docs).
+///
+/// # Panics
+/// Panics if either scale is not strictly positive.
+pub fn scale_gpu(base: &GpuProfile, compute_scale: f64, coord_scale: f64) -> GpuProfile {
+    assert!(
+        compute_scale > 0.0 && coord_scale > 0.0,
+        "scales must be positive"
+    );
+    GpuProfile {
+        kernel_launch_seconds: base.kernel_launch_seconds / compute_scale,
+        block_overhead_seconds: base.block_overhead_seconds / coord_scale,
+        ..base.clone()
+    }
+}
+
+/// Rescale a CPU profile's host vector-bookkeeping rate (see module docs).
+///
+/// # Panics
+/// Panics if either scale is not strictly positive.
+pub fn scale_cpu(base: &CpuProfile, compute_scale: f64, vector_scale: f64) -> CpuProfile {
+    assert!(
+        compute_scale > 0.0 && vector_scale > 0.0,
+        "scales must be positive"
+    );
+    CpuProfile {
+        host_stream_bytes_per_s: base.host_stream_bytes_per_s * compute_scale / vector_scale,
+        ..base.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_link_adjusts_both_terms() {
+        let base = LinkProfile::ethernet_10g();
+        let s = scale_link(&base, 1000.0, 100.0);
+        assert!((s.latency_seconds - base.latency_seconds / 1000.0).abs() < 1e-18);
+        assert!(
+            (s.bandwidth_bytes_per_s - base.bandwidth_bytes_per_s * 10.0).abs()
+                < 1.0
+        );
+        assert_eq!(s.name, base.name);
+    }
+
+    #[test]
+    fn scale_identity_is_noop() {
+        let base = LinkProfile::pcie3_x16();
+        let s = scale_link(&base, 1.0, 1.0);
+        assert_eq!(s.latency_seconds, base.latency_seconds);
+        assert_eq!(s.bandwidth_bytes_per_s, base.bandwidth_bytes_per_s);
+        let g = GpuProfile::quadro_m4000();
+        let sg = scale_gpu(&g, 1.0, 1.0);
+        assert_eq!(sg.kernel_launch_seconds, g.kernel_launch_seconds);
+        assert_eq!(sg.block_overhead_seconds, g.block_overhead_seconds);
+        let c = CpuProfile::xeon_e5_2640();
+        let sc = scale_cpu(&c, 1.0, 1.0);
+        assert_eq!(sc.host_stream_bytes_per_s, c.host_stream_bytes_per_s);
+    }
+
+    #[test]
+    fn scale_gpu_leaves_streaming_terms_alone() {
+        let g = GpuProfile::titan_x_maxwell();
+        let s = scale_gpu(&g, 5000.0, 40.0);
+        assert_eq!(s.mem_bandwidth_bytes_per_s, g.mem_bandwidth_bytes_per_s);
+        assert_eq!(s.mem_efficiency, g.mem_efficiency);
+        assert_eq!(s.sm_count, g.sm_count);
+        assert!(s.kernel_launch_seconds < g.kernel_launch_seconds);
+        assert!(s.block_overhead_seconds < g.block_overhead_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "scales must be positive")]
+    fn zero_scale_rejected() {
+        let _ = scale_link(&LinkProfile::ethernet_10g(), 0.0, 1.0);
+    }
+}

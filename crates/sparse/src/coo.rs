@@ -1,0 +1,236 @@
+//! Coordinate (triplet) format — the mutable builder for sparse matrices.
+//!
+//! Datasets are assembled entry-by-entry (synthetic generators, LIBSVM
+//! parsing) into a [`CooMatrix`] and then frozen into [`CsrMatrix`] /
+//! [`CscMatrix`] for the solvers.
+
+use crate::{CscMatrix, CsrMatrix, SparseError};
+
+/// A sparse matrix in coordinate (row, col, value) triplet form.
+///
+/// Duplicate (row, col) entries are allowed while building and are **summed**
+/// during conversion to CSR/CSC, matching the usual scipy/Eigen convention.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// Create an empty matrix with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "CooMatrix indices are u32; shape {rows}x{cols} too large"
+        );
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create an empty matrix with capacity for `nnz` entries.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        let mut m = Self::new(rows, cols);
+        m.entries.reserve(nnz);
+        m
+    }
+
+    /// Number of rows (training examples, N in the paper).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features, M in the paper).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries, *including* duplicates not yet summed.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append one entry; `Err` if the indices are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) -> Result<(), SparseError> {
+        if row >= self.rows {
+            return Err(SparseError::RowOutOfBounds {
+                row,
+                rows: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(SparseError::ColOutOfBounds {
+                col,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Iterate over stored triplets as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Freeze into compressed sparse row form (used by the dual solvers).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let (offsets, indices, values) =
+            compress(self.rows, self.entries.iter().map(|&(r, c, v)| (r, c, v)));
+        CsrMatrix::from_raw_unchecked(self.rows, self.cols, offsets, indices, values)
+    }
+
+    /// Freeze into compressed sparse column form (used by the primal solvers).
+    pub fn to_csc(&self) -> CscMatrix {
+        let (offsets, indices, values) =
+            compress(self.cols, self.entries.iter().map(|&(r, c, v)| (c, r, v)));
+        CscMatrix::from_raw_unchecked(self.rows, self.cols, offsets, indices, values)
+    }
+
+    /// Materialize as a dense row-major matrix (tests and tiny examples only).
+    pub fn to_dense(&self) -> Vec<Vec<f32>> {
+        let mut out = vec![vec![0.0f32; self.cols]; self.rows];
+        for &(r, c, v) in &self.entries {
+            out[r as usize][c as usize] += v;
+        }
+        out
+    }
+}
+
+/// Compress triplets along a major axis: returns (offsets, minor indices,
+/// values) with duplicates summed and minor indices sorted within each major
+/// slot. Entries whose summed value is exactly 0.0 are kept (structural
+/// zeros are preserved so nnz stays deterministic for the cost models).
+fn compress(
+    major_dim: usize,
+    entries: impl Iterator<Item = (u32, u32, f32)>,
+) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+    let mut buckets: Vec<Vec<(u32, f32)>> = vec![Vec::new(); major_dim];
+    for (maj, min, v) in entries {
+        buckets[maj as usize].push((min, v));
+    }
+    let mut offsets = Vec::with_capacity(major_dim + 1);
+    offsets.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for bucket in buckets.iter_mut() {
+        bucket.sort_unstable_by_key(|&(min, _)| min);
+        let mut i = 0;
+        while i < bucket.len() {
+            let (min, mut v) = bucket[i];
+            let mut j = i + 1;
+            while j < bucket.len() && bucket[j].0 == min {
+                v += bucket[j].1;
+                j += 1;
+            }
+            indices.push(min);
+            values.push(v);
+            i = j;
+        }
+        offsets.push(indices.len());
+    }
+    (offsets, indices, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix {
+        // 3x4:
+        // [1 0 2 0]
+        // [0 3 0 0]
+        // [4 0 0 5]
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(0, 2, 2.0).unwrap();
+        m.push(1, 1, 3.0).unwrap();
+        m.push(2, 0, 4.0).unwrap();
+        m.push(2, 3, 5.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn push_bounds_checked() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(matches!(
+            m.push(2, 0, 1.0),
+            Err(SparseError::RowOutOfBounds { row: 2, rows: 2 })
+        ));
+        assert!(matches!(
+            m.push(0, 5, 1.0),
+            Err(SparseError::ColOutOfBounds { col: 5, cols: 2 })
+        ));
+        assert!(m.push(1, 1, 1.0).is_ok());
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn to_csr_structure() {
+        let csr = sample().to_csr();
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.cols(), 4);
+        assert_eq!(csr.nnz(), 5);
+        assert_eq!(csr.offsets(), &[0, 2, 3, 5]);
+        assert_eq!(csr.indices(), &[0, 2, 1, 0, 3]);
+        assert_eq!(csr.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn to_csc_structure() {
+        let csc = sample().to_csc();
+        assert_eq!(csc.offsets(), &[0, 2, 3, 4, 5]);
+        assert_eq!(csc.indices(), &[0, 2, 1, 0, 2]);
+        assert_eq!(csc.values(), &[1.0, 4.0, 3.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0).unwrap();
+        m.push(0, 0, 2.5).unwrap();
+        m.push(1, 1, -1.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.values(), &[3.5, -1.0]);
+        let csc = m.to_csc();
+        assert_eq!(csc.values(), &[3.5, -1.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample().to_dense();
+        assert_eq!(d[0], vec![1.0, 0.0, 2.0, 0.0]);
+        assert_eq!(d[1], vec![0.0, 3.0, 0.0, 0.0]);
+        assert_eq!(d[2], vec![4.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_rows_and_cols_ok() {
+        let mut m = CooMatrix::new(4, 4);
+        m.push(3, 3, 9.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.offsets(), &[0, 0, 0, 0, 1]);
+        let csc = m.to_csc();
+        assert_eq!(csc.offsets(), &[0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn unsorted_input_sorted_on_compress() {
+        let mut m = CooMatrix::new(1, 5);
+        m.push(0, 4, 4.0).unwrap();
+        m.push(0, 1, 1.0).unwrap();
+        m.push(0, 3, 3.0).unwrap();
+        let csr = m.to_csr();
+        assert_eq!(csr.indices(), &[1, 3, 4]);
+        assert_eq!(csr.values(), &[1.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Small dense matrices in f64 — the companion to the sparse formats for
+//! everything that genuinely needs dense algebra: the closed-form ridge
+//! reference solution (normal equations), AsySCD's Hessian, and tests.
+//!
+//! Deliberately minimal: row-major storage, Gram-matrix construction from a
+//! sparse CSC operand, and Gaussian elimination with partial pivoting.
+//! Anything larger-scale belongs to the sparse path — that is the point of
+//! the paper.
+
+use crate::CscMatrix;
+
+/// A dense row-major f64 matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity of size n.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for d in 0..n {
+            m.set(d, d, 1.0);
+        }
+        m
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|row| row.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// The Gram matrix AᵀA of a sparse operand (dense M×M output).
+    pub fn gram_from_csc(a: &CscMatrix) -> Self {
+        let m = a.cols();
+        let mut out = Self::zeros(m, m);
+        let mut dense_col = vec![0.0f64; a.rows()];
+        for i in 0..m {
+            for v in dense_col.iter_mut() {
+                *v = 0.0;
+            }
+            let col_i = a.col(i);
+            for (&r, &v) in col_i.indices.iter().zip(col_i.values) {
+                dense_col[r as usize] = v as f64;
+            }
+            for j in i..m {
+                let col_j = a.col(j);
+                let mut acc = 0.0;
+                for (&r, &v) in col_j.indices.iter().zip(col_j.values) {
+                    acc += dense_col[r as usize] * v as f64;
+                }
+                out.set(i, j, acc);
+                out.set(j, i, acc);
+            }
+        }
+        out
+    }
+
+    /// Rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Add `v` to every diagonal element (regularization shift).
+    pub fn add_diagonal(&mut self, v: f64) {
+        let n = self.rows.min(self.cols);
+        for d in 0..n {
+            self.data[d * self.cols + d] += v;
+        }
+    }
+
+    /// Dense mat-vec `A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting,
+    /// consuming the matrix. `None` for (numerically) singular systems.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve(mut self, mut b: Vec<f64>) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve: square matrix required");
+        assert_eq!(b.len(), self.rows, "solve: rhs length mismatch");
+        let n = self.rows;
+        for col in 0..n {
+            let pivot = (col..n).max_by(|&i, &j| {
+                self.get(i, col)
+                    .abs()
+                    .partial_cmp(&self.get(j, col).abs())
+                    .expect("finite entries")
+            })?;
+            if self.get(pivot, col).abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for k in 0..n {
+                    let (a, b2) = (self.get(col, k), self.get(pivot, k));
+                    self.set(col, k, b2);
+                    self.set(pivot, k, a);
+                }
+                b.swap(col, pivot);
+            }
+            for row in col + 1..n {
+                let factor = self.get(row, col) / self.get(col, col);
+                if factor != 0.0 {
+                    for k in col..n {
+                        let v = self.get(row, k) - factor * self.get(col, k);
+                        self.set(row, k, v);
+                    }
+                    b[row] -= factor * b[col];
+                }
+            }
+        }
+        let mut x = vec![0.0f64; n];
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for k in col + 1..n {
+                acc -= self.get(col, k) * x[k];
+            }
+            x[col] = acc / self.get(col, col);
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_rows_and_matvec() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rejected() {
+        let _ = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn gram_matches_manual() {
+        // A = [1 2; 0 3]; AᵀA = [1 2; 2 13].
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        let g = DenseMatrix::gram_from_csc(&coo.to_csc());
+        assert_eq!(g.get(0, 0), 1.0);
+        assert_eq!(g.get(0, 1), 2.0);
+        assert_eq!(g.get(1, 0), 2.0);
+        assert_eq!(g.get(1, 1), 13.0);
+    }
+
+    #[test]
+    fn add_diagonal_shifts() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.add_diagonal(0.5);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(1, 1), 0.5);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let m = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x_true = [0.5, -1.5];
+        let b = m.matvec(&x_true);
+        let x = m.solve(b).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!((x[1] + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        let m = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 1.0]]);
+        let x = m.solve(vec![1.0, 4.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.solve(vec![1.0, 2.0]).is_none());
+    }
+}

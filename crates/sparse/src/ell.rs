@@ -1,0 +1,232 @@
+//! ELLPACK format — the GPU-friendly fixed-width sparse layout.
+//!
+//! The paper stores the matrix in CSR/CSC. ELLPACK is the classic
+//! alternative for GPU sparse kernels: every row is padded to the width of
+//! the longest row and the slots are stored **slot-major**, so lane `u` of
+//! a warp reading slot `s` of consecutive rows touches consecutive memory —
+//! perfectly coalesced. The price is padding: a matrix with skewed row
+//! lengths (webspam) wastes storage and bandwidth on empty slots, while a
+//! matrix with uniform rows (criteo's one-hot encoding: exactly one nonzero
+//! per field) pads nothing.
+//!
+//! The `layout` ablation in `scd-bench` measures exactly this trade-off on
+//! the TPA-SCD dual kernel.
+
+use crate::CsrMatrix;
+
+/// Sentinel column index marking a padding slot.
+pub const ELL_PAD: u32 = u32::MAX;
+
+/// A sparse matrix in slot-major ELLPACK layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    rows: usize,
+    cols: usize,
+    /// Slots per row (the maximum row nnz).
+    width: usize,
+    /// Column indices, slot-major: `indices[s * rows + r]`; padding slots
+    /// hold [`ELL_PAD`].
+    indices: Vec<u32>,
+    /// Values aligned with `indices`; padding slots hold 0.0.
+    values: Vec<f32>,
+    /// True (stored) nonzeros, excluding padding.
+    nnz: usize,
+}
+
+impl EllMatrix {
+    /// Convert from CSR. The width becomes the longest row's nnz.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let width = (0..rows).map(|r| csr.row(r).nnz()).max().unwrap_or(0);
+        let mut indices = vec![ELL_PAD; rows * width];
+        let mut values = vec![0.0f32; rows * width];
+        for r in 0..rows {
+            let row = csr.row(r);
+            for (s, (&c, &v)) in row.indices.iter().zip(row.values).enumerate() {
+                indices[s * rows + r] = c;
+                values[s * rows + r] = v;
+            }
+        }
+        EllMatrix {
+            rows,
+            cols: csr.cols(),
+            width,
+            indices,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Slots per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// True nonzeros (excluding padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Stored slots including padding.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.rows * self.width
+    }
+
+    /// Padding overhead: stored slots per true nonzero (1.0 = no padding).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            return 1.0;
+        }
+        self.slots() as f64 / self.nnz as f64
+    }
+
+    /// Entry at (slot, row): `Some((col, value))` or `None` for padding.
+    #[inline]
+    pub fn slot(&self, s: usize, r: usize) -> Option<(usize, f32)> {
+        let idx = self.indices[s * self.rows + r];
+        if idx == ELL_PAD {
+            None
+        } else {
+            Some((idx as usize, self.values[s * self.rows + r]))
+        }
+    }
+
+    /// Iterate row `r`'s stored entries as `(col, value)`.
+    pub fn iter_row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        (0..self.width).filter_map(move |s| self.slot(s, r))
+    }
+
+    /// Dense product `out = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        let mut out = vec![0.0f32; self.rows];
+        for s in 0..self.width {
+            let base = s * self.rows;
+            for r in 0..self.rows {
+                let c = self.indices[base + r];
+                if c != ELL_PAD {
+                    out[r] += self.values[base + r] * x[c as usize];
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes of device memory the layout occupies: 8 per slot (value +
+    /// index), **including padding** — the footprint the capacity check and
+    /// the bandwidth model see.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn skewed() -> CsrMatrix {
+        // Row lengths 3, 1, 0, 2 — width 3, 6 nnz over 12 slots.
+        let mut coo = CooMatrix::new(4, 5);
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (0, 4, 3.0),
+            (1, 1, 4.0),
+            (3, 0, 5.0),
+            (3, 3, 6.0),
+        ] {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn conversion_preserves_content() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.rows(), 4);
+        assert_eq!(ell.cols(), 5);
+        assert_eq!(ell.width(), 3);
+        assert_eq!(ell.nnz(), 6);
+        for r in 0..4 {
+            let from_ell: Vec<(usize, f32)> = ell.iter_row(r).collect();
+            let row = csr.row(r);
+            let from_csr: Vec<(usize, f32)> = row
+                .indices
+                .iter()
+                .zip(row.values)
+                .map(|(&c, &v)| (c as usize, v))
+                .collect();
+            assert_eq!(from_ell, from_csr, "row {r}");
+        }
+    }
+
+    #[test]
+    fn padding_ratio_reflects_skew() {
+        let ell = EllMatrix::from_csr(&skewed());
+        assert_eq!(ell.slots(), 12);
+        assert!((ell.padding_ratio() - 2.0).abs() < 1e-12);
+        // Uniform matrix: no padding.
+        let mut coo = CooMatrix::new(3, 3);
+        for r in 0..3 {
+            coo.push(r, r, 1.0).unwrap();
+        }
+        let uniform = EllMatrix::from_csr(&coo.to_csr());
+        assert_eq!(uniform.padding_ratio(), 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_csr() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr);
+        let x = [1.0f32, -2.0, 0.5, 3.0, 1.5];
+        assert_eq!(ell.matvec(&x), csr.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn slot_major_layout_is_coalesced() {
+        // Slot 0 of all rows occupies a contiguous prefix of the arrays —
+        // the property a warp needs for coalescing.
+        let ell = EllMatrix::from_csr(&skewed());
+        assert_eq!(ell.slot(0, 0), Some((0, 1.0)));
+        assert_eq!(ell.slot(0, 1), Some((1, 4.0)));
+        assert_eq!(ell.slot(0, 2), None); // empty row
+        assert_eq!(ell.slot(0, 3), Some((0, 5.0)));
+        assert_eq!(ell.slot(2, 0), Some((4, 3.0)));
+        assert_eq!(ell.slot(2, 3), None);
+    }
+
+    #[test]
+    fn memory_counts_padding() {
+        let ell = EllMatrix::from_csr(&skewed());
+        assert_eq!(ell.memory_bytes(), 12 * 8);
+    }
+
+    #[test]
+    fn empty_matrix_degenerates() {
+        let coo = CooMatrix::new(3, 3);
+        let ell = EllMatrix::from_csr(&coo.to_csr());
+        assert_eq!(ell.width(), 0);
+        assert_eq!(ell.padding_ratio(), 1.0);
+        assert_eq!(ell.matvec(&[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+}

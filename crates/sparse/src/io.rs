@@ -1,0 +1,230 @@
+//! LIBSVM text format I/O.
+//!
+//! The datasets the paper trains on (webspam, criteo) are distributed in
+//! LIBSVM format: one example per line, `label idx:val idx:val ...` with
+//! 1-based feature indices. This module reads such files into a labelled COO
+//! matrix and writes them back, so users can run the solvers on the real
+//! datasets when available.
+
+use crate::{CooMatrix, SparseError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A labelled sparse dataset: the design matrix plus one label per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledData {
+    /// The design matrix A (rows = examples, cols = features).
+    pub matrix: CooMatrix,
+    /// Labels y, one per row.
+    pub labels: Vec<f32>,
+}
+
+/// Parse a LIBSVM-format stream.
+///
+/// `num_features` optionally fixes the feature-space width; when `None` the
+/// width is the largest feature index seen. Feature indices in the file are
+/// 1-based, as in the LIBSVM convention; index 0 is rejected.
+pub fn read_libsvm<R: Read>(
+    reader: R,
+    num_features: Option<usize>,
+) -> Result<LabelledData, SparseError> {
+    let reader = BufReader::new(reader);
+    let mut labels = Vec::new();
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    let mut max_feature = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| SparseError::Parse {
+            line: lineno + 1,
+            message: format!("I/O error: {e}"),
+        })?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let label_tok = parts.next().ok_or(SparseError::Parse {
+            line: lineno + 1,
+            message: "missing label".into(),
+        })?;
+        let label: f32 = label_tok.parse().map_err(|_| SparseError::Parse {
+            line: lineno + 1,
+            message: format!("bad label {label_tok:?}"),
+        })?;
+        let row = labels.len();
+        labels.push(label);
+        let mut prev_idx = 0usize;
+        for tok in parts {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| SparseError::Parse {
+                line: lineno + 1,
+                message: format!("expected idx:val, got {tok:?}"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| SparseError::Parse {
+                line: lineno + 1,
+                message: format!("bad feature index {idx_s:?}"),
+            })?;
+            if idx == 0 {
+                return Err(SparseError::Parse {
+                    line: lineno + 1,
+                    message: "feature indices are 1-based; got 0".into(),
+                });
+            }
+            if idx <= prev_idx {
+                return Err(SparseError::Parse {
+                    line: lineno + 1,
+                    message: format!("feature indices must be strictly increasing; got {idx} after {prev_idx}"),
+                });
+            }
+            prev_idx = idx;
+            let val: f32 = val_s.parse().map_err(|_| SparseError::Parse {
+                line: lineno + 1,
+                message: format!("bad feature value {val_s:?}"),
+            })?;
+            max_feature = max_feature.max(idx);
+            triplets.push((row, idx - 1, val));
+        }
+    }
+
+    let cols = match num_features {
+        Some(m) => {
+            if max_feature > m {
+                return Err(SparseError::Parse {
+                    line: 0,
+                    message: format!(
+                        "file contains feature index {max_feature} > declared width {m}"
+                    ),
+                });
+            }
+            m
+        }
+        None => max_feature,
+    };
+    let mut matrix = CooMatrix::with_capacity(labels.len(), cols, triplets.len());
+    for (r, c, v) in triplets {
+        matrix.push(r, c, v)?;
+    }
+    Ok(LabelledData { matrix, labels })
+}
+
+/// Write a labelled dataset in LIBSVM format (1-based feature indices).
+pub fn write_libsvm<W: Write>(data: &LabelledData, mut writer: W) -> std::io::Result<()> {
+    // Group triplets per row; CooMatrix preserves insertion order, so sort
+    // explicitly for a canonical output.
+    let rows = data.matrix.rows();
+    let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+    for (r, c, v) in data.matrix.iter() {
+        per_row[r].push((c, v));
+    }
+    for (r, entries) in per_row.iter_mut().enumerate() {
+        // Stable sort: duplicate (row, col) entries keep insertion order, so
+        // their sum is bitwise identical to the COO compression's.
+        entries.sort_by_key(|&(c, _)| c);
+        write!(writer, "{}", data.labels[r])?;
+        // Duplicate (row, col) entries are summed, matching the COO → CSR
+        // compression semantics.
+        let mut i = 0;
+        while i < entries.len() {
+            let (c, mut v) = entries[i];
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].0 == c {
+                v += entries[j].1;
+                j += 1;
+            }
+            write!(writer, " {}:{}", c + 1, v)?;
+            i = j;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
++1 1:0.5 3:1.25
+-1 2:2.0
++1 1:1.0 2:1.0 3:1.0
+";
+
+    #[test]
+    fn parse_basic() {
+        let data = read_libsvm(SAMPLE.as_bytes(), None).unwrap();
+        assert_eq!(data.labels, vec![1.0, -1.0, 1.0]);
+        assert_eq!(data.matrix.rows(), 3);
+        assert_eq!(data.matrix.cols(), 3);
+        let dense = data.matrix.to_dense();
+        assert_eq!(dense[0], vec![0.5, 0.0, 1.25]);
+        assert_eq!(dense[1], vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn fixed_width() {
+        let data = read_libsvm(SAMPLE.as_bytes(), Some(10)).unwrap();
+        assert_eq!(data.matrix.cols(), 10);
+        assert!(read_libsvm(SAMPLE.as_bytes(), Some(2)).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let s = "\n# full comment line\n+1 1:2.0 # trailing comment\n\n";
+        let data = read_libsvm(s.as_bytes(), None).unwrap();
+        assert_eq!(data.labels.len(), 1);
+        assert_eq!(data.matrix.nnz(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let s = "+1 0:1.0";
+        let err = read_libsvm(s.as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("1-based"));
+    }
+
+    #[test]
+    fn rejects_non_increasing_indices() {
+        let s = "+1 2:1.0 2:2.0";
+        assert!(read_libsvm(s.as_bytes(), None).is_err());
+        let s = "+1 3:1.0 2:2.0";
+        assert!(read_libsvm(s.as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_libsvm("abc 1:1".as_bytes(), None).is_err());
+        assert!(read_libsvm("+1 1".as_bytes(), None).is_err());
+        assert!(read_libsvm("+1 x:1".as_bytes(), None).is_err());
+        assert!(read_libsvm("+1 1:y".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = read_libsvm(SAMPLE.as_bytes(), None).unwrap();
+        let mut buf = Vec::new();
+        write_libsvm(&data, &mut buf).unwrap();
+        let back = read_libsvm(buf.as_slice(), Some(3)).unwrap();
+        assert_eq!(back.labels, data.labels);
+        assert_eq!(back.matrix.to_dense(), data.matrix.to_dense());
+    }
+
+    #[test]
+    fn write_merges_duplicate_entries() {
+        let mut m = CooMatrix::new(1, 3);
+        m.push(0, 1, 1.5).unwrap();
+        m.push(0, 1, 2.5).unwrap();
+        let data = LabelledData {
+            matrix: m,
+            labels: vec![1.0],
+        };
+        let mut buf = Vec::new();
+        write_libsvm(&data, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "1 2:4\n");
+    }
+
+    #[test]
+    fn label_only_rows_allowed() {
+        let s = "+1\n-1 1:1.0\n";
+        let data = read_libsvm(s.as_bytes(), None).unwrap();
+        assert_eq!(data.labels.len(), 2);
+        assert_eq!(data.matrix.nnz(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Permutations and deterministic shuffling.
+//!
+//! Every epoch of SCD visits the coordinates in a fresh random permutation
+//! (`P_epoch` in Algorithms 1 and 2). The solvers need those permutations to
+//! be reproducible across runs and across the real-thread and simulated
+//! asynchronous engines, so shuffling here is driven by an explicit-seed
+//! SplitMix64 generator rather than a global RNG.
+
+/// A minimal, allocation-free SplitMix64 PRNG.
+///
+/// Used only for index shuffling; the dataset generators in `scd-datasets`
+/// use the full `rand` crate.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Any seed is fine, including 0.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift reduction.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_below: bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A permutation of `0..len`.
+///
+/// ```
+/// use scd_sparse::perm::Permutation;
+/// let p = Permutation::random(10, 42);
+/// let inv = p.inverse();
+/// for i in 0..10 {
+///     assert_eq!(inv.apply(p.apply(i)), i);
+/// }
+/// assert_eq!(p, Permutation::random(10, 42)); // seeded, reproducible
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    map: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation of the given length.
+    pub fn identity(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "permutation too large for u32");
+        Permutation {
+            map: (0..len as u32).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of `0..len` from the given seed
+    /// (Fisher–Yates over SplitMix64).
+    pub fn random(len: usize, seed: u64) -> Self {
+        let mut p = Self::identity(len);
+        let mut rng = SplitMix64::new(seed);
+        let m = &mut p.map;
+        for i in (1..m.len()).rev() {
+            let j = rng.next_below(i + 1);
+            m.swap(i, j);
+        }
+        p
+    }
+
+    /// Wrap an explicit mapping; `Err(())` if it is not a permutation.
+    pub fn from_vec(map: Vec<u32>) -> Result<Self, &'static str> {
+        let mut seen = vec![false; map.len()];
+        for &v in &map {
+            let v = v as usize;
+            if v >= map.len() {
+                return Err("index out of range");
+            }
+            if seen[v] {
+                return Err("duplicate index");
+            }
+            seen[v] = true;
+        }
+        Ok(Permutation { map })
+    }
+
+    /// Length of the permuted domain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Image of position `i` — `P_epoch(j)` in the paper's notation.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.map[i] as usize
+    }
+
+    /// Borrow the raw mapping.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0u32; self.map.len()];
+        for (i, &v) in self.map.iter().enumerate() {
+            inv[v as usize] = i as u32;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Reorder a slice: `out[i] = data[self.apply(i)]`.
+    pub fn gather<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.map.len(), "gather: length mismatch");
+        self.map.iter().map(|&v| data[v as usize]).collect()
+    }
+
+    /// Iterate over images in order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.map.iter().map(|&v| v as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        // Mean of U[0,1) over 10k draws should be near 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let p = Permutation::random(1000, 3);
+        let mut seen = vec![false; 1000];
+        for i in 0..1000 {
+            let v = p.apply(i);
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Permutation::random(100, 1);
+        let b = Permutation::random(100, 2);
+        assert_ne!(a, b);
+        let a2 = Permutation::random(100, 1);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::random(257, 11);
+        let inv = p.inverse();
+        for i in 0..257 {
+            assert_eq!(inv.apply(p.apply(i)), i);
+            assert_eq!(p.apply(inv.apply(i)), i);
+        }
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.gather(&[10, 20, 30]), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_maps() {
+        assert!(Permutation::from_vec(vec![0, 0]).is_err());
+        assert!(Permutation::from_vec(vec![0, 5]).is_err());
+        assert!(Permutation::from_vec(vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let p = Permutation::random(0, 1);
+        assert!(p.is_empty());
+        let p = Permutation::random(1, 1);
+        assert_eq!(p.apply(0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_roughly_uniform() {
+        // Position of element 0 across many seeds should hit all slots.
+        let mut counts = [0usize; 5];
+        for seed in 0..500 {
+            let p = Permutation::random(5, seed);
+            counts[p.inverse().apply(0)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 50, "position badly under-represented: {counts:?}");
+        }
+    }
+}

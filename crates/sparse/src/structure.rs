@@ -1,0 +1,210 @@
+//! Structural analysis of sparse matrices.
+//!
+//! The behaviours this repository studies all hinge on structure: the
+//! Zipf-skew of webspam's feature popularity drives cross-worker coupling
+//! (Fig. 3), row-length uniformity decides CSR-vs-ELLPACK (the layout
+//! ablation), and per-coordinate nonzero counts set the GPU block sizes.
+//! [`StructureProfile`] computes the numbers those discussions rely on.
+
+use crate::CsrMatrix;
+
+/// Distribution summary of per-row or per-column nonzero counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnzDistribution {
+    /// Minimum count.
+    pub min: usize,
+    /// Maximum count.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even lengths).
+    pub median: usize,
+    /// 90th percentile.
+    pub p90: usize,
+    /// Gini coefficient of the counts (0 = perfectly uniform, → 1 =
+    /// concentrated on few rows/columns).
+    pub gini: f64,
+    /// Share of all nonzeros carried by the top 10% heaviest rows/columns.
+    pub top_decile_share: f64,
+}
+
+impl NnzDistribution {
+    /// Summarize a list of nonzero counts.
+    ///
+    /// # Panics
+    /// Panics on an empty list.
+    pub fn from_counts(mut counts: Vec<usize>) -> Self {
+        assert!(!counts.is_empty(), "no counts to summarize");
+        counts.sort_unstable();
+        let n = counts.len();
+        let total: usize = counts.iter().sum();
+        let mean = total as f64 / n as f64;
+        let median = counts[(n - 1) / 2];
+        let p90 = counts[((n - 1) * 9) / 10];
+        // Gini over sorted counts: (2·Σ i·x_i)/(n·Σx) − (n+1)/n.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = counts
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i + 1) as f64 * x as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        let top_n = (n / 10).max(1);
+        let top: usize = counts[n - top_n..].iter().sum();
+        let top_decile_share = if total == 0 {
+            0.0
+        } else {
+            top as f64 / total as f64
+        };
+        NnzDistribution {
+            min: counts[0],
+            max: counts[n - 1],
+            mean,
+            median,
+            p90,
+            gini,
+            top_decile_share,
+        }
+    }
+}
+
+/// Full structural profile of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureProfile {
+    /// Per-row (example) nonzero distribution.
+    pub rows: NnzDistribution,
+    /// Per-column (feature) nonzero distribution.
+    pub cols: NnzDistribution,
+    /// ELLPACK padding the matrix would incur: max-row-width·rows / nnz.
+    pub ell_padding_ratio: f64,
+    /// Fraction of rows with no nonzeros at all.
+    pub empty_row_fraction: f64,
+    /// Fraction of columns with no nonzeros at all.
+    pub empty_col_fraction: f64,
+}
+
+impl StructureProfile {
+    /// Profile a CSR matrix.
+    pub fn of(csr: &CsrMatrix) -> Self {
+        let row_counts: Vec<usize> = (0..csr.rows()).map(|r| csr.row(r).nnz()).collect();
+        let mut col_counts = vec![0usize; csr.cols()];
+        for &c in csr.indices() {
+            col_counts[c as usize] += 1;
+        }
+        let empty_rows = row_counts.iter().filter(|&&c| c == 0).count();
+        let empty_cols = col_counts.iter().filter(|&&c| c == 0).count();
+        let max_row = row_counts.iter().copied().max().unwrap_or(0);
+        let ell_padding_ratio = if csr.nnz() == 0 {
+            1.0
+        } else {
+            (max_row * csr.rows()) as f64 / csr.nnz() as f64
+        };
+        StructureProfile {
+            rows: NnzDistribution::from_counts(row_counts.clone()),
+            cols: NnzDistribution::from_counts(col_counts),
+            ell_padding_ratio,
+            empty_row_fraction: empty_rows as f64 / csr.rows().max(1) as f64,
+            empty_col_fraction: empty_cols as f64 / csr.cols().max(1) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for StructureProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "rows: nnz min {} / median {} / mean {:.1} / p90 {} / max {} (gini {:.2}, top-10% share {:.0}%)",
+            self.rows.min,
+            self.rows.median,
+            self.rows.mean,
+            self.rows.p90,
+            self.rows.max,
+            self.rows.gini,
+            100.0 * self.rows.top_decile_share
+        )?;
+        writeln!(
+            f,
+            "cols: nnz min {} / median {} / mean {:.1} / p90 {} / max {} (gini {:.2}, top-10% share {:.0}%)",
+            self.cols.min,
+            self.cols.median,
+            self.cols.mean,
+            self.cols.p90,
+            self.cols.max,
+            self.cols.gini,
+            100.0 * self.cols.top_decile_share
+        )?;
+        write!(
+            f,
+            "ELLPACK padding ratio {:.2}; empty rows {:.1}%, empty cols {:.1}%",
+            self.ell_padding_ratio,
+            100.0 * self.empty_row_fraction,
+            100.0 * self.empty_col_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn uniform_counts_have_zero_gini() {
+        let d = NnzDistribution::from_counts(vec![5; 20]);
+        assert_eq!(d.min, 5);
+        assert_eq!(d.max, 5);
+        assert_eq!(d.median, 5);
+        assert!((d.gini).abs() < 1e-12);
+        assert!((d.top_decile_share - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concentrated_counts_have_high_gini() {
+        let mut counts = vec![0usize; 99];
+        counts.push(1000);
+        let d = NnzDistribution::from_counts(counts);
+        assert!(d.gini > 0.95, "gini {}", d.gini);
+        assert!((d.top_decile_share - 1.0).abs() < 1e-9);
+        assert_eq!(d.median, 0);
+        assert_eq!(d.max, 1000);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let d = NnzDistribution::from_counts((1..=100).collect());
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 100);
+        assert_eq!(d.median, 50);
+        assert_eq!(d.p90, 90);
+        assert!((d.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_of_known_matrix() {
+        // [1 1 1; 0 0 1; 0 0 0] — rows 3,1,0; cols 1,1,2.
+        let mut coo = CooMatrix::new(3, 3);
+        for &(r, c) in &[(0, 0), (0, 1), (0, 2), (1, 2)] {
+            coo.push(r, c, 1.0).unwrap();
+        }
+        let p = StructureProfile::of(&coo.to_csr());
+        assert_eq!(p.rows.max, 3);
+        assert_eq!(p.cols.max, 2);
+        assert!((p.empty_row_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((p.empty_col_fraction - 0.0).abs() < 1e-12);
+        // ELL: width 3 × 3 rows / 4 nnz.
+        assert!((p.ell_padding_ratio - 9.0 / 4.0).abs() < 1e-12);
+        let text = p.to_string();
+        assert!(text.contains("rows:"));
+        assert!(text.contains("ELLPACK padding ratio 2.25"));
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = NnzDistribution::from_counts(vec![1, 2, 3, 4]);
+        let b = NnzDistribution::from_counts(vec![10, 20, 30, 40]);
+        assert!((a.gini - b.gini).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Click-through-rate prediction at (scaled) criteo shape: one-hot
+//! categorical features whose values are all exactly 1, trained in the dual
+//! across a 4-GPU cluster with adaptive aggregation — the paper's §V-B
+//! headline experiment, where 4 Titan X GPUs train a 40 GB day of click
+//! logs "to a high degree of accuracy in around 4 seconds".
+//!
+//! ```sh
+//! cargo run --release --example click_prediction
+//! ```
+
+use tpa_scd::core::{AsyncCpuMode, Form, RidgeProblem, Solver};
+use tpa_scd::datasets::criteo_like;
+use tpa_scd::distributed::{
+    Aggregation, DistributedConfig, DistributedScd, LocalSolverKind,
+};
+use tpa_scd::gpu::GpuProfile;
+use tpa_scd::perf::scaling::{scale_cpu, scale_gpu, scale_link};
+use tpa_scd::perf::{CpuProfile, LinkProfile};
+
+fn run(label: &str, problem: &RidgeProblem, config: DistributedConfig, epochs: usize) -> f64 {
+    let mut cluster = DistributedScd::new(problem, &config).expect("cluster builds");
+    let mut seconds = 0.0;
+    for _ in 0..epochs {
+        seconds += cluster.epoch(problem).seconds();
+    }
+    println!(
+        "{label:<28} {:>9.4} simulated s, duality gap {:.2e}",
+        seconds,
+        cluster.duality_gap(problem)
+    );
+    seconds
+}
+
+fn main() {
+    // 10,000 ad impressions over 30 categorical fields of 200 values each
+    // (criteo's day: 200M impressions, 39 fields, 75M features).
+    let data = criteo_like(10_000, 30, 200, 7);
+    let problem = RidgeProblem::from_labelled(&data, 1e-3).expect("valid problem");
+    println!(
+        "CTR problem: {} impressions x {} one-hot features (all values = 1.0)\n",
+        problem.n(),
+        problem.m()
+    );
+
+    let k = 4;
+    let epochs = 60;
+
+    // Our stand-in is ~26,000x smaller than the paper's 40 GB criteo day
+    // (7.8e9 nonzeros, 75M-long dual shared vector). Rescale the fixed
+    // hardware costs so the time model keeps the paper's ratios — see
+    // `scd_perf_model::scaling` for the reasoning.
+    let compute_scale = 7.8e9 / problem.csr().nnz() as f64;
+    let vector_scale = 75.0e6 / problem.m() as f64;
+    let coord_scale = 39.0 / (problem.csr().nnz() as f64 / problem.n() as f64);
+    let network = scale_link(&LinkProfile::pcie3_x16(), compute_scale, vector_scale);
+    let cpu = scale_cpu(&CpuProfile::xeon_e5_2640(), compute_scale, vector_scale);
+    let titan = scale_gpu(&GpuProfile::titan_x_maxwell(), compute_scale, coord_scale);
+
+    // Reference 1: four single-thread CPU workers (Algorithm 3).
+    let cpu_s = run(
+        "4x SCD (1 thread)",
+        &problem,
+        DistributedConfig::new(k, Form::Dual)
+            .with_network(network.clone())
+            .with_cpu(cpu.clone())
+            .with_seed(3),
+        epochs,
+    );
+
+    // Reference 2: four 16-thread PASSCoDe-Wild workers.
+    let wild_s = run(
+        "4x PASSCoDe-Wild (16 thr)",
+        &problem,
+        DistributedConfig::new(k, Form::Dual)
+            .with_network(network.clone())
+            .with_cpu(cpu.clone())
+            .with_solver(LocalSolverKind::AsyncSim {
+                mode: AsyncCpuMode::Wild,
+                threads: 16,
+                paper_scale_staleness: true,
+            })
+            .with_seed(3),
+        epochs,
+    );
+
+    // The paper's system: four Titan X GPUs running TPA-SCD with adaptive
+    // aggregation.
+    let gpu_s = run(
+        "4x TPA-SCD (Titan X)",
+        &problem,
+        DistributedConfig::new(k, Form::Dual)
+            .with_network(network.clone())
+            .with_pcie(network)
+            .with_cpu(cpu)
+            .with_aggregation(Aggregation::Adaptive)
+            .with_solver(LocalSolverKind::Tpa {
+                profile: titan,
+                lanes: 64,
+                deterministic: true,
+            })
+            .with_seed(3),
+        epochs,
+    );
+
+    println!(
+        "\nGPU cluster vs 1-thread workers: {:.0}x faster per {epochs} epochs",
+        cpu_s / gpu_s
+    );
+    println!(
+        "GPU cluster vs wild workers:     {:.0}x faster per {epochs} epochs",
+        wild_s / gpu_s
+    );
+    println!("(paper, full-scale criteo: ~40x and ~20x respectively)");
+}

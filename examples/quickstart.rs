@@ -1,0 +1,57 @@
+//! Quickstart: train ridge regression with sequential stochastic coordinate
+//! descent (Algorithm 1) and watch the duality gap drop to machine noise.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tpa_scd::core::{exact_primal, RidgeProblem, SequentialScd, Solver};
+use tpa_scd::datasets::{scale_values, webspam_like};
+
+fn main() {
+    // A small sparse classification problem shaped like the paper's
+    // webspam dataset: more features than examples, skewed feature
+    // popularity, ±1 labels.
+    // (Values are scaled down so the effective regularization ratio
+    // Nλ/‖a_m‖² sits in the paper's well-conditioned regime.)
+    let data = scale_values(&webspam_like(600, 1_000, 30, 42), 0.3);
+    let problem = RidgeProblem::from_labelled(&data, 1e-3).expect("valid problem");
+    println!(
+        "problem: {} examples x {} features, {} nonzeros, lambda = {}",
+        problem.n(),
+        problem.m(),
+        problem.csr().nnz(),
+        problem.lambda()
+    );
+
+    // Solve the primal formulation: one epoch = one permuted pass over all
+    // features, each optimized exactly in closed form.
+    let mut solver = SequentialScd::primal(&problem, 7);
+    println!("\n{:>6} {:>14} {:>14}", "epoch", "duality gap", "sim. seconds");
+    let mut seconds = 0.0;
+    for epoch in 1..=100 {
+        let stats = solver.epoch(&problem);
+        seconds += stats.seconds();
+        if epoch % 10 == 0 {
+            println!(
+                "{epoch:>6} {:>14.3e} {:>14.6}",
+                solver.duality_gap(&problem),
+                seconds
+            );
+        }
+    }
+
+    // The duality gap is an optimality *certificate*: compare against the
+    // closed-form ridge solution to see it is not lying.
+    let beta_scd = solver.weights();
+    let beta_exact = exact_primal(&problem);
+    let max_diff = beta_scd
+        .iter()
+        .zip(&beta_exact)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("\nmax |beta_scd - beta_exact| = {max_diff:.2e}");
+    println!("final duality gap            = {:.2e}", solver.duality_gap(&problem));
+    assert!(max_diff < 1e-2, "SCD should land on the exact optimum");
+    println!("\nSCD reached the closed-form ridge optimum. ✓");
+}

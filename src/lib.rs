@@ -1,0 +1,44 @@
+//! # tpa-scd — Large-Scale Stochastic Learning using (simulated) GPUs
+//!
+//! A from-scratch Rust reproduction of *Parnell, Dünner, Atasu, Sifalakis,
+//! Pozidis — "Large-Scale Stochastic Learning using GPUs" (IPPS 2017,
+//! arXiv:1702.07005)*.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`sparse`] — COO/CSR/CSC sparse linear algebra, LIBSVM I/O.
+//! * [`datasets`] — synthetic webspam-like and criteo-like generators.
+//! * [`perf`] — calibrated hardware cost models (Xeon, M4000, Titan X,
+//!   10 GbE, PCIe 3.0).
+//! * [`gpu`] — the software GPU: SMs, thread blocks, SIMT lanes, block
+//!   barriers, f32 atomic adds, cycle accounting.
+//! * [`core`] — ridge regression (primal/dual), duality gap, sequential SCD,
+//!   asynchronous CPU engines (A-SCD, PASSCoDe-Wild) and **TPA-SCD**
+//!   (Algorithm 2) running on the simulated GPU.
+//! * [`distributed`] — the cluster runtime: partition by feature/example,
+//!   Algorithm 3 (averaging) and Algorithm 4 (adaptive aggregation),
+//!   distributed TPA-SCD, communication/computation time accounting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tpa_scd::datasets::{scale_values, webspam_like};
+//! use tpa_scd::core::{RidgeProblem, SequentialScd, Solver};
+//!
+//! // A small webspam-shaped problem (values scaled into the paper's
+//! // well-conditioned Nλ/‖a‖² regime).
+//! let data = scale_values(&webspam_like(300, 500, 15, 42), 0.3);
+//! let problem = RidgeProblem::from_labelled(&data, 1e-3).unwrap();
+//! let mut solver = SequentialScd::primal(&problem, 7);
+//! for _ in 0..50 {
+//!     solver.epoch(&problem);
+//! }
+//! assert!(problem.primal_duality_gap(&solver.weights()) < 1e-4);
+//! ```
+
+pub use gpu_sim as gpu;
+pub use scd_core as core;
+pub use scd_datasets as datasets;
+pub use scd_distributed as distributed;
+pub use scd_perf_model as perf;
+pub use scd_sparse as sparse;

@@ -1,0 +1,159 @@
+//! Cross-crate integration: every engine in the workspace — sequential,
+//! deterministic-async, real-thread-async, TPA-SCD on the simulated GPU,
+//! and the distributed driver — must agree on the optimum of one shared
+//! problem, certified against the closed-form ridge solution.
+
+use std::sync::Arc;
+use tpa_scd::core::{
+    exact_primal, AsyncCpuMode, AsyncCpuScd, AsyncSimScd, Form, RidgeProblem, SequentialScd,
+    Solver, TpaScd,
+};
+use tpa_scd::datasets::{scale_values, webspam_like};
+use tpa_scd::distributed::{Aggregation, DistributedConfig, DistributedScd};
+use tpa_scd::gpu::{Gpu, GpuProfile};
+use tpa_scd::sparse::dense;
+
+fn shared_problem() -> RidgeProblem {
+    let data = scale_values(&webspam_like(300, 400, 25, 99), 0.3);
+    RidgeProblem::from_labelled(&data, 1e-3).expect("valid problem")
+}
+
+fn assert_near_exact(label: &str, problem: &RidgeProblem, beta: &[f32], tol: f32) {
+    let exact = exact_primal(problem);
+    let diff = dense::max_abs_diff(beta, &exact);
+    assert!(
+        diff < tol,
+        "{label}: max weight error vs closed form = {diff} (tol {tol})"
+    );
+}
+
+#[test]
+fn all_primal_engines_find_the_same_optimum() {
+    let problem = shared_problem();
+
+    let mut seq = SequentialScd::primal(&problem, 1);
+    for _ in 0..120 {
+        seq.epoch(&problem);
+    }
+    assert_near_exact("sequential", &problem, &seq.weights(), 1e-3);
+
+    let mut atomic = AsyncSimScd::a_scd(&problem, Form::Primal, 2);
+    for _ in 0..120 {
+        atomic.epoch(&problem);
+    }
+    assert_near_exact("A-SCD (sim)", &problem, &atomic.weights(), 1e-3);
+
+    let mut threads = AsyncCpuScd::new(&problem, Form::Primal, AsyncCpuMode::Atomic, 4, 3);
+    for _ in 0..120 {
+        threads.epoch(&problem);
+    }
+    assert_near_exact("A-SCD (real threads)", &problem, &threads.weights(), 1e-3);
+
+    let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()));
+    let mut tpa = TpaScd::new(&problem, Form::Primal, gpu, 4).expect("fits");
+    for _ in 0..120 {
+        tpa.epoch(&problem);
+    }
+    assert_near_exact("TPA-SCD", &problem, &tpa.weights(), 1e-3);
+
+    let config = DistributedConfig::new(4, Form::Primal)
+        .with_aggregation(Aggregation::Adaptive)
+        .with_seed(5);
+    let mut dist = DistributedScd::new(&problem, &config).expect("cluster builds");
+    for _ in 0..400 {
+        dist.epoch(&problem);
+    }
+    assert_near_exact("distributed adaptive", &problem, &dist.weights(), 2e-3);
+}
+
+#[test]
+fn dual_engines_recover_the_primal_optimum_through_eq5() {
+    let problem = shared_problem();
+    let exact = exact_primal(&problem);
+
+    let mut seq = SequentialScd::dual(&problem, 1);
+    for _ in 0..150 {
+        seq.epoch(&problem);
+    }
+    let beta_from_dual = problem.induced_primal(&seq.weights());
+    assert!(
+        dense::max_abs_diff(&beta_from_dual, &exact) < 2e-3,
+        "dual sequential solution must map to β* via Eq. 5"
+    );
+
+    let gpu = Arc::new(Gpu::new(GpuProfile::titan_x_maxwell()));
+    let mut tpa = TpaScd::new(&problem, Form::Dual, gpu, 2).expect("fits");
+    for _ in 0..150 {
+        tpa.epoch(&problem);
+    }
+    let beta_from_tpa = problem.induced_primal(&tpa.weights());
+    assert!(
+        dense::max_abs_diff(&beta_from_tpa, &exact) < 2e-3,
+        "dual TPA-SCD solution must map to β* via Eq. 5"
+    );
+}
+
+#[test]
+fn primal_and_dual_optimal_objectives_coincide() {
+    // Strong duality: P(β*) = D(α*), approached from both sides.
+    let problem = shared_problem();
+    let mut primal = SequentialScd::primal(&problem, 7);
+    let mut dual = SequentialScd::dual(&problem, 7);
+    for _ in 0..150 {
+        primal.epoch(&problem);
+        dual.epoch(&problem);
+    }
+    let p_star = problem.primal_objective(&primal.weights());
+    let d_star = problem.dual_objective(&dual.weights());
+    let rel = (p_star - d_star).abs() / p_star.abs().max(1e-12);
+    assert!(rel < 1e-4, "P* = {p_star}, D* = {d_star}, rel gap {rel}");
+}
+
+#[test]
+fn wild_engines_violate_optimality_but_stay_useful() {
+    // The paper's central negative result about PASSCoDe-Wild, end to end.
+    let problem = shared_problem();
+    let mut wild = AsyncSimScd::wild(&problem, Form::Primal, 11);
+    let mut clean = SequentialScd::primal(&problem, 11);
+    for _ in 0..120 {
+        wild.epoch(&problem);
+        clean.epoch(&problem);
+    }
+    let (gw, gc) = (wild.duality_gap(&problem), clean.duality_gap(&problem));
+    assert!(gw > 100.0 * gc, "wild gap {gw} must plateau far above clean {gc}");
+    // ... yet its objective is within a few percent of optimal.
+    let obj_wild = problem.primal_objective(&wild.weights());
+    let obj_star = problem.primal_objective(&clean.weights());
+    assert!(
+        obj_wild < obj_star * 1.1,
+        "wild objective {obj_wild} should stay near optimal {obj_star}"
+    );
+}
+
+#[test]
+fn distributed_tpa_cluster_agrees_with_single_gpu() {
+    let problem = shared_problem();
+    let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+    let mut single = TpaScd::new(&problem, Form::Dual, gpu, 5).expect("fits");
+    for _ in 0..200 {
+        single.epoch(&problem);
+    }
+
+    let config = DistributedConfig::new(3, Form::Dual)
+        .with_aggregation(Aggregation::Adaptive)
+        .with_solver(tpa_scd::distributed::LocalSolverKind::Tpa {
+            profile: GpuProfile::quadro_m4000(),
+            lanes: 64,
+            deterministic: true,
+        })
+        .with_seed(6);
+    let mut cluster = DistributedScd::new(&problem, &config).expect("cluster builds");
+    for _ in 0..400 {
+        cluster.epoch(&problem);
+    }
+    let diff = dense::max_abs_diff(&single.weights(), &cluster.weights());
+    assert!(
+        diff < 5e-3,
+        "3-GPU cluster and single GPU must agree on α*, diff {diff}"
+    );
+}

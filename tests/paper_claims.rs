@@ -1,0 +1,268 @@
+//! Miniature versions of the paper's headline claims, small enough to run
+//! in the test suite. The full-size reproductions are the `fig1`…`fig10`
+//! binaries in `crates/bench`; these tests pin the *direction* of every
+//! claim so a regression anywhere in the stack trips CI.
+
+use std::sync::Arc;
+use tpa_scd::core::async_sim::scaled_staleness;
+use tpa_scd::core::{AsyncSimScd, Form, RidgeProblem, SequentialScd, Solver, TpaScd};
+use tpa_scd::datasets::{scale_values, webspam_like, webspam_like_custom};
+use tpa_scd::distributed::{Aggregation, DistributedConfig, DistributedScd, LocalSolverKind};
+use tpa_scd::gpu::{Gpu, GpuProfile};
+use tpa_scd::perf::scaling::{scale_cpu, scale_gpu, scale_link};
+use tpa_scd::perf::{CpuProfile, LinkProfile};
+
+/// Paper-scale factors for a stand-in problem (see `scd_perf_model::scaling`
+/// and the figure harness): webspam has ≈9e8 nonzeros and shared vectors of
+/// 262,938 (primal w) / 680,715 (dual w̄) floats.
+fn paper_scales(p: &RidgeProblem, form: Form) -> (f64, f64, f64) {
+    let compute = 9.0e8 / p.csr().nnz() as f64;
+    let paper_shared = match form {
+        Form::Primal => 262_938usize,
+        Form::Dual => 680_715,
+    };
+    let vector = paper_shared as f64 / p.shared_len(form) as f64;
+    let paper_coords = match form {
+        Form::Primal => 680_715usize,
+        Form::Dual => 262_938,
+    };
+    let coord = (9.0e8 / paper_coords as f64) / (p.csr().nnz() as f64 / p.coords(form) as f64);
+    (compute, vector, coord)
+}
+
+/// A cluster config with all scale-sensitive hardware terms corrected.
+fn scaled_config(p: &RidgeProblem, k: usize, form: Form) -> DistributedConfig {
+    let (compute, vector, _) = paper_scales(p, form);
+    DistributedConfig::new(k, form)
+        .with_network(scale_link(&LinkProfile::ethernet_10g(), compute, vector))
+        .with_pcie(scale_link(&LinkProfile::pcie3_x16(), compute, vector))
+        .with_cpu(scale_cpu(&CpuProfile::xeon_e5_2640(), compute, vector))
+}
+
+fn webspam_mini() -> RidgeProblem {
+    let data = scale_values(&webspam_like(250, 350, 60, 0xEB), 0.25);
+    RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+}
+
+fn webspam_dist_mini() -> RidgeProblem {
+    let data = scale_values(&webspam_like_custom(400, 600, 25, 0.3, 0xEB), 0.4);
+    RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+}
+
+/// Run to gap ≤ eps, returning (epochs, simulated seconds) or None.
+fn to_gap(solver: &mut dyn Solver, p: &RidgeProblem, eps: f64, cap: usize) -> Option<(usize, f64)> {
+    let mut secs = 0.0;
+    for e in 1..=cap {
+        secs += solver.epoch(p).seconds();
+        if solver.duality_gap(p) <= eps {
+            return Some((e, secs));
+        }
+    }
+    None
+}
+
+#[test]
+fn fig1_fig2_speedup_ordering() {
+    // §III-D: at equal duality gap, simulated training time must order
+    // SCD(1t) > A-SCD(16t) > TPA-SCD(M4000) > TPA-SCD(Titan X).
+    for form in [Form::Primal, Form::Dual] {
+        let p = webspam_mini();
+        let eps = 1e-4;
+        let cap = 300;
+        let window = scaled_staleness(16, p.coords(form), 680_715);
+
+        let mut seq: Box<dyn Solver> = Box::new(match form {
+            Form::Primal => SequentialScd::primal(&p, 1),
+            Form::Dual => SequentialScd::dual(&p, 1),
+        });
+        let (_, t_seq) = to_gap(seq.as_mut(), &p, eps, cap).expect("seq converges");
+
+        let mut ascd = AsyncSimScd::a_scd(&p, form, 1).with_staleness(window);
+        let (_, t_ascd) = to_gap(&mut ascd, &p, eps, cap).expect("A-SCD converges");
+
+        let (compute, _, coord) = paper_scales(&p, form);
+        let gm = Arc::new(
+            Gpu::new(scale_gpu(&GpuProfile::quadro_m4000(), compute, coord)).with_host_threads(1),
+        );
+        let mut m4000 = TpaScd::new(&p, form, gm, 1).unwrap();
+        let (_, t_m4000) = to_gap(&mut m4000, &p, eps, cap).expect("M4000 converges");
+
+        let gt = Arc::new(
+            Gpu::new(scale_gpu(&GpuProfile::titan_x_maxwell(), compute, coord))
+                .with_host_threads(1),
+        );
+        let mut titan = TpaScd::new(&p, form, gt, 1).unwrap();
+        let (_, t_titan) = to_gap(&mut titan, &p, eps, cap).expect("Titan converges");
+
+        assert!(
+            t_seq > t_ascd && t_ascd > t_m4000 && t_m4000 > t_titan,
+            "{}: expected seq {t_seq} > ascd {t_ascd} > m4000 {t_m4000} > titan {t_titan}",
+            form.label()
+        );
+        // The A-SCD speedup is ≈2x by calibration; TPA at least 5x.
+        assert!(t_seq / t_ascd > 1.5 && t_seq / t_ascd < 3.0);
+        assert!(t_seq / t_m4000 > 5.0, "M4000 speedup {}", t_seq / t_m4000);
+    }
+}
+
+#[test]
+fn fig1_wild_plateaus_while_others_converge() {
+    let p = webspam_mini();
+    let mut wild = AsyncSimScd::wild(&p, Form::Primal, 1).with_staleness(0);
+    let mut seq = SequentialScd::primal(&p, 1);
+    for _ in 0..150 {
+        wild.epoch(&p);
+        seq.epoch(&p);
+    }
+    let (gw, gs) = (wild.duality_gap(&p), seq.duality_gap(&p));
+    assert!(gs < 1e-6, "sequential converges, gap {gs}");
+    assert!(gw > 1e-5, "wild plateaus, gap {gw}");
+}
+
+#[test]
+fn fig3_distributed_epochs_grow_with_workers() {
+    let p = webspam_dist_mini();
+    let mut prev = 0usize;
+    for k in [1usize, 2, 4, 8] {
+        let config = DistributedConfig::new(k, Form::Primal).with_seed(9);
+        let mut d = DistributedScd::new(&p, &config).unwrap();
+        let (e, _) = to_gap(&mut d, &p, 1e-4, 2000).expect("distributed converges");
+        assert!(
+            e >= prev,
+            "epochs must not decrease with workers: K={k} took {e} < {prev}"
+        );
+        prev = e;
+    }
+}
+
+#[test]
+fn fig4_adaptive_beats_averaging_at_k8() {
+    let p = webspam_dist_mini();
+    let run = |agg| {
+        let config = DistributedConfig::new(8, Form::Primal)
+            .with_aggregation(agg)
+            .with_seed(4);
+        let mut d = DistributedScd::new(&p, &config).unwrap();
+        to_gap(&mut d, &p, 1e-4, 2000).expect("converges").0
+    };
+    let avg = run(Aggregation::Averaging);
+    let ada = run(Aggregation::Adaptive);
+    assert!(ada < avg, "adaptive {ada} must beat averaging {avg}");
+}
+
+#[test]
+fn fig5_gamma_settles_above_one_over_k() {
+    let p = webspam_dist_mini();
+    for k in [2usize, 4, 8] {
+        let config = DistributedConfig::new(k, Form::Primal)
+            .with_aggregation(Aggregation::Adaptive)
+            .with_seed(5);
+        let mut d = DistributedScd::new(&p, &config).unwrap();
+        for _ in 0..30 {
+            d.epoch(&p);
+        }
+        assert!(
+            d.last_gamma() > 1.0 / k as f64,
+            "K={k}: settled gamma {} <= 1/K",
+            d.last_gamma()
+        );
+    }
+}
+
+#[test]
+fn fig6_adaptive_scaling_is_flatter_than_averaging() {
+    let p = webspam_dist_mini();
+    let time_ratio = |agg| {
+        let time_at = |k| {
+            let config = scaled_config(&p, k, Form::Primal)
+                .with_aggregation(agg)
+                .with_seed(6);
+            let mut d = DistributedScd::new(&p, &config).unwrap();
+            to_gap(&mut d, &p, 3e-4, 3000).expect("converges").1
+        };
+        time_at(8) / time_at(1)
+    };
+    let averaging = time_ratio(Aggregation::Averaging);
+    let adaptive = time_ratio(Aggregation::Adaptive);
+    assert!(
+        adaptive < averaging,
+        "adaptive K8/K1 time ratio {adaptive} must be flatter than averaging {averaging}"
+    );
+    assert!(adaptive < 4.0, "adaptive scaling should be roughly flat, got {adaptive}");
+}
+
+#[test]
+fn fig8_tpa_workers_beat_cpu_workers_at_every_k() {
+    let p = webspam_dist_mini();
+    let (compute, _, coord) = paper_scales(&p, Form::Dual);
+    for k in [1usize, 4] {
+        let cpu_cfg = scaled_config(&p, k, Form::Dual).with_seed(8);
+        let mut cpu = DistributedScd::new(&p, &cpu_cfg).unwrap();
+        let (_, t_cpu) = to_gap(&mut cpu, &p, 1e-4, 2000).expect("cpu cluster converges");
+
+        let gpu_cfg = scaled_config(&p, k, Form::Dual)
+            .with_solver(LocalSolverKind::Tpa {
+                profile: scale_gpu(&GpuProfile::quadro_m4000(), compute, coord),
+                lanes: 64,
+                deterministic: true,
+            })
+            .with_seed(8);
+        let mut gpu = DistributedScd::new(&p, &gpu_cfg).unwrap();
+        let (_, t_gpu) = to_gap(&mut gpu, &p, 1e-4, 2000).expect("gpu cluster converges");
+        assert!(
+            t_gpu < t_cpu,
+            "K={k}: TPA cluster {t_gpu}s must beat CPU cluster {t_cpu}s"
+        );
+    }
+}
+
+#[test]
+fn fig9_communication_share_grows_with_workers_but_stays_minor() {
+    let p = webspam_dist_mini();
+    let comm_share = |k: usize| {
+        let config = DistributedConfig::new(k, Form::Dual)
+            .with_solver(LocalSolverKind::Tpa {
+                profile: GpuProfile::quadro_m4000(),
+                lanes: 64,
+                deterministic: true,
+            })
+            .with_seed(9);
+        let mut d = DistributedScd::new(&p, &config).unwrap();
+        let mut total = tpa_scd::core::TimeBreakdown::default();
+        for _ in 0..10 {
+            total.accumulate(&d.epoch(&p).breakdown);
+        }
+        (total.pcie + total.network) / total.total()
+    };
+    let s1 = comm_share(1);
+    let s8 = comm_share(8);
+    assert!(s8 > s1, "communication share must grow with K: {s1} -> {s8}");
+}
+
+#[test]
+fn fig10_gpu_cluster_dominates_on_criteo_shape() {
+    use tpa_scd::datasets::criteo_like;
+    let data = criteo_like(2_000, 10, 60, 7);
+    let p = RidgeProblem::from_labelled(&data, 1e-3).unwrap();
+    let k = 4;
+    let eps = 1e-3;
+
+    let mut cpu = DistributedScd::new(&p, &DistributedConfig::new(k, Form::Dual).with_seed(10))
+        .unwrap();
+    let (_, t_cpu) = to_gap(&mut cpu, &p, eps, 1000).expect("cpu converges");
+
+    let gpu_cfg = DistributedConfig::new(k, Form::Dual)
+        .with_aggregation(Aggregation::Adaptive)
+        .with_solver(LocalSolverKind::Tpa {
+            profile: GpuProfile::titan_x_maxwell(),
+            lanes: 64,
+            deterministic: true,
+        })
+        .with_seed(10);
+    let mut gpu = DistributedScd::new(&p, &gpu_cfg).unwrap();
+    let (_, t_gpu) = to_gap(&mut gpu, &p, eps, 1000).expect("gpu converges");
+    assert!(
+        t_gpu < t_cpu,
+        "Titan X cluster ({t_gpu}s) must beat CPU cluster ({t_cpu}s)"
+    );
+}

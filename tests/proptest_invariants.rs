@@ -1,0 +1,144 @@
+//! Property-based tests on the core invariants of the system, driven by
+//! randomly generated problems.
+
+use proptest::prelude::*;
+use tpa_scd::core::{
+    exact_primal, optimal_gamma_primal, updates, Form, RidgeProblem, SequentialScd, Solver,
+};
+use tpa_scd::sparse::dense;
+use tpa_scd::sparse::CooMatrix;
+
+/// Strategy: a small random sparse problem with at least one nonzero per
+/// row (so the dual coordinates are meaningful) and λ in a sane range.
+fn arb_problem() -> impl Strategy<Value = RidgeProblem> {
+    (2usize..10, 2usize..10, 1u64..1_000_000, 1u32..100).prop_map(|(n, m, seed, lam)| {
+        // Deterministic pseudo-random fill from the seed.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f32 / (1u64 << 31) as f32 - 0.5
+        };
+        let mut coo = CooMatrix::new(n, m);
+        let mut labels = Vec::with_capacity(n);
+        for r in 0..n {
+            // 1..=m entries per row.
+            let row_nnz = 1 + (next().abs() * m as f32) as usize % m;
+            for c in 0..row_nnz {
+                coo.push(r, c, next() * 2.0).unwrap();
+            }
+            labels.push(next() * 2.0);
+        }
+        RidgeProblem::new(coo.to_csr(), labels, lam as f64 / 100.0).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weak duality: P(β) ≥ D(α) for arbitrary iterates on arbitrary
+    /// problems, so both duality gaps are non-negative.
+    #[test]
+    fn weak_duality_holds_everywhere(problem in arb_problem(), scale in -2.0f32..2.0) {
+        let beta: Vec<f32> = (0..problem.m()).map(|i| scale * ((i % 5) as f32 - 2.0) / 5.0).collect();
+        let alpha: Vec<f32> = (0..problem.n()).map(|i| scale * ((i % 3) as f32 - 1.0) / 3.0).collect();
+        let p = problem.primal_objective(&beta);
+        let d = problem.dual_objective(&alpha);
+        prop_assert!(p >= d - 1e-6 * p.abs().max(1.0));
+    }
+
+    /// The primal coordinate update (Eq. 2) exactly minimizes its
+    /// one-dimensional subproblem: after applying it, re-deriving the
+    /// update for the same coordinate yields (numerically) zero.
+    #[test]
+    fn primal_update_is_a_fixed_point(problem in arb_problem(), coord_sel in 0usize..100) {
+        let m = coord_sel % problem.m();
+        let col = problem.csc().col(m);
+        prop_assume!(col.nnz() > 0);
+        let mut beta = vec![0.0f32; problem.m()];
+        let mut w = vec![0.0f32; problem.n()];
+        let dot = |w: &[f32]| -> f64 {
+            col.indices.iter().zip(col.values)
+                .map(|(&i, &v)| (problem.labels()[i as usize] as f64 - w[i as usize] as f64) * v as f64)
+                .sum()
+        };
+        let d1 = updates::primal_delta(dot(&w), beta[m] as f64, problem.col_sq_norms()[m], problem.n_lambda());
+        beta[m] += d1 as f32;
+        col.axpy_into(d1 as f32, &mut w);
+        let d2 = updates::primal_delta(dot(&w), beta[m] as f64, problem.col_sq_norms()[m], problem.n_lambda());
+        // Second application moves by at most f32 rounding of the first.
+        prop_assert!(d2.abs() <= d1.abs() * 1e-5 + 1e-6, "d1={d1}, d2={d2}");
+    }
+
+    /// Sequential SCD monotonically decreases the primal objective
+    /// epoch-over-epoch (exact coordinate minimization can never increase
+    /// it) and ends close to the closed-form optimum.
+    #[test]
+    fn scd_descends_to_the_exact_optimum(problem in arb_problem()) {
+        let mut solver = SequentialScd::primal(&problem, 13);
+        let mut prev = problem.primal_objective(&solver.weights());
+        for _ in 0..60 {
+            solver.epoch(&problem);
+            let cur = problem.primal_objective(&solver.weights());
+            prop_assert!(cur <= prev + 1e-5 * prev.abs().max(1e-9), "{prev} -> {cur}");
+            prev = cur;
+        }
+        let exact = exact_primal(&problem);
+        let diff = dense::max_abs_diff(&solver.weights(), &exact);
+        // Tolerance scales with the optimum's magnitude.
+        let scale = exact.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+        prop_assert!(diff <= 2e-2 * scale, "diff {diff}, scale {scale}");
+    }
+
+    /// The optimality mappings are mutually consistent everywhere:
+    /// induced_dual(induced_primal(α*)) = α* at the optimum.
+    #[test]
+    fn optimality_mappings_roundtrip_at_optimum(problem in arb_problem()) {
+        let beta_star = exact_primal(&problem);
+        let alpha_star = problem.induced_dual(&beta_star);
+        let beta_back = problem.induced_primal(&alpha_star);
+        let scale = beta_star.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+        prop_assert!(dense::max_abs_diff(&beta_star, &beta_back) <= 1e-3 * scale);
+    }
+
+    /// The closed-form γ* is optimal on its line: no sampled γ does better.
+    #[test]
+    fn gamma_star_beats_any_sampled_gamma(problem in arb_problem(), dir_seed in 1u64..1000) {
+        let mut state = dir_seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32 - 0.5
+        };
+        let beta: Vec<f32> = (0..problem.m()).map(|_| next()).collect();
+        let dbeta: Vec<f32> = (0..problem.m()).map(|_| next()).collect();
+        let w = problem.csc().matvec(&beta).unwrap();
+        let dw = problem.csc().matvec(&dbeta).unwrap();
+        let gamma = optimal_gamma_primal(
+            problem.labels(), &w, &dw,
+            dense::dot(&beta, &dbeta),
+            dense::squared_norm(&dbeta),
+            problem.n_lambda(),
+        );
+        let apply = |g: f64| {
+            let cand: Vec<f32> = beta.iter().zip(&dbeta).map(|(&b, &d)| b + g as f32 * d).collect();
+            problem.primal_objective(&cand)
+        };
+        let best = apply(gamma);
+        for g in [-2.0, -0.5, 0.0, 0.25, 0.5, 1.0, 2.0] {
+            prop_assert!(best <= apply(g) + 1e-5 * best.abs().max(1.0),
+                "gamma* {gamma} worse than sampled {g}");
+        }
+    }
+
+    /// Duality gap is invariant to which engine produced the weights: it is
+    /// a pure function of the iterate.
+    #[test]
+    fn gap_is_a_pure_function_of_weights(problem in arb_problem()) {
+        let mut a = SequentialScd::primal(&problem, 3);
+        for _ in 0..3 { a.epoch(&problem); }
+        let weights = a.weights();
+        let g1 = problem.primal_duality_gap(&weights);
+        let g2 = problem.duality_gap(Form::Primal, &weights);
+        prop_assert!((g1 - g2).abs() < 1e-15);
+        prop_assert!(g1 >= 0.0);
+    }
+}
