@@ -1,0 +1,193 @@
+//! Wall-clock benchmark of the gpu-sim executor on TPA-SCD epochs,
+//! recorded to `BENCH_gpusim.json` so the perf trajectory is tracked
+//! across PRs.
+//!
+//! Two configurations run the *same* simulated work (identical cost
+//! counters and simulated seconds — see `tests/tpa_golden.rs`):
+//!
+//! * `legacy`: element-wise kernels (one counted `BlockCtx::read`/`add`
+//!   per element) on a device whose worker pool is torn down and re-created
+//!   every launch — the shape of the original per-launch executor;
+//! * `pooled`: the bulk-API kernels in `TpaScd` on one persistent device,
+//!   where a launch is an enqueue plus a completion latch.
+//!
+//! The headline number is `speedup_pooled_over_legacy` (host wall-clock;
+//! the simulated clock is identical by construction).
+
+use gpu_sim::{BlockCtx, DeviceBuffer, Gpu, GpuProfile, Kernel, MemSemantics};
+use scd_core::problem::{Form, RidgeProblem};
+use scd_core::solver::Solver;
+use scd_core::tpa::{TpaScd, DEFAULT_LANES};
+use scd_core::updates::dual_delta;
+use scd_datasets::{scale_values, webspam_like};
+use scd_sparse::perm::Permutation;
+use scd_sparse::CsrMatrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The pre-port dual kernel, verbatim: per-element counted reads/adds.
+struct ElementwiseDualKernel<'a> {
+    csr: &'a CsrMatrix,
+    y: &'a [f32],
+    row_sq_norms: &'a [f64],
+    perm: &'a Permutation,
+    alpha: &'a DeviceBuffer,
+    w_bar: &'a DeviceBuffer,
+    lambda: f64,
+    n_lambda: f64,
+}
+
+impl Kernel for ElementwiseDualKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let n = self.perm.apply(ctx.block_id());
+        let row = self.csr.row(n);
+        let nnz = row.nnz();
+        let lanes = ctx.lanes();
+
+        let mut partials = vec![0.0f32; lanes];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut dp = 0.0f32;
+            let mut k = u;
+            while k < nnz {
+                dp += ctx.read(self.w_bar, row.indices[k] as usize) * row.values[k];
+                k += lanes;
+            }
+            *p = dp;
+        }
+        ctx.charge_read_bytes(8 * nnz as u64);
+        ctx.charge_lane_ops(nnz as u64);
+        ctx.shared()[..lanes].copy_from_slice(&partials);
+        ctx.barrier();
+
+        let dot = ctx.tree_reduce() as f64;
+        let alpha_n = ctx.read(self.alpha, n);
+        let delta = dual_delta(
+            dot,
+            self.y[n] as f64,
+            alpha_n as f64,
+            self.row_sq_norms[n],
+            self.lambda,
+            self.n_lambda,
+        ) as f32;
+        ctx.write(self.alpha, n, alpha_n + delta);
+        ctx.barrier();
+
+        for k in 0..nnz {
+            ctx.add(
+                MemSemantics::Atomic,
+                self.w_bar,
+                row.indices[k] as usize,
+                row.values[k] * delta,
+            );
+        }
+        ctx.charge_read_bytes(8 * nnz as u64);
+    }
+}
+
+fn problem() -> RidgeProblem {
+    let data = scale_values(&webspam_like(4000, 2000, 150, 80), 0.3);
+    RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+}
+
+/// The original executor, verbatim: a fresh `crossbeam::scope` of workers
+/// per launch, a freshly allocated `BlockCtx` per block, and per-block
+/// cost recording through a shared `Mutex<Vec<BlockCost>>`.
+fn legacy_launch<K: Kernel>(profile: &GpuProfile, kernel: &K, blocks: usize, lanes: usize) {
+    let costs: Mutex<Vec<gpu_sim::BlockCost>> =
+        Mutex::new(vec![gpu_sim::BlockCost::default(); blocks]);
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(profile.sm_count)
+        .min(blocks.max(1));
+    let shared_len = kernel.shared_len(lanes);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks {
+                    break;
+                }
+                let mut ctx = BlockCtx::new(b, lanes, shared_len);
+                kernel.block(&mut ctx);
+                costs.lock().unwrap()[b] = ctx.cost();
+            });
+        }
+    })
+    .expect("kernel block panicked");
+
+    let costs = costs.into_inner().unwrap();
+    let block_seconds: Vec<f64> = costs
+        .iter()
+        .map(|c| profile.block_seconds(c.lane_ops, c.bytes, c.atomics))
+        .collect();
+    let _ = gpu_sim::schedule_blocks(&block_seconds, profile.sm_count);
+}
+
+/// Legacy shape: element-wise kernel through the per-launch executor.
+fn legacy_epoch_seconds(p: &RidgeProblem, epochs: usize) -> f64 {
+    let profile = GpuProfile::quadro_m4000();
+    let alpha = DeviceBuffer::zeroed(p.coords(Form::Dual));
+    let w_bar = DeviceBuffer::zeroed(p.shared_len(Form::Dual));
+    let start = Instant::now();
+    for e in 0..epochs {
+        let perm = Permutation::random(p.n(), 1 ^ (e as u64).wrapping_mul(0x9E37));
+        let kernel = ElementwiseDualKernel {
+            csr: p.csr(),
+            y: p.labels(),
+            row_sq_norms: p.row_sq_norms(),
+            perm: &perm,
+            alpha: &alpha,
+            w_bar: &w_bar,
+            lambda: p.lambda(),
+            n_lambda: p.n_lambda(),
+        };
+        legacy_launch(&profile, &kernel, p.n(), DEFAULT_LANES);
+    }
+    start.elapsed().as_secs_f64() / epochs as f64
+}
+
+/// New shape: bulk-API kernels on one persistent device pool.
+fn pooled_epoch_seconds(p: &RidgeProblem, epochs: usize) -> f64 {
+    let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()));
+    let mut solver = TpaScd::new(p, Form::Dual, gpu, 1).unwrap();
+    solver.epoch(p); // warm the pool before timing
+    let start = Instant::now();
+    for _ in 0..epochs {
+        solver.epoch(p);
+    }
+    start.elapsed().as_secs_f64() / epochs as f64
+}
+
+fn main() {
+    let p = problem();
+    let epochs: usize = std::env::var("BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+
+    println!(
+        "# TPA-SCD dual epoch wall-clock, webspam-like {}x{} ({} nnz), {} epochs/config",
+        p.n(),
+        p.m(),
+        p.csr().nnz(),
+        epochs
+    );
+    let legacy = legacy_epoch_seconds(&p, epochs);
+    println!("# legacy  (element-wise, pool-per-launch): {:.3} ms/epoch", legacy * 1e3);
+    let pooled = pooled_epoch_seconds(&p, epochs);
+    println!("# pooled  (bulk API, persistent pool):     {:.3} ms/epoch", pooled * 1e3);
+    let speedup = legacy / pooled;
+    println!("# speedup: {speedup:.2}x");
+
+    let out = format!(
+        "{{\n  \"benchmark\": \"tpa_scd_dual_epoch\",\n  \"dataset\": \"webspam_like(4000, 2000, 150, 80) scale 0.3\",\n  \"lambda\": 1e-3,\n  \"epochs_timed\": {epochs},\n  \"host_threads\": {},\n  \"legacy_seconds_per_epoch\": {legacy:.6e},\n  \"pooled_seconds_per_epoch\": {pooled:.6e},\n  \"speedup_pooled_over_legacy\": {speedup:.3}\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gpusim.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+}

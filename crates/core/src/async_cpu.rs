@@ -206,7 +206,7 @@ mod tests {
         // optimality conditions, so the gap must keep shrinking.
         let p = problem();
         let mut s = AsyncCpuScd::new(&p, Form::Primal, AsyncCpuMode::Atomic, 4, 1);
-        for _ in 0..40 {
+        for _ in 0..100 {
             s.epoch(&p);
         }
         let gap = s.duality_gap(&p);

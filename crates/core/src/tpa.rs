@@ -56,26 +56,17 @@ impl Kernel for PrimalKernel<'_> {
         let m = self.perm.apply(ctx.block_id());
         let col = self.csc.col(m);
         let nnz = col.nnz();
-        let lanes = ctx.lanes();
 
         // Phase 1: strided per-lane partial inner products
-        // dp_u = Σ_{i ≡ u (mod nthreads)} (y_i − w_i)·A_{i,m}.
-        let mut partials = vec![0.0f32; lanes];
-        for u in 0..lanes {
-            let mut dp = 0.0f32;
-            let mut k = u;
-            while k < nnz {
-                let i = col.indices[k] as usize;
-                let wi = ctx.read(self.w, i);
-                dp += (self.y[i] - wi) * col.values[k];
-                k += lanes;
-            }
-            partials[u] = dp;
-        }
+        // dp_u = Σ_{i ≡ u (mod nthreads)} (y_i − w_i)·A_{i,m}, fused into
+        // one bulk gather-dot over the column's nonzeros (same order,
+        // values, and counted w-read cost as the per-element loop).
+        ctx.lane_dot_phase(self.w, col.indices, |k, wi| {
+            (self.y[col.indices[k] as usize] - wi) * col.values[k]
+        });
         // Matrix value+index (8 B) and label (4 B) per nonzero, plus the FMA.
         ctx.charge_read_bytes(12 * nnz as u64);
         ctx.charge_lane_ops(nnz as u64);
-        ctx.shared()[..lanes].copy_from_slice(&partials);
         ctx.barrier();
 
         // Phase 2: shared-memory tree reduction.
@@ -92,10 +83,9 @@ impl Kernel for PrimalKernel<'_> {
         ctx.write(self.beta, m, beta_m + delta);
         ctx.barrier();
 
-        // Phase 4: all lanes write out w_i += A_{i,m}·Δβ with atomicAdd.
-        for k in 0..nnz {
-            ctx.add(self.sem, self.w, col.indices[k] as usize, col.values[k] * delta);
-        }
+        // Phase 4: all lanes write out w_i += A_{i,m}·Δβ with atomicAdd —
+        // one bulk scatter, identical update order and counted cost.
+        ctx.scatter_add(self.sem, self.w, col.indices, col.values, delta);
         ctx.charge_read_bytes(8 * nnz as u64); // re-stream value+index
     }
 }
@@ -120,22 +110,12 @@ impl Kernel for DualKernel<'_> {
         let n = self.perm.apply(ctx.block_id());
         let row = self.csr.row(n);
         let nnz = row.nnz();
-        let lanes = ctx.lanes();
 
-        let mut partials = vec![0.0f32; lanes];
-        for u in 0..lanes {
-            let mut dp = 0.0f32;
-            let mut k = u;
-            while k < nnz {
-                let j = row.indices[k] as usize;
-                dp += ctx.read(self.w_bar, j) * row.values[k];
-                k += lanes;
-            }
-            partials[u] = dp;
-        }
+        // Fused bulk gather-dot over the row's nonzeros: same order,
+        // values, and counted w̄-read cost as the per-element loop.
+        ctx.lane_dot_phase(self.w_bar, row.indices, |k, wj| wj * row.values[k]);
         ctx.charge_read_bytes(8 * nnz as u64);
         ctx.charge_lane_ops(nnz as u64);
-        ctx.shared()[..lanes].copy_from_slice(&partials);
         ctx.barrier();
 
         let dot = ctx.tree_reduce() as f64;
@@ -152,9 +132,7 @@ impl Kernel for DualKernel<'_> {
         ctx.write(self.alpha, n, alpha_n + delta);
         ctx.barrier();
 
-        for k in 0..nnz {
-            ctx.add(self.sem, self.w_bar, row.indices[k] as usize, row.values[k] * delta);
-        }
+        ctx.scatter_add(self.sem, self.w_bar, row.indices, row.values, delta);
         ctx.charge_read_bytes(8 * nnz as u64);
     }
 }
@@ -180,25 +158,15 @@ impl Kernel for DualEllKernel<'_> {
     fn block(&self, ctx: &mut BlockCtx) {
         let n = self.perm.apply(ctx.block_id());
         let width = self.ell.width();
-        let lanes = ctx.lanes();
 
-        let mut partials = vec![0.0f32; lanes];
-        for u in 0..lanes {
-            let mut dp = 0.0f32;
-            let mut s = u;
-            while s < width {
-                if let Some((j, v)) = self.ell.slot(s, n) {
-                    dp += ctx.read(self.w_bar, j) * v;
-                }
-                s += lanes;
-            }
-            partials[u] = dp;
-        }
+        // Fused bulk gather-dot over the row's slots: same slot order,
+        // values, and counted w̄-read cost (per *present* slot) as the
+        // per-element loop.
+        ctx.lane_slot_dot_phase(self.w_bar, width, |s| self.ell.slot(s, n));
         // Every slot is streamed (value + index), padding included, at the
         // coalesced cost fraction.
         ctx.charge_read_bytes((8.0 * width as f64 * ELL_COALESCED_COST_FRACTION) as u64);
         ctx.charge_lane_ops(width as u64);
-        ctx.shared()[..lanes].copy_from_slice(&partials);
         ctx.barrier();
 
         let dot = ctx.tree_reduce() as f64;
@@ -215,11 +183,7 @@ impl Kernel for DualEllKernel<'_> {
         ctx.write(self.alpha, n, alpha_n + delta);
         ctx.barrier();
 
-        for s in 0..width {
-            if let Some((j, v)) = self.ell.slot(s, n) {
-                ctx.add(self.sem, self.w_bar, j, v * delta);
-            }
-        }
+        ctx.slot_scatter_add(self.sem, self.w_bar, width, |s| self.ell.slot(s, n), delta);
         ctx.charge_read_bytes((8.0 * width as f64 * ELL_COALESCED_COST_FRACTION) as u64);
     }
 }

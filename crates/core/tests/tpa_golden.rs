@@ -1,0 +1,323 @@
+//! Golden equivalence: the TPA-SCD kernels ported to the bulk memory API
+//! must be *bit-identical* to the original element-wise kernels — same
+//! weight and shared-vector trajectories, and the same simulated clock —
+//! when blocks run deterministically (`with_host_threads(1)`).
+//!
+//! The reference kernels below are verbatim copies of the pre-port
+//! element-wise implementations; they exercise only the per-element
+//! `BlockCtx` API (`read`/`write`/`add` plus explicit charges).
+
+use gpu_sim::{BlockCtx, DeviceBuffer, Gpu, GpuProfile, Kernel, MemSemantics};
+use scd_core::problem::{Form, RidgeProblem};
+use scd_core::solver::Solver;
+use scd_core::tpa::{TpaScd, DEFAULT_LANES, ELL_COALESCED_COST_FRACTION};
+use scd_core::updates::{dual_delta, primal_delta};
+use scd_datasets::{scale_values, webspam_like};
+use scd_sparse::perm::Permutation;
+use scd_sparse::{CscMatrix, CsrMatrix, EllMatrix};
+use std::sync::Arc;
+
+struct RefPrimalKernel<'a> {
+    csc: &'a CscMatrix,
+    y: &'a [f32],
+    col_sq_norms: &'a [f64],
+    perm: &'a Permutation,
+    beta: &'a DeviceBuffer,
+    w: &'a DeviceBuffer,
+    n_lambda: f64,
+}
+
+impl Kernel for RefPrimalKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let m = self.perm.apply(ctx.block_id());
+        let col = self.csc.col(m);
+        let nnz = col.nnz();
+        let lanes = ctx.lanes();
+
+        let mut partials = vec![0.0f32; lanes];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut dp = 0.0f32;
+            let mut k = u;
+            while k < nnz {
+                let i = col.indices[k] as usize;
+                let wi = ctx.read(self.w, i);
+                dp += (self.y[i] - wi) * col.values[k];
+                k += lanes;
+            }
+            *p = dp;
+        }
+        ctx.charge_read_bytes(12 * nnz as u64);
+        ctx.charge_lane_ops(nnz as u64);
+        ctx.shared()[..lanes].copy_from_slice(&partials);
+        ctx.barrier();
+
+        let dot = ctx.tree_reduce() as f64;
+
+        let beta_m = ctx.read(self.beta, m);
+        let delta =
+            primal_delta(dot, beta_m as f64, self.col_sq_norms[m], self.n_lambda) as f32;
+        ctx.write(self.beta, m, beta_m + delta);
+        ctx.barrier();
+
+        for k in 0..nnz {
+            ctx.add(
+                MemSemantics::Atomic,
+                self.w,
+                col.indices[k] as usize,
+                col.values[k] * delta,
+            );
+        }
+        ctx.charge_read_bytes(8 * nnz as u64);
+    }
+}
+
+struct RefDualKernel<'a> {
+    csr: &'a CsrMatrix,
+    y: &'a [f32],
+    row_sq_norms: &'a [f64],
+    perm: &'a Permutation,
+    alpha: &'a DeviceBuffer,
+    w_bar: &'a DeviceBuffer,
+    lambda: f64,
+    n_lambda: f64,
+}
+
+impl Kernel for RefDualKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let n = self.perm.apply(ctx.block_id());
+        let row = self.csr.row(n);
+        let nnz = row.nnz();
+        let lanes = ctx.lanes();
+
+        let mut partials = vec![0.0f32; lanes];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut dp = 0.0f32;
+            let mut k = u;
+            while k < nnz {
+                let j = row.indices[k] as usize;
+                dp += ctx.read(self.w_bar, j) * row.values[k];
+                k += lanes;
+            }
+            *p = dp;
+        }
+        ctx.charge_read_bytes(8 * nnz as u64);
+        ctx.charge_lane_ops(nnz as u64);
+        ctx.shared()[..lanes].copy_from_slice(&partials);
+        ctx.barrier();
+
+        let dot = ctx.tree_reduce() as f64;
+
+        let alpha_n = ctx.read(self.alpha, n);
+        let delta = dual_delta(
+            dot,
+            self.y[n] as f64,
+            alpha_n as f64,
+            self.row_sq_norms[n],
+            self.lambda,
+            self.n_lambda,
+        ) as f32;
+        ctx.write(self.alpha, n, alpha_n + delta);
+        ctx.barrier();
+
+        for k in 0..nnz {
+            ctx.add(
+                MemSemantics::Atomic,
+                self.w_bar,
+                row.indices[k] as usize,
+                row.values[k] * delta,
+            );
+        }
+        ctx.charge_read_bytes(8 * nnz as u64);
+    }
+}
+
+struct RefDualEllKernel<'a> {
+    ell: &'a EllMatrix,
+    y: &'a [f32],
+    row_sq_norms: &'a [f64],
+    perm: &'a Permutation,
+    alpha: &'a DeviceBuffer,
+    w_bar: &'a DeviceBuffer,
+    lambda: f64,
+    n_lambda: f64,
+}
+
+impl Kernel for RefDualEllKernel<'_> {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let n = self.perm.apply(ctx.block_id());
+        let width = self.ell.width();
+        let lanes = ctx.lanes();
+
+        let mut partials = vec![0.0f32; lanes];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut dp = 0.0f32;
+            let mut s = u;
+            while s < width {
+                if let Some((j, v)) = self.ell.slot(s, n) {
+                    dp += ctx.read(self.w_bar, j) * v;
+                }
+                s += lanes;
+            }
+            *p = dp;
+        }
+        ctx.charge_read_bytes((8.0 * width as f64 * ELL_COALESCED_COST_FRACTION) as u64);
+        ctx.charge_lane_ops(width as u64);
+        ctx.shared()[..lanes].copy_from_slice(&partials);
+        ctx.barrier();
+
+        let dot = ctx.tree_reduce() as f64;
+
+        let alpha_n = ctx.read(self.alpha, n);
+        let delta = dual_delta(
+            dot,
+            self.y[n] as f64,
+            alpha_n as f64,
+            self.row_sq_norms[n],
+            self.lambda,
+            self.n_lambda,
+        ) as f32;
+        ctx.write(self.alpha, n, alpha_n + delta);
+        ctx.barrier();
+
+        for s in 0..width {
+            if let Some((j, v)) = self.ell.slot(s, n) {
+                ctx.add(MemSemantics::Atomic, self.w_bar, j, v * delta);
+            }
+        }
+        ctx.charge_read_bytes((8.0 * width as f64 * ELL_COALESCED_COST_FRACTION) as u64);
+    }
+}
+
+/// An element-wise re-implementation of `TpaScd`'s epoch loop: same seed
+/// schedule, same launch geometry, same update math — only the memory
+/// access spelling differs.
+struct ReferenceTpa {
+    gpu: Gpu,
+    weights: DeviceBuffer,
+    shared: DeviceBuffer,
+    ell: Option<EllMatrix>,
+    form: Form,
+    seed: u64,
+    epoch_index: u64,
+}
+
+impl ReferenceTpa {
+    fn new(problem: &RidgeProblem, form: Form, seed: u64, ell: bool) -> Self {
+        ReferenceTpa {
+            gpu: Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1),
+            weights: DeviceBuffer::zeroed(problem.coords(form)),
+            shared: DeviceBuffer::zeroed(problem.shared_len(form)),
+            ell: ell.then(|| EllMatrix::from_csr(problem.csr())),
+            form,
+            seed,
+            epoch_index: 0,
+        }
+    }
+
+    /// Run one epoch; returns the simulated kernel seconds.
+    fn epoch(&mut self, problem: &RidgeProblem) -> f64 {
+        let coords = problem.coords(self.form);
+        let perm =
+            Permutation::random(coords, self.seed ^ (self.epoch_index.wrapping_mul(0x9E37)));
+        self.epoch_index += 1;
+        let stats = match self.form {
+            Form::Primal => self.gpu.launch(
+                &RefPrimalKernel {
+                    csc: problem.csc(),
+                    y: problem.labels(),
+                    col_sq_norms: problem.col_sq_norms(),
+                    perm: &perm,
+                    beta: &self.weights,
+                    w: &self.shared,
+                    n_lambda: problem.n_lambda(),
+                },
+                coords,
+                DEFAULT_LANES,
+            ),
+            Form::Dual => match &self.ell {
+                Some(ell) => self.gpu.launch(
+                    &RefDualEllKernel {
+                        ell,
+                        y: problem.labels(),
+                        row_sq_norms: problem.row_sq_norms(),
+                        perm: &perm,
+                        alpha: &self.weights,
+                        w_bar: &self.shared,
+                        lambda: problem.lambda(),
+                        n_lambda: problem.n_lambda(),
+                    },
+                    coords,
+                    DEFAULT_LANES,
+                ),
+                None => self.gpu.launch(
+                    &RefDualKernel {
+                        csr: problem.csr(),
+                        y: problem.labels(),
+                        row_sq_norms: problem.row_sq_norms(),
+                        perm: &perm,
+                        alpha: &self.weights,
+                        w_bar: &self.shared,
+                        lambda: problem.lambda(),
+                        n_lambda: problem.n_lambda(),
+                    },
+                    coords,
+                    DEFAULT_LANES,
+                ),
+            },
+        };
+        stats.simulated_seconds
+    }
+}
+
+fn problem() -> RidgeProblem {
+    let data = scale_values(&webspam_like(150, 120, 10, 55), 0.3);
+    RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_bit_identical(form: Form, ell: bool, seed: u64, epochs: usize) {
+    let p = problem();
+    let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+    let mut ported = TpaScd::new(&p, form, gpu, seed).unwrap();
+    if ell {
+        ported = ported.with_ell_layout(&p).unwrap();
+    }
+    let mut reference = ReferenceTpa::new(&p, form, seed, ell);
+
+    for e in 0..epochs {
+        let stats = ported.epoch(&p);
+        let ref_gpu_seconds = reference.epoch(&p);
+        assert_eq!(
+            stats.breakdown.gpu, ref_gpu_seconds,
+            "simulated clock diverged at epoch {e} ({form:?}, ell={ell})"
+        );
+        assert_eq!(
+            bits(&ported.weights()),
+            bits(&reference.weights.to_host()),
+            "weights diverged at epoch {e} ({form:?}, ell={ell})"
+        );
+        assert_eq!(
+            bits(&ported.shared_vector()),
+            bits(&reference.shared.to_host()),
+            "shared vector diverged at epoch {e} ({form:?}, ell={ell})"
+        );
+    }
+}
+
+#[test]
+fn primal_bulk_path_is_bit_identical_to_elementwise() {
+    assert_bit_identical(Form::Primal, false, 7, 6);
+}
+
+#[test]
+fn dual_bulk_path_is_bit_identical_to_elementwise() {
+    assert_bit_identical(Form::Dual, false, 11, 6);
+}
+
+#[test]
+fn dual_ell_bulk_path_is_bit_identical_to_elementwise() {
+    assert_bit_identical(Form::Dual, true, 13, 6);
+}

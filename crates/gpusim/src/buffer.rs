@@ -117,6 +117,65 @@ impl DeviceBuffer {
         }
     }
 
+    /// Read `out.len()` consecutive elements starting at `start` into
+    /// `out`. Semantically identical to `out.len()` calls of [`load`];
+    /// iterating the words in one tight loop lets the compiler keep the
+    /// address math and bounds checks out of the body.
+    ///
+    /// [`load`]: DeviceBuffer::load
+    pub fn load_slice(&self, start: usize, out: &mut [f32]) {
+        let words = &self.words[start..start + out.len()];
+        for (o, w) in out.iter_mut().zip(words) {
+            *o = f32::from_bits(w.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrite `src.len()` consecutive elements starting at `start`.
+    /// Semantically identical to `src.len()` calls of [`store`].
+    ///
+    /// [`store`]: DeviceBuffer::store
+    pub fn store_slice(&self, start: usize, src: &[f32]) {
+        let words = &self.words[start..start + src.len()];
+        for (w, &v) in words.iter().zip(src) {
+            w.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Gather `out[k] = self[idx[k]]` for every `k`. Semantically identical
+    /// to `idx.len()` calls of [`load`] in index order.
+    ///
+    /// [`load`]: DeviceBuffer::load
+    pub fn gather_into(&self, idx: &[u32], out: &mut [f32]) {
+        let words = &self.words;
+        for (o, &i) in out.iter_mut().zip(idx) {
+            *o = f32::from_bits(words[i as usize].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Scatter-add `self[idx[k]] += vals[k] * scale` for every `k`, with the
+    /// chosen semantics, in index order — identical to `idx.len()` calls of
+    /// [`add`].
+    ///
+    /// # Panics
+    /// Panics if `idx` and `vals` lengths differ.
+    ///
+    /// [`add`]: DeviceBuffer::add
+    pub fn scatter_add(&self, sem: MemSemantics, idx: &[u32], vals: &[f32], scale: f32) {
+        assert_eq!(idx.len(), vals.len(), "scatter_add: length mismatch");
+        match sem {
+            MemSemantics::Atomic => {
+                for (&i, &v) in idx.iter().zip(vals) {
+                    self.atomic_add(i as usize, v * scale);
+                }
+            }
+            MemSemantics::Wild => {
+                for (&i, &v) in idx.iter().zip(vals) {
+                    self.wild_add(i as usize, v * scale);
+                }
+            }
+        }
+    }
+
     /// Copy the buffer back to host memory (`cudaMemcpy` D2H).
     pub fn to_host(&self) -> Vec<f32> {
         self.words
@@ -213,6 +272,30 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn copy_from_host_checks_length() {
         DeviceBuffer::zeroed(3).copy_from_host(&[1.0]);
+    }
+
+    #[test]
+    fn bulk_ops_match_elementwise() {
+        let b = DeviceBuffer::from_host(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut out = [0.0f32; 3];
+        b.load_slice(1, &mut out);
+        assert_eq!(out, [2.0, 3.0, 4.0]);
+        b.store_slice(2, &[30.0, 40.0]);
+        assert_eq!(b.to_host(), vec![1.0, 2.0, 30.0, 40.0, 5.0]);
+        let mut gathered = [0.0f32; 4];
+        b.gather_into(&[4, 0, 0, 2], &mut gathered);
+        assert_eq!(gathered, [5.0, 1.0, 1.0, 30.0]);
+        b.scatter_add(MemSemantics::Atomic, &[0, 0, 1], &[1.0, 2.0, 3.0], 2.0);
+        assert_eq!(b.load(0), 7.0);
+        assert_eq!(b.load(1), 8.0);
+        b.scatter_add(MemSemantics::Wild, &[4], &[0.5], 2.0);
+        assert_eq!(b.load(4), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scatter_add_checks_lengths() {
+        DeviceBuffer::zeroed(3).scatter_add(MemSemantics::Atomic, &[0, 1], &[1.0], 1.0);
     }
 
     #[test]

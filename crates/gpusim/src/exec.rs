@@ -2,10 +2,11 @@
 
 use crate::buffer::DeviceBuffer;
 use crate::kernel::{BlockCost, BlockCtx, Kernel};
+use crate::pool::ExecutorPool;
 use crate::schedule::schedule_blocks;
-use parking_lot::Mutex;
 use scd_perf_model::{GpuProfile, Seconds};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Errors raised by the device.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,15 +57,17 @@ pub struct LaunchStats {
 }
 
 impl LaunchStats {
+    /// The longest per-SM busy time — the kernel's critical path through the
+    /// block schedule (simulated launch overhead excluded).
+    pub fn makespan(&self) -> Seconds {
+        self.per_sm_seconds.iter().copied().fold(0.0f64, f64::max)
+    }
+
     /// Mean SM busy fraction over the kernel's makespan: 1.0 means every SM
     /// streamed work for the whole launch, small values mean the grid was
     /// too shallow or too skewed to fill the device.
     pub fn utilization(&self) -> f64 {
-        let makespan = self
-            .per_sm_seconds
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let makespan = self.makespan();
         if makespan == 0.0 {
             return 0.0;
         }
@@ -80,12 +83,7 @@ impl LaunchStats {
             return 1.0;
         }
         let mean = busy / self.per_sm_seconds.len() as f64;
-        let makespan = self
-            .per_sm_seconds
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
-        makespan / mean
+        self.makespan() / mean
     }
 }
 
@@ -111,6 +109,11 @@ pub struct Gpu {
     profile: GpuProfile,
     allocated_bytes: AtomicUsize,
     host_threads: usize,
+    /// Persistent worker pool (the simulated SM array), created lazily on
+    /// the first multi-threaded launch and reused for every launch after —
+    /// a launch enqueues the grid and waits on a completion latch instead
+    /// of spawning/joining a thread scope.
+    pool: OnceLock<ExecutorPool>,
 }
 
 impl Gpu {
@@ -125,6 +128,7 @@ impl Gpu {
             profile,
             allocated_bytes: AtomicUsize::new(0),
             host_threads,
+            pool: OnceLock::new(),
         }
     }
 
@@ -132,8 +136,19 @@ impl Gpu {
     /// deterministic (blocks run sequentially in launch order) — useful for
     /// reproducible figure generation and tests; the simulated clock is
     /// unaffected because timing comes from counted work, not host time.
+    ///
+    /// The sequential path additionally assumes the launching thread is the
+    /// only writer to device buffers for the duration of a launch, which
+    /// lets counted atomic adds use plain read-modify-write mechanics
+    /// (bit-identical on one thread, and still charged as atomics). Do not
+    /// mutate a launch's buffers from other host threads mid-launch in this
+    /// mode; with `n > 1` the pool uses real CAS atomics throughout.
     pub fn with_host_threads(mut self, n: usize) -> Self {
         assert!(n >= 1, "need at least one host thread");
+        assert!(
+            self.pool.get().is_none(),
+            "with_host_threads must be called before the first launch"
+        );
         self.host_threads = n;
         self
     }
@@ -197,14 +212,14 @@ impl Gpu {
 
     /// Launch `blocks` thread blocks of `lanes` lanes each.
     ///
-    /// Blocks are dispatched dynamically to the host pool and execute
-    /// concurrently; the returned simulated duration replays the measured
-    /// per-block costs through the greedy block-to-SM scheduler of the
-    /// device profile.
+    /// Blocks are dispatched dynamically to the device's persistent worker
+    /// pool and execute concurrently; the returned simulated duration
+    /// replays the measured per-block costs through the greedy block-to-SM
+    /// scheduler of the device profile. With `host_threads == 1` blocks run
+    /// sequentially on the calling thread in launch order (deterministic
+    /// mode); the simulated clock is identical either way because timing
+    /// comes from counted work, not host time.
     pub fn launch<K: Kernel>(&self, kernel: &K, blocks: usize, lanes: usize) -> LaunchStats {
-        let mut costs: Mutex<Vec<BlockCost>> = Mutex::new(vec![BlockCost::default(); blocks]);
-        let next = AtomicUsize::new(0);
-        let workers = self.host_threads.min(blocks.max(1));
         let shared_len = kernel.shared_len(lanes);
         assert!(
             shared_len * 4 <= self.profile.shared_mem_per_block_bytes,
@@ -214,32 +229,27 @@ impl Gpu {
             self.profile.shared_mem_per_block_bytes
         );
 
-        if workers <= 1 {
-            // Fast path: sequential, deterministic.
-            let costs = costs.get_mut();
+        let costs: Vec<BlockCost> = if self.host_threads <= 1 {
+            // Deterministic path: sequential on the calling thread, one
+            // re-armed scratchpad arena for the whole grid. With a single
+            // writer, counted atomic adds may use plain read-modify-write
+            // (bit-identical result, same atomic charge).
+            let mut costs = Vec::with_capacity(blocks);
+            let mut ctx = BlockCtx::new(0, lanes, shared_len);
+            ctx.set_exclusive(true);
             for b in 0..blocks {
-                let mut ctx = BlockCtx::new(b, lanes, shared_len);
+                ctx.reinit(b);
                 kernel.block(&mut ctx);
-                costs[b] = ctx.cost();
+                costs.push(ctx.cost());
             }
+            costs
         } else {
-            crossbeam::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|_| loop {
-                        let b = next.fetch_add(1, Ordering::Relaxed);
-                        if b >= blocks {
-                            break;
-                        }
-                        let mut ctx = BlockCtx::new(b, lanes, shared_len);
-                        kernel.block(&mut ctx);
-                        costs.lock()[b] = ctx.cost();
-                    });
-                }
-            })
-            .expect("kernel block panicked");
-        }
+            let pool = self
+                .pool
+                .get_or_init(|| ExecutorPool::new(self.host_threads));
+            pool.run(&|ctx| kernel.block(ctx), blocks, lanes, shared_len)
+        };
 
-        let costs = costs.into_inner();
         let mut total = BlockCost::default();
         let block_seconds: Vec<Seconds> = costs
             .iter()

@@ -24,6 +24,47 @@
 //! Blocks, in contrast, run genuinely concurrently on the executor's thread
 //! pool and interact only through atomic global memory, which is exactly
 //! the asynchrony the "twice parallel, asynchronous" name refers to.
+//!
+//! ### Executor-pool architecture
+//!
+//! Blocks are executed by a **persistent worker pool** owned by the device
+//! ([`crate::Gpu`]): a launch publishes the grid as a job, the pool's
+//! workers claim block indices from a shared cursor (dynamic dispatch,
+//! like the hardware grid scheduler), and the launch returns once every
+//! worker has checked in on a completion latch. Workers reuse one
+//! `BlockCtx` scratchpad arena per job — the shared-memory buffer is
+//! zeroed between blocks, never reallocated — and record each block's
+//! [`BlockCost`] into a disjoint per-block slot, so the hot path takes no
+//! locks and performs no per-block heap allocation. With
+//! `Gpu::with_host_threads(1)` the pool is bypassed and blocks run
+//! sequentially in launch order on the calling thread (deterministic
+//! mode).
+//!
+//! ### Bulk accessors and the cost-accounting invariant
+//!
+//! Besides the per-element accessors ([`BlockCtx::read`],
+//! [`BlockCtx::write`], [`BlockCtx::atomic_add`]), `BlockCtx` offers bulk
+//! accessors ([`BlockCtx::read_slice`], [`BlockCtx::gather`],
+//! [`BlockCtx::write_slice`], [`BlockCtx::scatter_atomic_add`]) and fused
+//! phase helpers ([`BlockCtx::lane_dot_phase`],
+//! [`BlockCtx::strided_dot_phase`], [`BlockCtx::strided_axpy_phase`]) that
+//! touch the same memory in the same order but account their
+//! [`BlockCost`] **once per call** instead of once per element. The hard
+//! invariant — enforced by the bulk-equivalence property tests and the
+//! TPA-SCD golden test — is that a bulk call is *observably identical* to
+//! the element-wise loop it replaces: same values moved, in the same
+//! order, and bit-identical cost counters (bytes, atomics, lane_ops,
+//! barriers), so the simulated clock and every convergence series are
+//! unchanged. The bulk path is purely a host-wall-clock optimization of
+//! the simulator, never a change to what it simulates.
+//!
+//! The same invariant covers the sequential executor's **single-writer
+//! fast path**: under `with_host_threads(1)` no concurrent writer can
+//! exist during a launch, so counted atomic adds perform a plain
+//! read-modify-write — bit-identical to the winning CAS on one thread,
+//! roughly an order of magnitude cheaper on the host — while the cost
+//! model still charges them as atomics. Multi-threaded launches always
+//! use real CAS atomics.
 
 use crate::buffer::{DeviceBuffer, MemSemantics};
 
@@ -56,6 +97,12 @@ pub struct BlockCtx {
     lanes: usize,
     shared: Vec<f32>,
     cost: BlockCost,
+    /// True when the executor guarantees this context runs with no
+    /// concurrent writers (the deterministic `with_host_threads(1)` path).
+    /// Atomic adds then use plain read-modify-write mechanics — on a
+    /// single thread the result is bit-identical to the CAS loop — while
+    /// the cost model still charges them as atomics.
+    exclusive: bool,
 }
 
 impl BlockCtx {
@@ -72,7 +119,25 @@ impl BlockCtx {
             lanes,
             shared: vec![0.0; shared_len],
             cost: BlockCost::default(),
+            exclusive: false,
         }
+    }
+
+    /// Promise that no other thread touches the device buffers while this
+    /// context runs. Only the sequential executor path may set this.
+    pub(crate) fn set_exclusive(&mut self, exclusive: bool) {
+        self.exclusive = exclusive;
+    }
+
+    /// Re-arm this context for another block of the same launch: reset the
+    /// cost counters and zero the shared-memory scratchpad in place. This
+    /// is how the executor pool reuses one arena per worker instead of
+    /// allocating per block; observable state equals a fresh
+    /// [`BlockCtx::new`].
+    pub(crate) fn reinit(&mut self, block_id: usize) {
+        self.block_id = block_id;
+        self.shared.fill(0.0);
+        self.cost = BlockCost::default();
     }
 
     /// This block's index within the grid (`j` in Algorithm 2).
@@ -122,7 +187,14 @@ impl BlockCtx {
     pub fn atomic_add(&mut self, buf: &DeviceBuffer, i: usize, v: f32) {
         self.cost.atomics += 1;
         self.cost.lane_ops += 1;
-        buf.atomic_add(i, v);
+        if self.exclusive {
+            // Single-writer launch: `load + store` computes the exact same
+            // f32 sum the successful CAS would, without the lock-prefixed
+            // instruction. The charge above is unchanged.
+            buf.wild_add(i, v);
+        } else {
+            buf.atomic_add(i, v);
+        }
     }
 
     /// Counted addition with selectable semantics (atomic vs wild ablation).
@@ -136,6 +208,201 @@ impl BlockCtx {
                 buf.wild_add(i, v);
             }
         }
+    }
+
+    /// Counted bulk read of `out.len()` consecutive elements: identical
+    /// memory traffic and cost to `out.len()` calls of [`BlockCtx::read`],
+    /// accounted once.
+    pub fn read_slice(&mut self, buf: &DeviceBuffer, start: usize, out: &mut [f32]) {
+        self.cost.bytes += 4 * out.len() as u64;
+        self.cost.lane_ops += out.len() as u64;
+        buf.load_slice(start, out);
+    }
+
+    /// Counted bulk write of `src.len()` consecutive elements: identical
+    /// to `src.len()` calls of [`BlockCtx::write`], accounted once.
+    pub fn write_slice(&mut self, buf: &DeviceBuffer, start: usize, src: &[f32]) {
+        self.cost.bytes += 4 * src.len() as u64;
+        self.cost.lane_ops += src.len() as u64;
+        buf.store_slice(start, src);
+    }
+
+    /// Counted gather `out[k] = buf[idx[k]]`: identical to `idx.len()`
+    /// calls of [`BlockCtx::read`] in index order, accounted once.
+    pub fn gather(&mut self, buf: &DeviceBuffer, idx: &[u32], out: &mut [f32]) {
+        self.cost.bytes += 4 * idx.len() as u64;
+        self.cost.lane_ops += idx.len() as u64;
+        buf.gather_into(idx, out);
+    }
+
+    /// Counted scatter `buf[idx[k]] += vals[k] * scale` with CUDA
+    /// `atomicAdd` semantics: identical to `idx.len()` calls of
+    /// [`BlockCtx::atomic_add`] in index order, accounted once.
+    pub fn scatter_atomic_add(&mut self, buf: &DeviceBuffer, idx: &[u32], vals: &[f32], scale: f32) {
+        self.scatter_add(MemSemantics::Atomic, buf, idx, vals, scale);
+    }
+
+    /// Counted scatter-add with selectable semantics: identical to
+    /// `idx.len()` calls of [`BlockCtx::add`] in index order, accounted
+    /// once (Algorithm 2's rank-one shared-vector write-back).
+    pub fn scatter_add(
+        &mut self,
+        sem: MemSemantics,
+        buf: &DeviceBuffer,
+        idx: &[u32],
+        vals: &[f32],
+        scale: f32,
+    ) {
+        let n = idx.len() as u64;
+        match sem {
+            MemSemantics::Atomic => self.cost.atomics += n,
+            MemSemantics::Wild => self.cost.bytes += 8 * n,
+        }
+        self.cost.lane_ops += n;
+        // On a single-writer launch plain adds are bit-identical to CAS;
+        // the charge keyed on `sem` above is what the simulated clock sees.
+        let mech = if self.exclusive { MemSemantics::Wild } else { sem };
+        buf.scatter_add(mech, idx, vals, scale);
+    }
+
+    /// Fused gather-dot phase (Algorithm 2, phase 1): for each lane `u`,
+    /// accumulate `Σ_{k ≡ u (mod lanes)} f(k, buf[idx[k]])` in f32 and
+    /// deposit the partial into `shared()[u]`. Identical values, iteration
+    /// order, and cost to the per-lane strided loop over
+    /// [`BlockCtx::read`] it replaces (`4·idx.len()` bytes,
+    /// `idx.len()` lane-ops), accounted once. The caller charges its own
+    /// FLOPs, exactly as the element-wise kernels did.
+    pub fn lane_dot_phase<F: FnMut(usize, f32) -> f32>(
+        &mut self,
+        buf: &DeviceBuffer,
+        idx: &[u32],
+        mut f: F,
+    ) {
+        let lanes = self.lanes;
+        let n = idx.len();
+        for u in 0..lanes {
+            let mut dp = 0.0f32;
+            let mut k = u;
+            while k < n {
+                dp += f(k, buf.load(idx[k] as usize));
+                k += lanes;
+            }
+            self.shared[u] = dp;
+        }
+        self.cost.bytes += 4 * n as u64;
+        self.cost.lane_ops += n as u64;
+    }
+
+    /// Fused gather-dot phase over a slotted (ELLPACK-style) row: like
+    /// [`BlockCtx::lane_dot_phase`], but `slot(s)` yields the optional
+    /// `(global index, coefficient)` of slot `s ∈ 0..width`; padding slots
+    /// yield `None` and move no counted global memory, matching the
+    /// element-wise loop. Cost: 4 bytes and one lane-op per *present*
+    /// slot, accounted once.
+    pub fn lane_slot_dot_phase<F: FnMut(usize) -> Option<(usize, f32)>>(
+        &mut self,
+        buf: &DeviceBuffer,
+        width: usize,
+        mut slot: F,
+    ) {
+        let lanes = self.lanes;
+        let mut present: u64 = 0;
+        for u in 0..lanes {
+            let mut dp = 0.0f32;
+            let mut s = u;
+            while s < width {
+                if let Some((j, v)) = slot(s) {
+                    dp += buf.load(j) * v;
+                    present += 1;
+                }
+                s += lanes;
+            }
+            self.shared[u] = dp;
+        }
+        self.cost.bytes += 4 * present;
+        self.cost.lane_ops += present;
+    }
+
+    /// Counted scatter-add over a slotted (ELLPACK-style) row:
+    /// `buf[j] += v * scale` for every present slot `(j, v)`, with the
+    /// chosen semantics, in slot order — identical to the element-wise
+    /// loop over [`BlockCtx::add`], accounted once.
+    pub fn slot_scatter_add<F: FnMut(usize) -> Option<(usize, f32)>>(
+        &mut self,
+        sem: MemSemantics,
+        buf: &DeviceBuffer,
+        width: usize,
+        mut slot: F,
+        scale: f32,
+    ) {
+        let mech = if self.exclusive { MemSemantics::Wild } else { sem };
+        let mut present: u64 = 0;
+        for s in 0..width {
+            if let Some((j, v)) = slot(s) {
+                buf.add(mech, j, v * scale);
+                present += 1;
+            }
+        }
+        match sem {
+            MemSemantics::Atomic => self.cost.atomics += present,
+            MemSemantics::Wild => self.cost.bytes += 8 * present,
+        }
+        self.cost.lane_ops += present;
+    }
+
+    /// Fused grid-stride dot phase: for each lane `u`, accumulate
+    /// `Σ x[i]·y[i]` over `i = base + u, base + u + stride, …` in f32 and
+    /// deposit the partial into `shared()[u]`. Identical to the
+    /// element-wise loop of two [`BlockCtx::read`]s per element (8 bytes,
+    /// 2 lane-ops each), accounted once.
+    pub fn strided_dot_phase(
+        &mut self,
+        x: &DeviceBuffer,
+        y: &DeviceBuffer,
+        base: usize,
+        stride: usize,
+    ) {
+        let lanes = self.lanes;
+        let n = x.len();
+        let mut touched: u64 = 0;
+        for u in 0..lanes {
+            let mut acc = 0.0f32;
+            let mut i = base + u;
+            while i < n {
+                acc += x.load(i) * y.load(i);
+                touched += 1;
+                i += stride;
+            }
+            self.shared[u] = acc;
+        }
+        self.cost.bytes += 8 * touched;
+        self.cost.lane_ops += 2 * touched;
+    }
+
+    /// Fused grid-stride axpy phase: `y[i] += a·x[i]` over each lane's
+    /// grid-stride slice. Identical to the element-wise loop (read x, read
+    /// y, write y: 12 bytes, 3 lane-ops per element), accounted once.
+    pub fn strided_axpy_phase(
+        &mut self,
+        a: f32,
+        x: &DeviceBuffer,
+        y: &DeviceBuffer,
+        base: usize,
+        stride: usize,
+    ) {
+        let lanes = self.lanes;
+        let n = x.len();
+        let mut touched: u64 = 0;
+        for u in 0..lanes {
+            let mut i = base + u;
+            while i < n {
+                y.store(i, y.load(i) + a * x.load(i));
+                touched += 1;
+                i += stride;
+            }
+        }
+        self.cost.bytes += 12 * touched;
+        self.cost.lane_ops += 3 * touched;
     }
 
     /// Charge `bytes` of global traffic read through captured host-side
@@ -282,5 +549,32 @@ mod tests {
                 barriers: 2
             }
         );
+    }
+
+    /// The exclusive (single-writer) fast path must be bit-identical to the
+    /// CAS path in values AND charge the identical cost, element-wise and
+    /// through every bulk scatter spelling.
+    #[test]
+    fn exclusive_atomics_match_cas_bitwise_and_in_cost() {
+        let init: Vec<f32> = (0..16).map(|i| 0.1 + i as f32 * 0.3).collect();
+        let idx: Vec<u32> = vec![3, 7, 3, 0, 15, 7, 7];
+        let vals: Vec<f32> = vec![0.25, -1.5, 3.0, 0.125, -0.75, 2.0, 0.5];
+        let slot = |s: usize| (s % 3 != 2).then(|| (idx[s] as usize, vals[s]));
+
+        let run = |exclusive: bool| {
+            let buf = crate::DeviceBuffer::from_host(&init);
+            let mut ctx = BlockCtx::new(0, 4, 4);
+            ctx.set_exclusive(exclusive);
+            for (&i, &v) in idx.iter().zip(&vals) {
+                ctx.atomic_add(&buf, i as usize, v);
+                ctx.add(MemSemantics::Atomic, &buf, i as usize, v * 0.5);
+            }
+            ctx.scatter_atomic_add(&buf, &idx, &vals, -0.3);
+            ctx.slot_scatter_add(MemSemantics::Atomic, &buf, idx.len(), slot, 1.7);
+            let bits: Vec<u32> = buf.to_host().iter().map(|v| v.to_bits()).collect();
+            (bits, ctx.cost())
+        };
+
+        assert_eq!(run(true), run(false));
     }
 }

@@ -29,17 +29,12 @@ impl Kernel for AxpyKernel {
     fn block(&self, ctx: &mut BlockCtx) {
         let lanes = ctx.lanes();
         let stride = self.grid_blocks * lanes;
-        let n = self.x.len();
-        for u in 0..lanes {
-            let mut i = ctx.block_id() * lanes + u;
-            while i < n {
-                let xi = ctx.read(&self.x, i);
-                let yi = ctx.read(&self.y, i);
-                ctx.write(&self.y, i, yi + self.a * xi);
-                i += stride;
-            }
-        }
-        ctx.charge_lane_ops((n / self.grid_blocks.max(1)) as u64);
+        let base = ctx.block_id() * lanes;
+        // Fused bulk phase: same element order, values, and counted cost
+        // (12 B + 3 lane-ops per element) as the per-element loop, charged
+        // once per block instead of once per element.
+        ctx.strided_axpy_phase(self.a, &self.x, &self.y, base, stride);
+        ctx.charge_lane_ops((self.x.len() / self.grid_blocks.max(1)) as u64);
     }
 }
 
@@ -74,18 +69,11 @@ impl Kernel for DotKernel {
     fn block(&self, ctx: &mut BlockCtx) {
         let lanes = ctx.lanes();
         let stride = self.grid_blocks * lanes;
-        let n = self.x.len();
-        let mut partials = vec![0.0f32; lanes];
-        for u in 0..lanes {
-            let mut acc = 0.0f32;
-            let mut i = ctx.block_id() * lanes + u;
-            while i < n {
-                acc += ctx.read(&self.x, i) * ctx.read(&self.y, i);
-                i += stride;
-            }
-            partials[u] = acc;
-        }
-        ctx.shared()[..lanes].copy_from_slice(&partials);
+        let base = ctx.block_id() * lanes;
+        // Fused bulk phase: per-lane partials land directly in shared
+        // memory with the same accumulation order and counted cost (8 B +
+        // 2 lane-ops per element) as the per-element loop.
+        ctx.strided_dot_phase(&self.x, &self.y, base, stride);
         ctx.barrier();
         let block_total = ctx.tree_reduce();
         ctx.atomic_add(&self.result, 0, block_total);

@@ -26,6 +26,7 @@ pub mod buffer;
 pub mod exec;
 pub mod kernel;
 pub mod kernels;
+pub(crate) mod pool;
 pub mod schedule;
 
 pub use buffer::{DeviceBuffer, MemSemantics};

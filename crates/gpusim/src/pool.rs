@@ -1,0 +1,294 @@
+//! The persistent executor pool: host threads that play the role of the
+//! device's SM array across kernel launches.
+//!
+//! The original executor spawned a fresh `crossbeam::scope` of worker
+//! threads for **every** kernel launch and recorded every block's cost through a
+//! shared `Mutex<Vec<BlockCost>>`. TPA-SCD launches one kernel per epoch
+//! and thousands of epochs per experiment, so thread spawn/join and lock
+//! traffic dominated real wall-clock. This module replaces that with:
+//!
+//! * a pool of workers owned by [`crate::Gpu`], created once on the first
+//!   multi-threaded launch and reused for every subsequent one — a launch
+//!   is "publish job, wait on a completion latch", no thread creation;
+//! * one reusable [`BlockCtx`] scratchpad arena per worker per job (the
+//!   shared-memory buffer is zeroed between blocks, not reallocated);
+//! * lock-free cost recording: each claimed block index is owned by exactly
+//!   one worker, which writes its [`BlockCost`] into a disjoint slot of a
+//!   preallocated array — no mutex on the hot path.
+//!
+//! Safety model: `run` erases the kernel closure's lifetime to publish it
+//! to the long-lived workers, exactly like a scoped-thread implementation.
+//! Soundness holds because `run` does not return until every worker has
+//! checked in for the job (the completion latch), after which no worker
+//! touches the job again; the job slot itself holds the erased reference
+//! only until the launch completes.
+
+use crate::kernel::{BlockCost, BlockCtx};
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The kernel body as the pool sees it: run block `b` in `ctx` (the worker
+/// has already re-armed `ctx` for `b`).
+type BlockFn<'a> = &'a (dyn Fn(&mut BlockCtx) + Sync);
+
+/// One launch in flight: grid geometry, the erased kernel body, the block
+/// cursor, the per-block cost slots, and the completion latch.
+struct Job {
+    /// Kernel body with its borrow lifetime erased; valid until the launch
+    /// that published it returns.
+    run: BlockFn<'static>,
+    blocks: usize,
+    lanes: usize,
+    shared_len: usize,
+    /// Next unclaimed block (dynamic dispatch, same policy as hardware
+    /// grid schedulers and the old per-launch executor).
+    next: AtomicUsize,
+    /// Per-block cost slots; slot `b` is written only by the worker that
+    /// claimed `b`, read by the launcher after the latch closes.
+    costs: Box<[CostSlot]>,
+    /// Set when a kernel block panicked; remaining blocks are abandoned.
+    panicked: AtomicBool,
+    /// Completion latch: workers that have finished this job.
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// A `BlockCost` cell written by exactly one worker (the one that claimed
+/// its block index) and read only after the completion latch closes.
+struct CostSlot(UnsafeCell<BlockCost>);
+
+// SAFETY: disjoint-index writes (each block index is claimed by exactly one
+// worker via fetch_add) plus latch-ordered reads — see module docs.
+unsafe impl Sync for CostSlot {}
+
+/// What the pool broadcasts to its workers.
+enum Command {
+    /// No job published yet (startup state).
+    Idle,
+    /// Run this job; the `u64` is the job generation.
+    Run(u64, Arc<Job>),
+    /// Pool is shutting down; workers exit.
+    Shutdown,
+}
+
+struct PoolShared {
+    command: Mutex<Command>,
+    wake: Condvar,
+}
+
+/// A persistent worker pool executing kernel grids.
+pub(crate) struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run` calls on one device (a real GPU also
+    /// serializes kernel grids on a stream).
+    launch_lock: Mutex<()>,
+}
+
+impl ExecutorPool {
+    /// Spin up `workers` host threads (the simulated SM array).
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            command: Mutex::new(Command::Idle),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gpu-sim-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning gpu-sim worker")
+            })
+            .collect();
+        ExecutorPool {
+            shared,
+            workers: handles,
+            launch_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads.
+    #[cfg(test)]
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Execute a grid of `blocks` blocks on the pool and return the
+    /// per-block costs in block order.
+    ///
+    /// # Panics
+    /// Panics if any kernel block panicked.
+    pub(crate) fn run(
+        &self,
+        run_block: &(dyn Fn(&mut BlockCtx) + Sync),
+        blocks: usize,
+        lanes: usize,
+        shared_len: usize,
+    ) -> Vec<BlockCost> {
+        // Recover from poisoning: a failed launch propagates its panic while
+        // holding this lock, but it guards no data — only launch ordering.
+        let _serial = self
+            .launch_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // SAFETY: the erased reference outlives this call only inside the
+        // job slot, and this call does not return until every worker has
+        // checked in and can no longer touch it (see module docs).
+        let run_static: BlockFn<'static> = unsafe { std::mem::transmute(run_block) };
+        let job = Arc::new(Job {
+            run: run_static,
+            blocks,
+            lanes,
+            shared_len,
+            next: AtomicUsize::new(0),
+            costs: (0..blocks)
+                .map(|_| CostSlot(UnsafeCell::new(BlockCost::default())))
+                .collect(),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+
+        {
+            let mut cmd = self.shared.command.lock().unwrap();
+            let generation = match &*cmd {
+                Command::Run(g, _) => g + 1,
+                _ => 1,
+            };
+            *cmd = Command::Run(generation, Arc::clone(&job));
+            self.shared.wake.notify_all();
+        }
+
+        let workers = self.workers.len();
+        let mut done = job.done.lock().unwrap();
+        while *done < workers {
+            done = job.all_done.wait(done).unwrap();
+        }
+        drop(done);
+
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("kernel block panicked");
+        }
+        job.costs
+            .iter()
+            // SAFETY: all workers have checked in; no concurrent access.
+            .map(|slot| unsafe { *slot.0.get() })
+            .collect()
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        {
+            let mut cmd = self.shared.command.lock().unwrap();
+            *cmd = Command::Shutdown;
+            self.shared.wake.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen: u64 = 0;
+    loop {
+        let job = {
+            let mut cmd = shared.command.lock().unwrap();
+            loop {
+                match &*cmd {
+                    Command::Shutdown => return,
+                    Command::Run(generation, job) if *generation != seen => {
+                        seen = *generation;
+                        break Arc::clone(job);
+                    }
+                    _ => cmd = shared.wake.wait(cmd).unwrap(),
+                }
+            }
+        };
+
+        // One scratchpad arena per worker per job, re-armed (not
+        // reallocated) for every block this worker claims.
+        let mut ctx = BlockCtx::new(0, job.lanes, job.shared_len);
+        loop {
+            let b = job.next.fetch_add(1, Ordering::Relaxed);
+            if b >= job.blocks || job.panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            ctx.reinit(b);
+            let outcome = catch_unwind(AssertUnwindSafe(|| (job.run)(&mut ctx)));
+            match outcome {
+                // SAFETY: this worker claimed `b`, so slot `b` is its
+                // exclusive property (see CostSlot).
+                Ok(()) => unsafe { *job.costs[b].0.get() = ctx.cost() },
+                Err(_) => job.panicked.store(true, Ordering::Relaxed),
+            }
+        }
+
+        let mut done = job.done.lock().unwrap();
+        *done += 1;
+        job.all_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_block_once_and_is_reusable() {
+        let pool = ExecutorPool::new(4);
+        for round in 0..5 {
+            let counter = AtomicUsize::new(0);
+            let run = |ctx: &mut BlockCtx| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                ctx.charge_lane_ops(1 + round as u64);
+            };
+            let costs = pool.run(&run, 100, 32, 0);
+            assert_eq!(counter.load(Ordering::Relaxed), 100);
+            assert_eq!(costs.len(), 100);
+            assert!(costs.iter().all(|c| c.lane_ops == 1 + round as u64));
+        }
+        assert_eq!(pool.workers(), 4);
+    }
+
+    #[test]
+    fn pool_reports_costs_in_block_order() {
+        let pool = ExecutorPool::new(3);
+        let run = |ctx: &mut BlockCtx| {
+            let id = ctx.block_id() as u64;
+            ctx.charge_read_bytes(id * 8);
+        };
+        let costs = pool.run(&run, 64, 32, 0);
+        for (b, c) in costs.iter().enumerate() {
+            assert_eq!(c.bytes, b as u64 * 8, "block {b}");
+        }
+    }
+
+    #[test]
+    fn panicking_block_fails_the_launch() {
+        let pool = ExecutorPool::new(2);
+        let run = |ctx: &mut BlockCtx| {
+            if ctx.block_id() == 7 {
+                panic!("boom");
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| pool.run(&run, 16, 32, 0)));
+        assert!(result.is_err());
+        // The pool survives a failed launch.
+        let ok = pool.run(&|_ctx: &mut BlockCtx| {}, 4, 32, 0);
+        assert_eq!(ok.len(), 4);
+    }
+
+    #[test]
+    fn empty_grid_completes() {
+        let pool = ExecutorPool::new(2);
+        let costs = pool.run(&|_ctx: &mut BlockCtx| {}, 0, 32, 0);
+        assert!(costs.is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! The tentpole invariant of the bulk memory API: every bulk accessor is
+//! *observably identical* to the per-element loop it replaces — same buffer
+//! and shared-memory contents bit-for-bit, and the same [`BlockCost`]
+//! counters — so kernels ported to the bulk path keep their simulated
+//! clocks and convergence series unchanged.
+
+use gpu_sim::{BlockCost, BlockCtx, DeviceBuffer, MemSemantics};
+use proptest::prelude::*;
+use proptest::collection::vec;
+
+const LANES: usize = 8;
+
+fn ctx() -> BlockCtx {
+    BlockCtx::new(0, LANES, LANES)
+}
+
+fn bits(buf: &DeviceBuffer) -> Vec<u32> {
+    buf.to_host().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Strategy: buffer contents plus an index set into them.
+fn data_and_indices() -> impl Strategy<Value = (Vec<f32>, Vec<u32>)> {
+    (1usize..80).prop_flat_map(|len| {
+        (
+            vec(-10.0f32..10.0, len..len + 1),
+            vec(0u32..len as u32, 0..60),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn read_slice_matches_elementwise((data, _) in data_and_indices(),
+                                      frac in 0.0f64..1.0) {
+        let buf = DeviceBuffer::from_host(&data);
+        let start = (frac * data.len() as f64) as usize % data.len();
+        let n = data.len() - start;
+
+        let mut a = ctx();
+        let want: Vec<f32> = (0..n).map(|k| a.read(&buf, start + k)).collect();
+
+        let mut b = ctx();
+        let mut got = vec![0.0f32; n];
+        b.read_slice(&buf, start, &mut got);
+
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn write_slice_matches_elementwise((data, _) in data_and_indices()) {
+        let a_buf = DeviceBuffer::zeroed(data.len());
+        let b_buf = DeviceBuffer::zeroed(data.len());
+
+        let mut a = ctx();
+        for (i, &v) in data.iter().enumerate() {
+            a.write(&a_buf, i, v);
+        }
+        let mut b = ctx();
+        b.write_slice(&b_buf, 0, &data);
+
+        prop_assert_eq!(bits(&a_buf), bits(&b_buf));
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn gather_matches_elementwise((data, idx) in data_and_indices()) {
+        let buf = DeviceBuffer::from_host(&data);
+
+        let mut a = ctx();
+        let want: Vec<f32> = idx.iter().map(|&i| a.read(&buf, i as usize)).collect();
+
+        let mut b = ctx();
+        let mut got = vec![0.0f32; idx.len()];
+        b.gather(&buf, &idx, &mut got);
+
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn scatter_add_matches_elementwise_both_semantics(
+        (data, idx) in data_and_indices(),
+        vals in vec(-2.0f32..2.0, 0..60),
+        scale in -3.0f32..3.0,
+    ) {
+        let n = idx.len().min(vals.len());
+        let (idx, vals) = (&idx[..n], &vals[..n]);
+        for sem in [MemSemantics::Atomic, MemSemantics::Wild] {
+            let a_buf = DeviceBuffer::from_host(&data);
+            let b_buf = DeviceBuffer::from_host(&data);
+
+            let mut a = ctx();
+            for (&i, &v) in idx.iter().zip(vals) {
+                a.add(sem, &a_buf, i as usize, v * scale);
+            }
+            let mut b = ctx();
+            b.scatter_add(sem, &b_buf, idx, vals, scale);
+
+            prop_assert_eq!(bits(&a_buf), bits(&b_buf));
+            prop_assert_eq!(a.cost(), b.cost());
+        }
+    }
+
+    #[test]
+    fn scatter_atomic_add_is_the_atomic_spelling(
+        (data, idx) in data_and_indices(),
+        vals in vec(-2.0f32..2.0, 0..60),
+    ) {
+        let n = idx.len().min(vals.len());
+        let a_buf = DeviceBuffer::from_host(&data);
+        let b_buf = DeviceBuffer::from_host(&data);
+        let mut a = ctx();
+        a.scatter_add(MemSemantics::Atomic, &a_buf, &idx[..n], &vals[..n], 1.5);
+        let mut b = ctx();
+        b.scatter_atomic_add(&b_buf, &idx[..n], &vals[..n], 1.5);
+        prop_assert_eq!(bits(&a_buf), bits(&b_buf));
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn lane_dot_phase_matches_elementwise((data, idx) in data_and_indices(),
+                                          coeffs in vec(-2.0f32..2.0, 0..60)) {
+        let n = idx.len().min(coeffs.len());
+        let (idx, coeffs) = (&idx[..n], &coeffs[..n]);
+        let buf = DeviceBuffer::from_host(&data);
+
+        // Reference: the exact per-lane strided loop the TPA kernels used.
+        let mut a = ctx();
+        let mut partials = vec![0.0f32; LANES];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut dp = 0.0f32;
+            let mut k = u;
+            while k < n {
+                dp += a.read(&buf, idx[k] as usize) * coeffs[k];
+                k += LANES;
+            }
+            *p = dp;
+        }
+        a.shared()[..LANES].copy_from_slice(&partials);
+
+        let mut b = ctx();
+        b.lane_dot_phase(&buf, idx, |k, x| x * coeffs[k]);
+
+        prop_assert_eq!(a.shared().to_vec(), b.shared().to_vec());
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn slot_phases_match_elementwise((data, idx) in data_and_indices(),
+                                     present in vec(0u32..2, 0..40),
+                                     delta in -2.0f32..2.0) {
+        // A synthetic ELLPACK row: slot s holds (idx[s], value) or padding.
+        let width = idx.len().min(present.len());
+        let slot = |s: usize| -> Option<(usize, f32)> {
+            (present[s] == 1).then(|| (idx[s] as usize, 0.5 + s as f32 * 0.25))
+        };
+        let buf_a = DeviceBuffer::from_host(&data);
+        let buf_b = DeviceBuffer::from_host(&data);
+
+        let mut a = ctx();
+        let mut partials = vec![0.0f32; LANES];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut dp = 0.0f32;
+            let mut s = u;
+            while s < width {
+                if let Some((j, v)) = slot(s) {
+                    dp += a.read(&buf_a, j) * v;
+                }
+                s += LANES;
+            }
+            *p = dp;
+        }
+        a.shared()[..LANES].copy_from_slice(&partials);
+        for s in 0..width {
+            if let Some((j, v)) = slot(s) {
+                a.add(MemSemantics::Atomic, &buf_a, j, v * delta);
+            }
+        }
+
+        let mut b = ctx();
+        b.lane_slot_dot_phase(&buf_b, width, slot);
+        b.slot_scatter_add(MemSemantics::Atomic, &buf_b, width, slot, delta);
+
+        prop_assert_eq!(a.shared().to_vec(), b.shared().to_vec());
+        prop_assert_eq!(bits(&buf_a), bits(&buf_b));
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn strided_phases_match_elementwise(xv in vec(-4.0f32..4.0, 1..120),
+                                        seed in 0u32..1000,
+                                        blocks in 1usize..5) {
+        let n = xv.len();
+        let yv: Vec<f32> = xv.iter().enumerate()
+            .map(|(i, &x)| x * 0.5 + (seed as f32 + i as f32) * 0.01)
+            .collect();
+        let stride = blocks * LANES;
+        let base = (seed as usize % blocks) * LANES;
+
+        // Dot phase.
+        let xa = DeviceBuffer::from_host(&xv);
+        let ya = DeviceBuffer::from_host(&yv);
+        let mut a = ctx();
+        let mut partials = vec![0.0f32; LANES];
+        for (u, p) in partials.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            let mut i = base + u;
+            while i < n {
+                acc += a.read(&xa, i) * a.read(&ya, i);
+                i += stride;
+            }
+            *p = acc;
+        }
+        a.shared()[..LANES].copy_from_slice(&partials);
+        let mut b = ctx();
+        b.strided_dot_phase(&xa, &ya, base, stride);
+        prop_assert_eq!(a.shared().to_vec(), b.shared().to_vec());
+        prop_assert_eq!(a.cost(), b.cost());
+
+        // Axpy phase.
+        let y_ref = DeviceBuffer::from_host(&yv);
+        let y_bulk = DeviceBuffer::from_host(&yv);
+        let mut a = ctx();
+        for u in 0..LANES {
+            let mut i = base + u;
+            while i < n {
+                let xi = a.read(&xa, i);
+                let yi = a.read(&y_ref, i);
+                a.write(&y_ref, i, yi + 2.5 * xi);
+                i += stride;
+            }
+        }
+        let mut b = ctx();
+        b.strided_axpy_phase(2.5, &xa, &y_bulk, base, stride);
+        prop_assert_eq!(bits(&y_ref), bits(&y_bulk));
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+}
+
+#[test]
+fn bulk_cost_totals_are_exact() {
+    // Spot-check the documented charge schedule on a fixed case.
+    let buf = DeviceBuffer::from_host(&[1.0; 16]);
+    let mut c = BlockCtx::new(0, LANES, LANES);
+    let mut out = [0.0f32; 10];
+    c.read_slice(&buf, 2, &mut out); // 40 B, 10 ops
+    c.write_slice(&buf, 0, &out[..4]); // 16 B, 4 ops
+    c.gather(&buf, &[3, 3, 5], &mut out[..3]); // 12 B, 3 ops
+    c.scatter_atomic_add(&buf, &[1, 2], &[1.0, 1.0], 1.0); // 2 atomics, 2 ops
+    c.scatter_add(MemSemantics::Wild, &buf, &[0], &[1.0], 1.0); // 8 B, 1 op
+    assert_eq!(
+        c.cost(),
+        BlockCost {
+            bytes: 40 + 16 + 12 + 8,
+            atomics: 2,
+            lane_ops: 10 + 4 + 3 + 2 + 1,
+            barriers: 0,
+        }
+    );
+}

@@ -1,0 +1,74 @@
+//! Golden-series regression: the deterministic (`with_host_threads(1)`)
+//! TPA-SCD convergence series — epoch, cumulative simulated seconds, and
+//! duality gap — must be **byte-identical** to the checked-in golden CSVs.
+//!
+//! This pins down the executor's cost-accounting contract end to end: any
+//! change to the bulk memory API, the executor pool, the roofline model, or
+//! the block scheduler that shifts either the trajectory or the simulated
+//! clock by one ULP shows up as a diff here. To bless an intentional
+//! change, run with `SCD_BLESS=1` and commit the rewritten files under
+//! `tests/golden/`.
+
+use std::sync::Arc;
+use tpa_scd::core::{Form, RidgeProblem, Solver, TpaScd};
+use tpa_scd::datasets::{scale_values, webspam_like};
+use tpa_scd::gpu::{Gpu, GpuProfile};
+
+const EPOCHS: usize = 20;
+
+fn problem() -> RidgeProblem {
+    let data = scale_values(&webspam_like(150, 120, 10, 55), 0.3);
+    RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+}
+
+/// Render the series with round-trip-exact float formatting ({:.17e}
+/// recovers every f64 bit pattern), so byte equality == bit equality.
+fn series_csv(form: Form) -> String {
+    let p = problem();
+    let gpu = Arc::new(Gpu::new(GpuProfile::quadro_m4000()).with_host_threads(1));
+    let mut solver = TpaScd::new(&p, form, gpu, 1).unwrap();
+    let mut out = String::from("epoch,simulated_seconds,duality_gap\n");
+    let mut seconds = 0.0f64;
+    out.push_str(&format!("0,{:.17e},{:.17e}\n", 0.0, solver.duality_gap(&p)));
+    for e in 1..=EPOCHS {
+        let stats = solver.epoch(&p);
+        seconds += stats.breakdown.total();
+        out.push_str(&format!(
+            "{e},{seconds:.17e},{:.17e}\n",
+            solver.duality_gap(&p)
+        ));
+    }
+    out
+}
+
+fn check(form: Form, golden_path: &str, golden: &str) {
+    let got = series_csv(form);
+    if std::env::var("SCD_BLESS").is_ok() {
+        std::fs::write(golden_path, &got).unwrap();
+        return;
+    }
+    assert!(
+        got == golden,
+        "{golden_path} diverged from the deterministic series.\n\
+         If the change is intentional, regenerate with SCD_BLESS=1.\n\
+         --- got ---\n{got}\n--- golden ---\n{golden}"
+    );
+}
+
+#[test]
+fn primal_series_matches_golden_csv() {
+    check(
+        Form::Primal,
+        "tests/golden/tpa_primal_series.csv",
+        include_str!("golden/tpa_primal_series.csv"),
+    );
+}
+
+#[test]
+fn dual_series_matches_golden_csv() {
+    check(
+        Form::Dual,
+        "tests/golden/tpa_dual_series.csv",
+        include_str!("golden/tpa_dual_series.csv"),
+    );
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) with plain
+//! `Instant`-based timing and stdout reporting — no statistics, plots, or
+//! CLI. When invoked with `--test` (as `cargo test` does for bench
+//! targets), each routine runs once so benches stay fast in test runs.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declarations, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let test_mode = self.test_mode;
+        self.benchmark_group("ungrouped").run(id.into(), None, test_mode, 10, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    // Tie the group to the Criterion borrow like upstream does.
+    #[allow(dead_code)]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+// Manual constructor shim: keep the struct literal above simple.
+#[allow(clippy::needless_lifetimes)]
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declare the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark routine.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (tp, tm, samples) = (self.throughput, self.test_mode, self.samples);
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(full, tp, tm, samples, f);
+        self
+    }
+
+    /// Finish the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+
+    fn run(
+        &mut self,
+        id: String,
+        tp: Option<Throughput>,
+        test_mode: bool,
+        samples: usize,
+        f: impl FnMut(&mut Bencher),
+    ) {
+        run_bench(format!("{}/{}", self.name, id), tp, test_mode, samples, f);
+    }
+}
+
+fn run_bench(
+    id: String,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        // Keep full runs bounded: a handful of samples, one iter each.
+        iters: if test_mode { 1 } else { samples.clamp(1, 20) as u64 },
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!(", {:.3e} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!(", {:.3e} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {id:50} {:>12.3} us/iter ({} iters{rate})",
+        per_iter * 1e6,
+        bencher.iters
+    );
+}
+
+/// Times closures; handed to each benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declare a bench group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut total = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1usize, 2, 3],
+                |v| total += v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(total >= 3);
+    }
+}

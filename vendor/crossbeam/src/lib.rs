@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from upstream that matter to callers:
+//! * upstream returns `Err` when a child thread panics; `std::thread::scope`
+//!   resumes the panic in the parent instead. Every caller in this
+//!   workspace immediately `.expect()`s the result, so a child panic still
+//!   aborts the calling test/launch either way.
+
+use std::thread;
+
+/// The error type of [`scope`]; never actually constructed (see module
+/// docs), but kept so `scope(...).expect(...)` call sites compile
+/// unchanged.
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`: `spawn` hands the
+/// closure a scope reference so spawned threads can spawn further threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives the scope (commonly
+    /// ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope in which borrowed data may be shared with spawned
+/// threads; all threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_share_borrowed_state_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = scope(|_| 41 + 1).unwrap();
+        assert_eq!(v, 42);
+    }
+}
