@@ -1,0 +1,121 @@
+//! Wall-clock benchmark of the distributed round runtime, recorded to
+//! `BENCH_distributed.json` so the perf trajectory is tracked across PRs.
+//!
+//! For K ∈ {1, 2, 4, 8} workers the *same* cluster (identical partitions,
+//! seeds, and trajectory — bit-identity is covered by
+//! `crates/distributed/tests/runtime_fault.rs`) runs its epochs twice:
+//!
+//! * `sequential`: the reference inline loop, one worker after another;
+//! * `concurrent`: rounds on the persistent `RoundPool` host threads.
+//!
+//! A second section demonstrates the fault layer: one worker's round is
+//! dropped every epoch (`rotating_drop`) and the per-round `RoundMetrics`
+//! series — drops, retries, rescaled γ — is embedded in the JSON record.
+
+use scd_core::{Form, RidgeProblem, Solver};
+use scd_datasets::{scale_values, webspam_like};
+use scd_distributed::{
+    DistributedConfig, DistributedScd, FaultPlan, RoundMetrics, RoundRuntime,
+};
+use std::time::Instant;
+
+fn problem() -> RidgeProblem {
+    let data = scale_values(&webspam_like(2000, 1200, 60, 80), 0.3);
+    RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+}
+
+/// Mean host wall-clock per epoch for one cluster configuration.
+fn epoch_seconds(
+    full: &RidgeProblem,
+    workers: usize,
+    runtime: RoundRuntime,
+    epochs: usize,
+) -> f64 {
+    let config = DistributedConfig::new(workers, Form::Primal)
+        .with_seed(42)
+        .with_runtime(runtime);
+    let mut dist = DistributedScd::new(full, &config).unwrap();
+    dist.epoch(full); // warm the pool (and caches) before timing
+    let start = Instant::now();
+    for _ in 0..epochs {
+        dist.epoch(full);
+    }
+    start.elapsed().as_secs_f64() / epochs as f64
+}
+
+/// 20 epochs with one worker dropped per round; returns (metrics JSON,
+/// final duality gap, first-epoch gap).
+fn fault_demo(full: &RidgeProblem, epochs: usize) -> (String, f64, f64) {
+    let plan = FaultPlan {
+        rotating_drop: true,
+        max_retries: 1,
+        ..FaultPlan::none()
+    };
+    let config = DistributedConfig::new(4, Form::Primal)
+        .with_seed(42)
+        .with_fault(plan);
+    let mut dist = DistributedScd::new(full, &config).unwrap();
+    dist.epoch(full);
+    let first_gap = dist.duality_gap(full);
+    for _ in 1..epochs {
+        dist.epoch(full);
+    }
+    let gap = dist.duality_gap(full);
+    (
+        RoundMetrics::series_to_json(dist.round_metrics()),
+        gap,
+        first_gap,
+    )
+}
+
+fn main() {
+    let full = problem();
+    let epochs: usize = std::env::var("BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "# Distributed SCD epoch wall-clock, webspam-like {}x{} ({} nnz), {} epochs/config, {} host cores",
+        full.n(),
+        full.m(),
+        full.csr().nnz(),
+        epochs,
+        host_threads
+    );
+
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        let seq = epoch_seconds(&full, k, RoundRuntime::Sequential, epochs);
+        let conc = epoch_seconds(&full, k, RoundRuntime::Concurrent { threads: 0 }, epochs);
+        let speedup = seq / conc;
+        println!(
+            "# K={k}: sequential {:.3} ms/epoch, concurrent {:.3} ms/epoch, {speedup:.2}x",
+            seq * 1e3,
+            conc * 1e3
+        );
+        rows.push(format!(
+            "    {{\"workers\": {k}, \"sequential_seconds_per_epoch\": {seq:.6e}, \
+             \"concurrent_seconds_per_epoch\": {conc:.6e}, \
+             \"speedup_concurrent_over_sequential\": {speedup:.3}}}"
+        ));
+    }
+
+    let fault_epochs = 20;
+    let (fault_metrics, fault_gap, fault_first_gap) = fault_demo(&full, fault_epochs);
+    println!(
+        "# fault demo (1 of 4 workers dropped/round, {fault_epochs} epochs): gap {fault_first_gap:.3e} -> {fault_gap:.3e}"
+    );
+
+    let indented_metrics = fault_metrics.replace('\n', "\n  ");
+    let out = format!(
+        "{{\n  \"benchmark\": \"distributed_scd_rounds\",\n  \"dataset\": \"webspam_like(2000, 1200, 60, 80) scale 0.3\",\n  \"lambda\": 1e-3,\n  \"epochs_timed\": {epochs},\n  \"host_threads\": {host_threads},\n  \"rounds\": [\n{}\n  ],\n  \"fault_demo\": {{\n    \"plan\": \"rotating_drop, max_retries 1, K=4\",\n    \"epochs\": {fault_epochs},\n    \"first_epoch_duality_gap\": {fault_first_gap:.6e},\n    \"final_duality_gap\": {fault_gap:.6e},\n    \"round_metrics\": {indented_metrics}\n  }}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+}

@@ -30,7 +30,7 @@ pub fn render(series: &[Series], width: usize, height: usize, x_label: &str) -> 
             .filter(|&(x, y)| x.is_finite() && y.is_finite() && y > 0.0)
             .collect::<Vec<_>>()
     };
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| finite_points(s)).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(&finite_points).collect();
     if all.is_empty() {
         return "(no plottable points)\n".to_string();
     }

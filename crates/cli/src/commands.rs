@@ -11,7 +11,9 @@ use scd_core::{
     Solver, TpaScd, TrainedModel,
 };
 use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, DatasetStats};
-use scd_distributed::{Aggregation, DistributedConfig, DistributedScd, LocalSolverKind};
+use scd_distributed::{
+    Aggregation, DistributedConfig, DistributedScd, FaultPlan, LocalSolverKind, RoundRuntime,
+};
 use scd_sparse::io::{read_libsvm, write_libsvm, LabelledData};
 use std::fs::File;
 use std::io::Write;
@@ -70,6 +72,14 @@ TRAIN OPTIONS:
   --target-gap G    stop once duality gap <= G
   --workers K       distribute across K workers   (default 1 = single node)
   --aggregation A   averaging|adding|adaptive|cocoa+|line-search (default averaging)
+  --round-threads T host threads running worker rounds (0 = auto, 1 = inline)
+  --fault-drop P    probability a worker's round is dropped (default 0)
+  --fault-delay P   probability a round is delayed (default 0)
+  --fault-delay-factor F  slowdown of a delayed round (default 3)
+  --fault-timeout S drop rounds slower than S simulated seconds
+  --fault-retries N re-request a lost round N times (default 1)
+  --fault-seed S    fault-schedule RNG seed       (default 0)
+  --round-metrics F write per-round metrics JSON to F (distributed only)
   --save-model F    write the trained weights to F (ridge only)
   --seed S          RNG seed                      (default 1)"
     );
@@ -212,6 +222,30 @@ fn single_node_solver(
     })
 }
 
+fn parse_fault(args: &Args) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::none();
+    plan.drop_probability = args.get_or("fault-drop", 0.0f64, "number").map_err(|e| e.to_string())?;
+    plan.delay_probability = args.get_or("fault-delay", 0.0f64, "number").map_err(|e| e.to_string())?;
+    plan.delay_factor = args
+        .get_or("fault-delay-factor", 3.0f64, "number")
+        .map_err(|e| e.to_string())?;
+    let timeout = args.get_or("fault-timeout", f64::NAN, "number").map_err(|e| e.to_string())?;
+    if !timeout.is_nan() {
+        plan.timeout_seconds = Some(timeout);
+    }
+    plan.max_retries = args.get_or("fault-retries", 1usize, "integer").map_err(|e| e.to_string())?;
+    plan.seed = args.get_or("fault-seed", 0u64, "integer").map_err(|e| e.to_string())?;
+    for (name, p) in [
+        ("fault-drop", plan.drop_probability),
+        ("fault-delay", plan.delay_probability),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{name} {p}: expected a probability in [0, 1]"));
+        }
+    }
+    Ok(plan)
+}
+
 fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
     let threads = args.get_or("threads", 16usize, "integer").map_err(|e| e.to_string())?;
     Ok(match args.get("solver").unwrap_or("seq") {
@@ -248,8 +282,9 @@ fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
 pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     args.check_known(&[
         "data", "features", "objective", "lambda", "l1-ratio", "form", "solver", "threads",
-        "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "save-model",
-        "seed",
+        "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "round-threads",
+        "fault-drop", "fault-delay", "fault-delay-factor", "fault-timeout", "fault-retries",
+        "fault-seed", "round-metrics", "save-model", "seed",
     ])
     .map_err(|e| e.to_string())?;
     let data = load(args)?;
@@ -265,14 +300,29 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "ridge" => {
             let form = parse_form(args)?;
             let workers = args.get_or("workers", 1usize, "integer").map_err(|e| e.to_string())?;
-            let mut solver: Box<dyn Solver> = if workers > 1 {
+            // The distributed driver stays concrete so its round metrics
+            // remain reachable after training.
+            let mut distributed: Option<DistributedScd> = None;
+            let mut single: Option<Box<dyn Solver>> = None;
+            if workers > 1 {
+                let round_threads = args
+                    .get_or("round-threads", 0usize, "integer")
+                    .map_err(|e| e.to_string())?;
                 let config = DistributedConfig::new(workers, form)
                     .with_aggregation(parse_aggregation(args)?)
                     .with_solver(local_solver_kind(args)?)
+                    .with_runtime(RoundRuntime::Concurrent {
+                        threads: round_threads,
+                    })
+                    .with_fault(parse_fault(args)?)
                     .with_seed(seed);
-                Box::new(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?)
+                distributed = Some(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?);
             } else {
-                single_node_solver(args, &problem, form, seed)?
+                single = Some(single_node_solver(args, &problem, form, seed)?);
+            }
+            let solver: &mut dyn Solver = match distributed.as_mut() {
+                Some(dist) => dist,
+                None => single.as_mut().expect("one branch populated").as_mut(),
             };
             writeln!(out, "solver: {} ({} form)", solver.name(), form.label())
                 .map_err(|e| e.to_string())?;
@@ -298,6 +348,24 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 model.save(file).map_err(|e| format!("cannot write {path}: {e}"))?;
                 writeln!(out, "model saved to {path} ({} weights)", model.features())
                     .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = args.get("round-metrics") {
+                let dist = distributed
+                    .as_ref()
+                    .ok_or("--round-metrics needs --workers > 1")?;
+                std::fs::write(path, dist.metrics_json())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                let dropped: usize = dist
+                    .round_metrics()
+                    .iter()
+                    .map(|m| m.dropped_workers.len())
+                    .sum();
+                writeln!(
+                    out,
+                    "round metrics written to {path} ({} rounds, {dropped} dropped rounds)",
+                    dist.round_metrics().len()
+                )
+                .map_err(|e| e.to_string())?;
             }
             Ok(())
         }
@@ -494,6 +562,41 @@ mod tests {
         .unwrap();
         assert!(out.contains("TPA-SCD (GTX Titan X)"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_with_faults_writes_round_metrics() {
+        let path = tmp("fault");
+        let metrics_path = tmp("fault_metrics").replace(".svm", ".json");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 80 --cols 60 --nnz-per-row 5 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {path} --features 60 --workers 4 --round-threads 2 \
+             --fault-drop 0.2 --fault-retries 2 --fault-seed 9 --epochs 10 --eval-every 10 \
+             --round-metrics {metrics_path}"
+        ))
+        .unwrap();
+        assert!(out.contains("round metrics written"), "{out}");
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(json.contains("\"epoch\": 0"), "{json}");
+        assert!(json.contains("\"survivors\""));
+
+        // Fault flags are validated…
+        assert!(run_to_string(&format!(
+            "train --data {path} --features 60 --workers 2 --fault-drop 1.5"
+        ))
+        .unwrap_err()
+        .contains("probability"));
+        // …and metrics need a cluster.
+        assert!(run_to_string(&format!(
+            "train --data {path} --features 60 --round-metrics {metrics_path}"
+        ))
+        .unwrap_err()
+        .contains("--workers"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(metrics_path).ok();
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl RidgeProblem {
                 labels: labels.len(),
             });
         }
-        if !(lambda > 0.0) {
+        if lambda.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(ProblemError::NonPositiveLambda(lambda));
         }
         let csc = csr.to_csc();

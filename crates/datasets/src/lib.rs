@@ -190,10 +190,10 @@ pub fn dense_gaussian(n: usize, m: usize, seed: u64) -> LabelledData {
     let mut labels = Vec::with_capacity(n);
     for row in 0..n {
         let mut response = 0.0f64;
-        for col in 0..m {
+        for (col, &t) in truth.iter().enumerate() {
             let v = normal(&mut rng) as f32;
             matrix.push(row, col, v).expect("in range");
-            response += v as f64 * truth[col];
+            response += v as f64 * t;
         }
         labels.push((response + 0.01 * normal(&mut rng)) as f32);
     }

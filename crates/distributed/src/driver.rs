@@ -3,18 +3,33 @@
 //! modeled network.
 //!
 //! Each epoch: workers run one permuted pass over their local coordinates
-//! against the last broadcast shared vector (genuinely executed, in
-//! sequence on this host — the workers are independent state machines, so
-//! the result is identical to parallel execution); the master reduces the
-//! Δ-shared-vectors and the adaptive scalars, picks γ (1/K averaging, 1
-//! adding, or the closed-form optimum), applies the aggregated update, and
-//! conceptually broadcasts it back. Simulated time charges the round at the
-//! *slowest* worker (synchronous barrier) plus master host work plus the
-//! network reduce/broadcast and any PCIe traffic.
+//! against the last broadcast shared vector — concurrently on the round
+//! pool ([`crate::runtime::RoundPool`]) by default, since the workers are
+//! independent state machines; the master then reduces the
+//! Δ-shared-vectors and the adaptive scalars *in worker-id order* (so the
+//! result is bit-identical to the sequential reference loop), picks γ (1/K
+//! averaging, 1 adding, or the closed-form optimum), applies the
+//! aggregated update, and conceptually broadcasts it back. Simulated time
+//! charges the round at the *slowest* worker's total round time
+//! (synchronous barrier) plus master host work plus the network
+//! reduce/broadcast and any PCIe traffic.
+//!
+//! When a [`FaultPlan`] is active the master additionally plays each
+//! round's fates: delayed rounds cost more, lost rounds (dropped or slower
+//! than the timeout) are re-requested up to `max_retries` times, and
+//! whatever is still missing after that is aggregated around — the K′ < K
+//! surviving deltas are combined with γ rescaled (averaging uses 1/K′) and
+//! the dropped workers keep their previous master-consistent state, so the
+//! invariant shared = A·β survives the loss. Every round is recorded in a
+//! [`RoundMetrics`] entry.
 
+use crate::fault::{FaultPlan, RoundFate};
 use crate::local::LocalSolver;
+use crate::metrics::RoundMetrics;
 use crate::partition::{partition_problem, PartitionStrategy};
-use crate::worker::Worker;
+use crate::runtime::{RoundPool, RoundRuntime};
+use crate::worker::{Worker, WorkerRound};
+use std::cell::UnsafeCell;
 use gpu_sim::{Gpu, GpuError, GpuProfile};
 use scd_core::{
     async_sim::scaled_staleness, optimal_gamma_dual, optimal_gamma_primal, AsyncCpuMode,
@@ -108,8 +123,10 @@ pub struct DistributedConfig {
     pub form: Form,
     /// Aggregation rule.
     pub aggregation: Aggregation,
-    /// Coordinate-assignment strategy.
-    pub strategy: PartitionStrategy,
+    /// Coordinate-assignment strategy; `None` (the default) derives the
+    /// partition RNG from [`Self::seed`], so differently seeded clusters
+    /// see different partitions.
+    pub strategy: Option<PartitionStrategy>,
     /// The local engine.
     pub solver: LocalSolverKind,
     /// Worker ↔ master link.
@@ -131,6 +148,10 @@ pub struct DistributedConfig {
     pub worker_slowdowns: Vec<f64>,
     /// Base RNG seed (workers derive per-worker seeds).
     pub seed: u64,
+    /// How the K worker rounds execute on this host each epoch.
+    pub runtime: RoundRuntime,
+    /// Fault injection applied by the master each round.
+    pub fault: FaultPlan,
 }
 
 impl DistributedConfig {
@@ -141,7 +162,7 @@ impl DistributedConfig {
             workers,
             form,
             aggregation: Aggregation::Averaging,
-            strategy: PartitionStrategy::Random(0xC0C0A),
+            strategy: None,
             solver: LocalSolverKind::Sequential,
             network: LinkProfile::ethernet_10g(),
             pcie: LinkProfile::pcie3_x16(),
@@ -150,7 +171,18 @@ impl DistributedConfig {
             local_updates_per_round: None,
             worker_slowdowns: Vec::new(),
             seed: 1,
+            runtime: RoundRuntime::default(),
+            fault: FaultPlan::none(),
         }
+    }
+
+    /// The effective partitioning strategy: the explicit one if set,
+    /// otherwise a random partition whose RNG is derived from the cluster
+    /// seed (so `with_seed` re-rolls the partition too).
+    pub fn partition_strategy(&self) -> PartitionStrategy {
+        self.strategy.unwrap_or(PartitionStrategy::Random(
+            0xC0C0A ^ self.seed.wrapping_mul(0x9E3779B97F4A7C15),
+        ))
     }
 
     /// Mark stragglers: worker k's compute costs are multiplied by
@@ -191,9 +223,22 @@ impl DistributedConfig {
         self
     }
 
-    /// Select the partitioning strategy.
+    /// Select the partitioning strategy explicitly (disables the
+    /// seed-derived default).
     pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
-        self.strategy = strategy;
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Select how worker rounds execute on this host.
+    pub fn with_runtime(mut self, runtime: RoundRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Inject faults per the given plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -230,17 +275,27 @@ pub struct DistributedScd {
     workers: Vec<Worker>,
     /// The master's aggregated shared vector w⁽ᵗ⁾ / w̄⁽ᵗ⁾.
     shared: Vec<f32>,
-    coords_total: usize,
     weights_total: usize,
     cpu: CpuProfile,
     network: LinkProfile,
     last_gamma: f64,
+    /// Host-thread pool for concurrent rounds; `None` = inline loop.
+    pool: Option<RoundPool>,
+    fault: FaultPlan,
+    /// Rounds completed so far (keys the fault schedule).
+    epoch_index: usize,
+    round_metrics: Vec<RoundMetrics>,
 }
 
 impl DistributedScd {
     /// Partition the problem and stand up the cluster.
     pub fn new(full: &RidgeProblem, config: &DistributedConfig) -> Result<Self, GpuError> {
-        let partitions = partition_problem(full, config.form, config.workers, config.strategy);
+        let partitions = partition_problem(
+            full,
+            config.form,
+            config.workers,
+            config.partition_strategy(),
+        );
         // CoCoA+ makes adding safe by scaling the local quadratic term.
         let sigma_prime = if config.aggregation == Aggregation::CocoaPlus {
             config.workers as f64
@@ -314,16 +369,26 @@ impl DistributedScd {
             )
             .with_local_epochs(config.local_epochs_per_round));
         }
+        // A one-thread pool would run the same inline loop with extra
+        // hand-offs; only stand the pool up when it can overlap rounds.
+        let pool = config
+            .runtime
+            .pool_threads(config.workers)
+            .filter(|&t| t > 1)
+            .map(RoundPool::new);
         Ok(DistributedScd {
             form: config.form,
             aggregation: config.aggregation,
             workers,
             shared: vec![0.0; full.shared_len(config.form)],
-            coords_total: full.coords(config.form),
             weights_total: full.coords(config.form),
             cpu: config.cpu.clone(),
             network: config.network.clone(),
             last_gamma: 1.0,
+            pool,
+            fault: config.fault,
+            epoch_index: 0,
+            round_metrics: Vec::new(),
         })
     }
 
@@ -336,6 +401,73 @@ impl DistributedScd {
     /// y-axis).
     pub fn last_gamma(&self) -> f64 {
         self.last_gamma
+    }
+
+    /// Host threads executing rounds concurrently (1 = inline loop).
+    pub fn round_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, RoundPool::threads)
+    }
+
+    /// Telemetry of every round run so far, in order.
+    pub fn round_metrics(&self) -> &[RoundMetrics] {
+        &self.round_metrics
+    }
+
+    /// The full round-metrics series as a JSON array.
+    pub fn metrics_json(&self) -> String {
+        RoundMetrics::series_to_json(&self.round_metrics)
+    }
+
+    /// Run the rounds of the `pending` workers (unique ids) against the
+    /// current shared vector, inline or on the pool; results align with
+    /// `pending`.
+    fn run_attempt(&mut self, pending: &[usize]) -> Vec<WorkerRound> {
+        let Some(pool) = &self.pool else {
+            let shared = &self.shared;
+            return pending
+                .iter()
+                .map(|&wid| self.workers[wid].run_round(shared))
+                .collect();
+        };
+
+        /// One result slot, written by exactly one pool task.
+        struct RoundSlot(UnsafeCell<Option<WorkerRound>>);
+        // SAFETY: task i writes slot i only; slots are never shared.
+        unsafe impl Sync for RoundSlot {}
+
+        /// Worker array base pointer, shipped to the pool tasks.
+        struct WorkerBase(*mut Worker);
+        // SAFETY: `Worker: Send` (LocalSolver requires Send) and every
+        // task dereferences a distinct element (pending ids are unique).
+        unsafe impl Sync for WorkerBase {}
+        impl WorkerBase {
+            /// # Safety
+            /// `wid` must be in bounds and no other live reference to
+            /// worker `wid` may exist for the returned borrow's lifetime.
+            #[allow(clippy::mut_from_ref)]
+            unsafe fn worker(&self, wid: usize) -> &mut Worker {
+                &mut *self.0.add(wid)
+            }
+        }
+
+        let slots: Vec<RoundSlot> = pending
+            .iter()
+            .map(|_| RoundSlot(UnsafeCell::new(None)))
+            .collect();
+        let shared = &self.shared;
+        let base = WorkerBase(self.workers.as_mut_ptr());
+        pool.run(pending.len(), &|i| {
+            // SAFETY: `pending` holds unique in-bounds worker ids and each
+            // task index is claimed exactly once, so this is the only
+            // live reference to worker `pending[i]` and slot `i`.
+            let worker = unsafe { base.worker(pending[i]) };
+            let round = worker.run_round(shared);
+            unsafe { *slots[i].0.get() = Some(round) };
+        });
+        slots
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("pool task completed"))
+            .collect()
     }
 
     /// Scatter the workers' local weights into the global coordinate space.
@@ -369,22 +501,171 @@ impl Solver for DistributedScd {
 
     fn epoch(&mut self, full: &RidgeProblem) -> EpochStats {
         let k = self.workers.len();
-        // Workers run their local epochs (synchronous round: the barrier
-        // costs the slowest worker in each time category).
-        let mut compute = TimeBreakdown::default();
+        let epoch_idx = self.epoch_index;
+        self.epoch_index += 1;
+
+        // Phase 1: run the rounds (concurrently when the pool is up) and
+        // play the fault plan — delayed rounds cost more, lost rounds
+        // (dropped, or slower than the master's timeout) are re-requested
+        // up to `max_retries` times, then aggregated around.
+        let mut rounds: Vec<Option<WorkerRound>> = (0..k).map(|_| None).collect();
+        let mut worker_time = vec![TimeBreakdown::default(); k];
+        let mut dropped: Vec<usize> = Vec::new();
+        let mut retries = 0usize;
+        let mut pending: Vec<usize> = (0..k).collect();
+        let max_attempts = if self.fault.is_active() {
+            1 + self.fault.max_retries
+        } else {
+            1
+        };
+        for attempt in 0..max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            let results = self.run_attempt(&pending);
+            let mut still_pending = Vec::new();
+            for (slot, wid) in pending.iter().copied().enumerate() {
+                let mut round = results[slot].clone();
+                let fate = self.fault.fate(epoch_idx, wid, attempt, k);
+                if fate == RoundFate::Delayed {
+                    round.breakdown.gpu *= self.fault.delay_factor;
+                    round.breakdown.host *= self.fault.delay_factor;
+                    round.breakdown.pcie *= self.fault.delay_factor;
+                    round.breakdown.network *= self.fault.delay_factor;
+                }
+                let total = round.breakdown.total();
+                let timed_out = self
+                    .fault
+                    .timeout_seconds
+                    .is_some_and(|limit| total > limit);
+                if fate == RoundFate::Dropped || timed_out {
+                    // The master waits out the timeout (or, with none
+                    // configured, learns of the loss after the round's
+                    // nominal duration) — a wall-clock charge with no
+                    // usable result behind it.
+                    let waited = self.fault.timeout_seconds.unwrap_or(total);
+                    worker_time[wid].network += waited;
+                    // The worker's speculative local pass is discarded so
+                    // its state stays consistent with what the master will
+                    // aggregate.
+                    self.workers[wid].discard_round();
+                    if attempt + 1 < max_attempts {
+                        retries += 1;
+                        worker_time[wid].network += self.network.retry_request_seconds();
+                        still_pending.push(wid);
+                    } else {
+                        dropped.push(wid);
+                    }
+                } else {
+                    worker_time[wid].accumulate(&round.breakdown);
+                    rounds[wid] = Some(round);
+                }
+            }
+            pending = still_pending;
+        }
+
+        // Phase 2: reduce the K′ surviving deltas in worker-id order —
+        // the deterministic order that keeps concurrent execution
+        // bit-identical to the sequential reference loop.
         let mut delta = vec![0.0f32; self.shared.len()];
         let mut scalars = Vec::with_capacity(k);
-        for worker in self.workers.iter_mut() {
-            let round = worker.run_round(&self.shared);
-            compute = compute.max(&round.breakdown);
+        let mut bytes_reduced = 0usize;
+        for round in rounds.iter().flatten() {
             dense::axpy(1.0, &round.delta_shared, &mut delta);
             scalars.push(round.scalars);
+            bytes_reduced += 4 * round.delta_shared.len();
         }
+        let k_eff = scalars.len();
         let reduced = WorkerScalars::reduce(scalars);
 
-        // Master: choose γ.
-        let gamma = match self.aggregation {
-            Aggregation::Averaging => 1.0 / k as f64,
+        // Master: choose γ (degraded aggregation rescales over K′).
+        let gamma = if k_eff == 0 {
+            0.0
+        } else {
+            self.choose_gamma(full, &delta, &reduced, k_eff)
+        };
+        self.last_gamma = gamma;
+
+        // Apply on the master and rescale on the surviving workers (a
+        // dropped worker never hears γ; its discarded Δ keeps it
+        // consistent with the master regardless).
+        if k_eff > 0 {
+            dense::axpy(gamma as f32, &delta, &mut self.shared);
+            for (wid, round) in rounds.iter().enumerate() {
+                if round.is_some() {
+                    self.workers[wid].apply_gamma(gamma);
+                }
+            }
+        }
+
+        // Synchronous barrier: the round costs the slowest worker's
+        // *total* time; keep that worker's per-category breakdown.
+        let slowest = (0..k)
+            .max_by(|&a, &b| {
+                worker_time[a]
+                    .total()
+                    .partial_cmp(&worker_time[b].total())
+                    .expect("round times are finite")
+            })
+            .unwrap_or(0);
+        let mut breakdown = worker_time[slowest];
+
+        // Master-side aggregation arithmetic: K′ Δ-vectors summed + applied.
+        breakdown.host += self
+            .cpu
+            .host_vector_op_seconds((k_eff + 1) * self.shared.len());
+        // Reduce of the K′ arriving Δ-vectors + broadcast to all K workers,
+        // plus the adaptive scalars (a few extra bytes, as the paper
+        // stresses).
+        let extra_scalars = if self.aggregation == Aggregation::Adaptive {
+            3
+        } else {
+            0
+        };
+        let bytes = 4 * self.shared.len();
+        breakdown.network += self.network.reduce_seconds(k_eff, bytes + extra_scalars * 8)
+            + self.network.broadcast_seconds(k, bytes);
+
+        self.round_metrics.push(RoundMetrics {
+            epoch: epoch_idx,
+            worker_round_seconds: worker_time.iter().map(TimeBreakdown::total).collect(),
+            barrier_seconds: worker_time[slowest].total(),
+            gamma,
+            bytes_reduced,
+            retries,
+            dropped_workers: dropped,
+            survivors: k_eff,
+        });
+
+        let updates = rounds
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(wid, _)| self.workers[wid].coords())
+            .sum();
+        EpochStats { updates, breakdown }
+    }
+
+    fn weights(&self) -> Vec<f32> {
+        self.assemble_weights()
+    }
+
+    fn shared_vector(&self) -> Vec<f32> {
+        self.shared.clone()
+    }
+}
+
+impl DistributedScd {
+    /// The master's γ rule over the `k_eff` surviving workers.
+    fn choose_gamma(
+        &self,
+        full: &RidgeProblem,
+        delta: &[f32],
+        reduced: &WorkerScalars,
+        k_eff: usize,
+    ) -> f64 {
+        match self.aggregation {
+            Aggregation::Averaging => 1.0 / k_eff as f64,
             Aggregation::Adding | Aggregation::CocoaPlus => 1.0,
             Aggregation::LineSearch => match self.form {
                 Form::Primal => {
@@ -400,7 +681,7 @@ impl Solver for DistributedScd {
                         .shared
                         .iter()
                         .zip(full.labels())
-                        .zip(&delta)
+                        .zip(delta)
                         .map(|((&w, &y), &d)| (w as f64 - y as f64) * d as f64)
                         .sum::<f64>()
                         / n;
@@ -423,7 +704,7 @@ impl Solver for DistributedScd {
                     let lin_w: f64 = self
                         .shared
                         .iter()
-                        .zip(&delta)
+                        .zip(delta)
                         .map(|(&w, &d)| w as f64 * d as f64)
                         .sum::<f64>()
                         / lambda;
@@ -440,14 +721,14 @@ impl Solver for DistributedScd {
                 Form::Primal => optimal_gamma_primal(
                     full.labels(),
                     &self.shared,
-                    &delta,
+                    delta,
                     reduced.x_dot_dx,
                     reduced.dx_sq,
                     full.n_lambda(),
                 ),
                 Form::Dual => optimal_gamma_dual(
                     &self.shared,
-                    &delta,
+                    delta,
                     reduced.dx_dot_y,
                     reduced.x_dot_dx,
                     reduced.dx_sq,
@@ -455,42 +736,6 @@ impl Solver for DistributedScd {
                     full.lambda(),
                 ),
             },
-        };
-        self.last_gamma = gamma;
-
-        // Apply on the master and rescale on the workers.
-        dense::axpy(gamma as f32, &delta, &mut self.shared);
-        for worker in self.workers.iter_mut() {
-            worker.apply_gamma(gamma);
         }
-
-        // Master-side aggregation arithmetic: K Δ-vectors summed + applied.
-        let mut breakdown = compute;
-        breakdown.host += self
-            .cpu
-            .host_vector_op_seconds((k + 1) * self.shared.len());
-        // Reduce + broadcast of the shared vector, plus the adaptive
-        // scalars (a few extra bytes, as the paper stresses).
-        let extra_scalars = if self.aggregation == Aggregation::Adaptive {
-            3
-        } else {
-            0
-        };
-        breakdown.network +=
-            self.network
-                .aggregation_round_seconds(k, 4 * self.shared.len(), extra_scalars);
-
-        EpochStats {
-            updates: self.coords_total,
-            breakdown,
-        }
-    }
-
-    fn weights(&self) -> Vec<f32> {
-        self.assemble_weights()
-    }
-
-    fn shared_vector(&self) -> Vec<f32> {
-        self.shared.clone()
     }
 }

@@ -1,0 +1,198 @@
+//! Deterministic fault injection for the distributed round runtime.
+//!
+//! Faults in a real cluster are external events; in the simulator they
+//! must be *reproducible* ones, so every (epoch, worker, attempt) triple
+//! hashes to a fate through a splitmix64 mix of the plan's seed. Running
+//! the same configuration twice — on any thread count — produces the same
+//! drops, delays, retries and therefore the same trajectory.
+
+/// What happened to one worker's round delivery on one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundFate {
+    /// The round arrived at the master on time.
+    Delivered,
+    /// The round arrived, but `delay_factor` slower than computed.
+    Delayed,
+    /// The round never arrived; the master times out and may retry.
+    Dropped,
+}
+
+/// Fault-injection plan evaluated by the master each round.
+///
+/// The default plan injects nothing and adds no cost — `FaultPlan::none()`
+/// keeps the driver byte-identical to a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a worker's round is dropped.
+    pub drop_probability: f64,
+    /// Probability in `[0, 1]` that a delivered round is delayed.
+    pub delay_probability: f64,
+    /// Multiplier applied to a delayed worker's round time (> 1.0).
+    pub delay_factor: f64,
+    /// Master-side timeout on a worker's round, in simulated seconds.
+    /// Rounds slower than this (dropped rounds always) count as lost.
+    /// `None` means the master waits forever for delayed workers and
+    /// only drops explicitly `Dropped` rounds.
+    pub timeout_seconds: Option<f64>,
+    /// How many times the master re-requests a lost round before
+    /// aggregating without that worker.
+    pub max_retries: usize,
+    /// When set, worker `epoch % K` is dropped every round (all
+    /// attempts) — a deterministic worst case for degraded-aggregation
+    /// tests, applied on top of the probabilistic fates.
+    pub rotating_drop: bool,
+    /// Seed for the fate hash; independent of the solver seed so fault
+    /// schedules can vary while the optimization path is held fixed.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_probability: 0.0,
+            delay_probability: 0.0,
+            delay_factor: 1.0,
+            timeout_seconds: None,
+            max_retries: 0,
+            rotating_drop: false,
+            seed: 0,
+        }
+    }
+
+    /// True when the plan can affect a run (any fault source enabled).
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0
+            || self.delay_probability > 0.0
+            || self.rotating_drop
+            || self.timeout_seconds.is_some()
+    }
+
+    /// The deterministic fate of `worker`'s round in `epoch`, on retry
+    /// `attempt` (0 = first delivery). `workers` is the cluster size K,
+    /// used by `rotating_drop`.
+    pub fn fate(&self, epoch: usize, worker: usize, attempt: usize, workers: usize) -> RoundFate {
+        if self.rotating_drop && workers > 0 && worker == epoch % workers {
+            return RoundFate::Dropped;
+        }
+        if self.drop_probability <= 0.0 && self.delay_probability <= 0.0 {
+            return RoundFate::Delivered;
+        }
+        let u = self.uniform(epoch, worker, attempt);
+        if u < self.drop_probability {
+            RoundFate::Dropped
+        } else if u < self.drop_probability + self.delay_probability {
+            RoundFate::Delayed
+        } else {
+            RoundFate::Delivered
+        }
+    }
+
+    /// Uniform sample in `[0, 1)` keyed by (seed, epoch, worker, attempt).
+    fn uniform(&self, epoch: usize, worker: usize, attempt: usize) -> f64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((epoch as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add((worker as u64).wrapping_mul(0x94D049BB133111EB))
+            .wrapping_add(attempt as u64 + 1);
+        let h = splitmix64(key);
+        // 53 high bits -> f64 in [0, 1), the standard unbiased mapping.
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_always_delivers() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for e in 0..8 {
+            for w in 0..8 {
+                assert_eq!(plan.fate(e, w, 0, 8), RoundFate::Delivered);
+            }
+        }
+    }
+
+    #[test]
+    fn fate_is_deterministic_per_triple() {
+        let plan = FaultPlan {
+            drop_probability: 0.3,
+            delay_probability: 0.3,
+            seed: 7,
+            ..FaultPlan::none()
+        };
+        for e in 0..16 {
+            for w in 0..4 {
+                for a in 0..3 {
+                    assert_eq!(plan.fate(e, w, a, 4), plan.fate(e, w, a, 4));
+                }
+            }
+        }
+        // Different attempts of the same round can draw different fates.
+        let varies = (0..64).any(|e| plan.fate(e, 0, 0, 4) != plan.fate(e, 0, 1, 4));
+        assert!(varies, "retry attempts should re-roll the fate");
+    }
+
+    #[test]
+    fn probabilities_are_roughly_respected() {
+        let plan = FaultPlan {
+            drop_probability: 0.25,
+            delay_probability: 0.25,
+            seed: 42,
+            ..FaultPlan::none()
+        };
+        let trials = 4000;
+        let mut dropped = 0;
+        let mut delayed = 0;
+        for e in 0..trials {
+            match plan.fate(e, 0, 0, 1) {
+                RoundFate::Dropped => dropped += 1,
+                RoundFate::Delayed => delayed += 1,
+                RoundFate::Delivered => {}
+            }
+        }
+        let drop_rate = dropped as f64 / trials as f64;
+        let delay_rate = delayed as f64 / trials as f64;
+        assert!((drop_rate - 0.25).abs() < 0.05, "drop rate {drop_rate}");
+        assert!((delay_rate - 0.25).abs() < 0.05, "delay rate {delay_rate}");
+    }
+
+    #[test]
+    fn rotating_drop_hits_one_worker_per_epoch() {
+        let plan = FaultPlan {
+            rotating_drop: true,
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active());
+        for e in 0..12 {
+            for w in 0..4 {
+                let fate = plan.fate(e, w, 0, 4);
+                if w == e % 4 {
+                    assert_eq!(fate, RoundFate::Dropped);
+                    // Retries do not resurrect a rotating-drop victim.
+                    assert_eq!(plan.fate(e, w, 1, 4), RoundFate::Dropped);
+                } else {
+                    assert_eq!(fate, RoundFate::Delivered);
+                }
+            }
+        }
+    }
+}

@@ -8,22 +8,35 @@
 //!   (sequential, async CPU, TPA-SCD on a GPU) must meet to act as a
 //!   worker's solver.
 //! * [`worker`] — one worker node: local epoch, Δ computation, γ rescale.
-//! * [`driver`] — the master loop: reduce, choose γ, broadcast; implements
-//!   [`scd_core::Solver`] so the figure harness drives distributed and
-//!   single-node runs identically.
+//! * [`runtime`] — the [`runtime::RoundPool`]: persistent host threads
+//!   that execute worker rounds concurrently within one epoch.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]):
+//!   delayed and dropped rounds, keyed by (epoch, worker, attempt).
+//! * [`metrics`] — per-round telemetry ([`metrics::RoundMetrics`]) with
+//!   JSON export for the bench harness.
+//! * [`driver`] — the master loop: reduce, choose γ, broadcast, survive
+//!   lost rounds by degraded aggregation; implements [`scd_core::Solver`]
+//!   so the figure harness drives distributed and single-node runs
+//!   identically.
 //! * [`param_server`] — the asynchronous parameter-server alternative [6]
 //!   the paper's introduction contrasts the synchronous design against.
 
 pub mod driver;
+pub mod fault;
 pub mod local;
+pub mod metrics;
 pub mod param_server;
 pub mod partition;
+pub mod runtime;
 pub mod worker;
 
 pub use driver::{Aggregation, DistributedConfig, DistributedScd, LocalSolverKind};
+pub use fault::{FaultPlan, RoundFate};
+pub use metrics::RoundMetrics;
 pub use param_server::{ParamServerConfig, ParamServerScd};
 pub use local::LocalSolver;
 pub use partition::{partition_coords, partition_problem, LocalPartition, PartitionStrategy};
+pub use runtime::{RoundPool, RoundRuntime};
 pub use worker::{Worker, WorkerRound};
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 use scd_core::{AsyncSimScd, SequentialScd, Solver, TpaScd};
 
 /// A [`Solver`] that can be re-synchronized by the distributed driver.
-pub trait LocalSolver: Solver {
+///
+/// `Send` is part of the contract: the round runtime moves each worker's
+/// engine to a pool thread for the duration of its local epoch.
+pub trait LocalSolver: Solver + Send {
     /// Load the aggregated shared vector the master broadcast (Algorithm
     /// 3's "Broadcast w(t−1) to the K workers").
     fn load_shared(&mut self, shared: &[f32]);
@@ -22,6 +25,14 @@ pub trait LocalSolver: Solver {
     /// round-trip, or 0 for engines whose state lives in host memory.
     fn pcie_bytes_per_exchange(&self) -> usize {
         0
+    }
+
+    /// The (download, upload) legs of the PCIe exchange. The default
+    /// splits [`Self::pcie_bytes_per_exchange`] evenly, assigning the odd
+    /// byte to the upload leg so no traffic is lost to integer halving.
+    fn pcie_bytes_split(&self) -> (usize, usize) {
+        let total = self.pcie_bytes_per_exchange();
+        (total / 2, total - total / 2)
     }
 }
 

@@ -1,0 +1,123 @@
+//! Per-epoch round telemetry for the distributed driver.
+//!
+//! One [`RoundMetrics`] is recorded per synchronous round (epoch): what
+//! each worker's round cost, which workers were lost, how many retries
+//! the master issued, and the γ it finally applied. The bench harness
+//! and CLI export the series as JSON (hand-rolled — the workspace has no
+//! serde) so fault-injection experiments are auditable after the fact.
+
+/// Telemetry for one synchronous round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundMetrics {
+    /// Round index (0-based, monotonically increasing per driver).
+    pub epoch: usize,
+    /// Final simulated round seconds per worker, by worker id, including
+    /// injected delays and retry charges. Lost workers report the time
+    /// the master spent waiting on them.
+    pub worker_round_seconds: Vec<f64>,
+    /// The barrier charge for this round: the slowest worker's total.
+    pub barrier_seconds: f64,
+    /// The aggregation scale the master applied.
+    pub gamma: f64,
+    /// Bytes of delta-shared-vector traffic reduced this round.
+    pub bytes_reduced: usize,
+    /// Retry requests the master issued this round (all workers).
+    pub retries: usize,
+    /// Workers whose round never arrived and were aggregated around.
+    pub dropped_workers: Vec<usize>,
+    /// K′: number of workers whose delta made it into the update.
+    pub survivors: usize,
+}
+
+impl RoundMetrics {
+    /// Serialize as a single JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"epoch\": {}, \"worker_round_seconds\": {}, \"barrier_seconds\": {:.6e}, \
+             \"gamma\": {:.6e}, \"bytes_reduced\": {}, \"retries\": {}, \
+             \"dropped_workers\": {}, \"survivors\": {}}}",
+            self.epoch,
+            json_f64_array(&self.worker_round_seconds),
+            self.barrier_seconds,
+            self.gamma,
+            self.bytes_reduced,
+            self.retries,
+            json_usize_array(&self.dropped_workers),
+            self.survivors,
+        )
+    }
+
+    /// Serialize a series of rounds as a JSON array (one object per line).
+    pub fn series_to_json(series: &[RoundMetrics]) -> String {
+        if series.is_empty() {
+            return "[]".to_string();
+        }
+        let mut out = String::from("[\n");
+        for (i, m) in series.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&m.to_json());
+            if i + 1 < series.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn json_f64_array(values: &[f64]) -> String {
+    let body: Vec<String> = values.iter().map(|v| format!("{v:.6e}")).collect();
+    format!("[{}]", body.join(", "))
+}
+
+fn json_usize_array(values: &[usize]) -> String {
+    let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoundMetrics {
+        RoundMetrics {
+            epoch: 3,
+            worker_round_seconds: vec![0.5, 1.25],
+            barrier_seconds: 1.25,
+            gamma: 0.5,
+            bytes_reduced: 4096,
+            retries: 1,
+            dropped_workers: vec![1],
+            survivors: 1,
+        }
+    }
+
+    #[test]
+    fn json_object_contains_every_field() {
+        let json = sample().to_json();
+        for key in [
+            "\"epoch\": 3",
+            "\"worker_round_seconds\": [5.000000e-1, 1.250000e0]",
+            "\"barrier_seconds\":",
+            "\"gamma\":",
+            "\"bytes_reduced\": 4096",
+            "\"retries\": 1",
+            "\"dropped_workers\": [1]",
+            "\"survivors\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn series_renders_as_array() {
+        assert_eq!(RoundMetrics::series_to_json(&[]), "[]");
+        let series = vec![sample(), sample()];
+        let json = RoundMetrics::series_to_json(&series);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("\"epoch\"").count(), 2);
+        assert_eq!(json.matches(',').count() % 2, 1, "one separator between objects");
+    }
+}

@@ -219,7 +219,7 @@ impl Solver for ParamServerScd {
         // Round-robin until every worker exhausted its quota.
         loop {
             let mut any = false;
-            for k in 0..self.workers.len() {
+            for (k, compute) in per_worker_compute.iter_mut().enumerate() {
                 if self.workers[k].remaining == 0 {
                     continue;
                 }
@@ -231,7 +231,7 @@ impl Solver for ParamServerScd {
                 w.solver.set_shared(&snapshot);
                 let stats = w.solver.epoch(&w.problem);
                 w.remaining = w.remaining.saturating_sub(stats.updates);
-                per_worker_compute[k] += stats.breakdown.total();
+                *compute += stats.breakdown.total();
                 let after = w.solver.shared_vector();
                 let delta = dense::sub(&after, &before);
                 self.record_history();

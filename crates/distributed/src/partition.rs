@@ -52,10 +52,10 @@ pub fn partition_coords(
     let mut parts = vec![Vec::with_capacity(total / workers + 1); workers];
     match strategy {
         PartitionStrategy::Contiguous => {
-            for k in 0..workers {
+            for (k, part) in parts.iter_mut().enumerate() {
                 let lo = k * total / workers;
                 let hi = (k + 1) * total / workers;
-                parts[k].extend(lo..hi);
+                part.extend(lo..hi);
             }
         }
         PartitionStrategy::RoundRobin => {

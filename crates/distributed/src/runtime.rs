@@ -1,0 +1,279 @@
+//! The round runtime: persistent host threads that execute worker rounds
+//! concurrently inside one synchronous epoch.
+//!
+//! The original driver ran the K workers one after another on the calling
+//! thread. That was semantically fine (workers are independent state
+//! machines), but it serialized real wall-clock across K and made the
+//! "synchronous barrier" a fiction of the cost model only. This module
+//! applies the persistent-pool pattern of `gpu_sim`'s executor
+//! (`crates/gpusim/src/pool.rs`) to the cluster: a pool of host threads is
+//! created once per [`crate::DistributedScd`], and every epoch publishes
+//! one job ("run the round of each pending worker") that the threads drain
+//! from a shared cursor.
+//!
+//! Determinism: each task index is claimed by exactly one thread, every
+//! worker is touched by at most one thread per job, and the *master*
+//! reduces results in worker-id order afterwards — so the aggregated state
+//! is bit-identical to the sequential loop regardless of thread count or
+//! scheduling.
+//!
+//! Safety model (same as the gpu-sim pool): `run` erases the task
+//! closure's lifetime to publish it to the long-lived workers and does not
+//! return until every thread has checked in for the job, after which no
+//! thread touches the job again.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How the driver executes the K worker rounds of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundRuntime {
+    /// One worker after another on the calling thread — the pre-pool
+    /// reference loop, kept for equivalence testing and 1-core hosts.
+    Sequential,
+    /// Rounds run on a persistent pool of host threads. `threads == 0`
+    /// auto-sizes to `min(K, available_parallelism)`.
+    Concurrent {
+        /// Pool width; 0 = auto.
+        threads: usize,
+    },
+}
+
+impl Default for RoundRuntime {
+    fn default() -> Self {
+        RoundRuntime::Concurrent { threads: 0 }
+    }
+}
+
+impl RoundRuntime {
+    /// Resolve the pool width for a cluster of `workers` nodes; `None`
+    /// means "no pool, run inline".
+    pub(crate) fn pool_threads(self, workers: usize) -> Option<usize> {
+        match self {
+            RoundRuntime::Sequential => None,
+            RoundRuntime::Concurrent { threads: 0 } => {
+                let host = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                Some(host.min(workers).max(1))
+            }
+            RoundRuntime::Concurrent { threads } => Some(threads.min(workers).max(1)),
+        }
+    }
+}
+
+/// A task body as the pool sees it: run task `i` of the current job.
+type TaskFn<'a> = &'a (dyn Fn(usize) + Sync);
+
+/// One job in flight: task count, the erased body, the claim cursor, and
+/// the completion latch.
+struct Job {
+    /// Task body with its borrow lifetime erased; valid until the `run`
+    /// call that published it returns.
+    run: TaskFn<'static>,
+    tasks: usize,
+    /// Next unclaimed task index (dynamic dispatch, exactly-once claim).
+    next: AtomicUsize,
+    /// Set when a task panicked; remaining tasks are abandoned.
+    panicked: AtomicBool,
+    /// Completion latch: threads that have finished this job.
+    done: Mutex<usize>,
+    all_done: Condvar,
+}
+
+enum Command {
+    Idle,
+    Run(u64, Arc<Job>),
+    Shutdown,
+}
+
+struct PoolShared {
+    command: Mutex<Command>,
+    wake: Condvar,
+}
+
+/// A persistent pool of host threads executing per-worker round tasks.
+pub struct RoundPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RoundPool {
+    /// Spin up `threads` host threads.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "round pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            command: Mutex::new(Command::Idle),
+            wake: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scd-round-{i}"))
+                    .spawn(move || thread_loop(&shared))
+                    .expect("spawning round-pool thread")
+            })
+            .collect();
+        RoundPool {
+            shared,
+            threads: handles,
+        }
+    }
+
+    /// Number of pool threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Execute `tasks` tasks on the pool; `run_task(i)` is called exactly
+    /// once for every `i in 0..tasks`, from some pool thread. Returns after
+    /// every task has finished.
+    ///
+    /// # Panics
+    /// Panics if any task panicked.
+    pub fn run(&self, tasks: usize, run_task: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the erased reference outlives this call only inside the
+        // job slot, and this call does not return until every thread has
+        // checked in and can no longer touch it (see module docs).
+        let run_static: TaskFn<'static> = unsafe { std::mem::transmute(run_task) };
+        let job = Arc::new(Job {
+            run: run_static,
+            tasks,
+            next: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+
+        {
+            let mut cmd = self.shared.command.lock().unwrap();
+            let generation = match &*cmd {
+                Command::Run(g, _) => g + 1,
+                _ => 1,
+            };
+            *cmd = Command::Run(generation, Arc::clone(&job));
+            self.shared.wake.notify_all();
+        }
+
+        let threads = self.threads.len();
+        let mut done = job.done.lock().unwrap();
+        while *done < threads {
+            done = job.all_done.wait(done).unwrap();
+        }
+        drop(done);
+
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("worker round panicked");
+        }
+    }
+}
+
+impl Drop for RoundPool {
+    fn drop(&mut self) {
+        {
+            let mut cmd = self.shared.command.lock().unwrap();
+            *cmd = Command::Shutdown;
+            self.shared.wake.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn thread_loop(shared: &PoolShared) {
+    let mut seen: u64 = 0;
+    loop {
+        let job = {
+            let mut cmd = shared.command.lock().unwrap();
+            loop {
+                match &*cmd {
+                    Command::Shutdown => return,
+                    Command::Run(generation, job) if *generation != seen => {
+                        seen = *generation;
+                        break Arc::clone(job);
+                    }
+                    _ => cmd = shared.wake.wait(cmd).unwrap(),
+                }
+            }
+        };
+
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks || job.panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| (job.run)(i))).is_err() {
+                job.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+
+        let mut done = job.done.lock().unwrap();
+        *done += 1;
+        job.all_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_task_runs_exactly_once_and_pool_is_reusable() {
+        let pool = RoundPool::new(3);
+        for _ in 0..4 {
+            let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(17, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn empty_job_completes() {
+        let pool = RoundPool::new(2);
+        pool.run(0, &|_| panic!("no tasks should run"));
+    }
+
+    #[test]
+    fn panicking_task_fails_the_job_but_not_the_pool() {
+        let pool = RoundPool::new(2);
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            })
+        }));
+        assert!(failed.is_err());
+        let ok = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn runtime_resolves_pool_width() {
+        assert_eq!(RoundRuntime::Sequential.pool_threads(8), None);
+        assert_eq!(
+            RoundRuntime::Concurrent { threads: 3 }.pool_threads(8),
+            Some(3)
+        );
+        // Wider than the cluster is clamped to K.
+        assert_eq!(
+            RoundRuntime::Concurrent { threads: 16 }.pool_threads(4),
+            Some(4)
+        );
+        let auto = RoundRuntime::Concurrent { threads: 0 }
+            .pool_threads(8)
+            .unwrap();
+        assert!(auto >= 1 && auto <= 8);
+        assert_eq!(RoundRuntime::default(), RoundRuntime::Concurrent { threads: 0 });
+    }
+}

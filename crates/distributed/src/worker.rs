@@ -123,10 +123,14 @@ impl Worker {
         breakdown.host += self
             .cpu
             .host_vector_op_seconds(2 * global_shared.len() + 3 * self.pending_delta.len());
-        // GPU workers pay PCIe for the shared-vector round trip.
-        let pcie_bytes = self.solver.pcie_bytes_per_exchange();
-        if pcie_bytes > 0 {
-            breakdown.pcie += 2.0 * self.pcie.transfer_seconds(pcie_bytes / 2);
+        // GPU workers pay PCIe for the shared-vector round trip: the
+        // download and upload legs are charged separately (they need not
+        // carry the same bytes, and halving an odd total would silently
+        // drop a byte).
+        let (down_bytes, up_bytes) = self.solver.pcie_bytes_split();
+        if down_bytes + up_bytes > 0 {
+            breakdown.pcie +=
+                self.pcie.transfer_seconds(down_bytes) + self.pcie.transfer_seconds(up_bytes);
         }
 
         WorkerRound {
@@ -141,6 +145,15 @@ impl Worker {
     /// engine.
     pub fn apply_gamma(&mut self, gamma: f64) {
         dense::axpy(gamma as f32, &self.pending_delta, &mut self.weights);
+        self.solver.load_weights(&self.weights);
+    }
+
+    /// Abandon the round in flight (the master timed out on it or its
+    /// delivery was dropped): zero the pending Δβ and re-sync the engine
+    /// to the last master-consistent weights, so the worker re-enters the
+    /// next round from exactly the state the master assumes it holds.
+    pub fn discard_round(&mut self) {
+        self.pending_delta.iter_mut().for_each(|d| *d = 0.0);
         self.solver.load_weights(&self.weights);
     }
 }

@@ -84,6 +84,13 @@ impl LinkProfile {
         self.reduce_seconds(workers, bytes)
     }
 
+    /// Control-plane cost of re-requesting a lost round: the master's
+    /// retry request plus the worker's acknowledgement — two latency-bound
+    /// messages carrying no payload.
+    pub fn retry_request_seconds(&self) -> Seconds {
+        2.0 * self.latency_seconds
+    }
+
     /// One synchronous aggregation step: Reduce of every worker's Δ-vector
     /// plus Broadcast of the result, both of `bytes`, plus `extra_scalars`
     /// f64 values (the adaptive-aggregation bookkeeping) piggybacked on the
@@ -127,6 +134,14 @@ mod tests {
         let t8 = link.reduce_seconds(8, b);
         assert!((t4 / t2 - 2.0).abs() < 1e-9);
         assert!((t8 / t2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_request_is_latency_bound() {
+        let link = LinkProfile::ethernet_10g();
+        assert!((link.retry_request_seconds() - 100.0e-6).abs() < 1e-12);
+        // No payload: cheaper than moving even a small shared vector.
+        assert!(link.retry_request_seconds() < link.transfer_seconds(1 << 20));
     }
 
     #[test]

@@ -170,8 +170,8 @@ impl DenseMatrix {
         let mut x = vec![0.0f64; n];
         for col in (0..n).rev() {
             let mut acc = b[col];
-            for k in col + 1..n {
-                acc -= self.get(col, k) * x[k];
+            for (k, &x_k) in x.iter().enumerate().skip(col + 1) {
+                acc -= self.get(col, k) * x_k;
             }
             x[col] = acc / self.get(col, col);
         }

@@ -120,10 +120,10 @@ impl EllMatrix {
         let mut out = vec![0.0f32; self.rows];
         for s in 0..self.width {
             let base = s * self.rows;
-            for r in 0..self.rows {
+            for (r, out_r) in out.iter_mut().enumerate() {
                 let c = self.indices[base + r];
                 if c != ELL_PAD {
-                    out[r] += self.values[base + r] * x[c as usize];
+                    *out_r += self.values[base + r] * x[c as usize];
                 }
             }
         }

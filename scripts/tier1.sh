@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must keep green (see ROADMAP.md).
+#
+#   scripts/tier1.sh
+#
+# Runs the release build, the full test suite, and clippy with warnings
+# denied, from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> tier-1 green"
