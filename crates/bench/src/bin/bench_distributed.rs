@@ -11,11 +11,18 @@
 //! A second section demonstrates the fault layer: one worker's round is
 //! dropped every epoch (`rotating_drop`) and the per-round `RoundMetrics`
 //! series — drops, retries, rescaled γ — is embedded in the JSON record.
+//!
+//! A third section sweeps the delta wire format at K=4 (raw, fp16,
+//! topk:64, topk-ef:64) and records raw vs encoded bytes, the compression
+//! ratio, and the duality gap each codec reaches — the bandwidth/accuracy
+//! trade-off of the `scd-wire` subsystem. The timed rows honour `--wire`
+//! (default raw).
 
+use scd_bench::opts::wire_flag;
 use scd_core::{Form, RidgeProblem, Solver};
 use scd_datasets::{scale_values, webspam_like};
 use scd_distributed::{
-    DistributedConfig, DistributedScd, FaultPlan, RoundMetrics, RoundRuntime,
+    DistributedConfig, DistributedScd, FaultPlan, RoundMetrics, RoundRuntime, WireFormat,
 };
 use std::time::Instant;
 
@@ -30,9 +37,11 @@ fn epoch_seconds(
     workers: usize,
     runtime: RoundRuntime,
     epochs: usize,
+    wire: WireFormat,
 ) -> f64 {
     let config = DistributedConfig::new(workers, Form::Primal)
         .with_seed(42)
+        .with_wire(wire)
         .with_runtime(runtime);
     let mut dist = DistributedScd::new(full, &config).unwrap();
     dist.epoch(full); // warm the pool (and caches) before timing
@@ -87,10 +96,14 @@ fn main() {
         host_threads
     );
 
+    let wire = wire_flag();
+    println!("# wire format for timed rows: {wire}");
+
     let mut rows = Vec::new();
     for k in [1usize, 2, 4, 8] {
-        let seq = epoch_seconds(&full, k, RoundRuntime::Sequential, epochs);
-        let conc = epoch_seconds(&full, k, RoundRuntime::Concurrent { threads: 0 }, epochs);
+        let seq = epoch_seconds(&full, k, RoundRuntime::Sequential, epochs, wire);
+        let conc =
+            epoch_seconds(&full, k, RoundRuntime::Concurrent { threads: 0 }, epochs, wire);
         let speedup = seq / conc;
         println!(
             "# K={k}: sequential {:.3} ms/epoch, concurrent {:.3} ms/epoch, {speedup:.2}x",
@@ -110,10 +123,40 @@ fn main() {
         "# fault demo (1 of 4 workers dropped/round, {fault_epochs} epochs): gap {fault_first_gap:.3e} -> {fault_gap:.3e}"
     );
 
+    // Compression sweep: same K=4 cluster under each wire format.
+    let sweep_epochs = 60;
+    let mut sweep_rows = Vec::new();
+    for w in [
+        WireFormat::Raw,
+        WireFormat::Fp16,
+        WireFormat::TopK(64),
+        WireFormat::TopKEf(64),
+    ] {
+        let config = DistributedConfig::new(4, Form::Primal)
+            .with_seed(42)
+            .with_wire(w);
+        let mut dist = DistributedScd::new(&full, &config).unwrap();
+        for _ in 0..sweep_epochs {
+            dist.epoch(&full);
+        }
+        let gap = dist.duality_gap(&full);
+        let (raw, encoded) = dist.wire_bytes_total();
+        let ratio = raw as f64 / encoded as f64;
+        println!(
+            "# wire {w}: {raw} B raw -> {encoded} B encoded ({ratio:.2}x), gap {gap:.3e} after {sweep_epochs} epochs"
+        );
+        sweep_rows.push(format!(
+            "    {{\"wire\": \"{w}\", \"epochs\": {sweep_epochs}, \"bytes_raw\": {raw}, \
+             \"bytes_encoded\": {encoded}, \"compression_ratio\": {ratio:.3}, \
+             \"final_duality_gap\": {gap:.6e}}}"
+        ));
+    }
+
     let indented_metrics = fault_metrics.replace('\n', "\n  ");
     let out = format!(
-        "{{\n  \"benchmark\": \"distributed_scd_rounds\",\n  \"dataset\": \"webspam_like(2000, 1200, 60, 80) scale 0.3\",\n  \"lambda\": 1e-3,\n  \"epochs_timed\": {epochs},\n  \"host_threads\": {host_threads},\n  \"rounds\": [\n{}\n  ],\n  \"fault_demo\": {{\n    \"plan\": \"rotating_drop, max_retries 1, K=4\",\n    \"epochs\": {fault_epochs},\n    \"first_epoch_duality_gap\": {fault_first_gap:.6e},\n    \"final_duality_gap\": {fault_gap:.6e},\n    \"round_metrics\": {indented_metrics}\n  }}\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"benchmark\": \"distributed_scd_rounds\",\n  \"dataset\": \"webspam_like(2000, 1200, 60, 80) scale 0.3\",\n  \"lambda\": 1e-3,\n  \"epochs_timed\": {epochs},\n  \"host_threads\": {host_threads},\n  \"wire\": \"{wire}\",\n  \"rounds\": [\n{}\n  ],\n  \"compression_sweep\": [\n{}\n  ],\n  \"fault_demo\": {{\n    \"plan\": \"rotating_drop, max_retries 1, K=4\",\n    \"epochs\": {fault_epochs},\n    \"first_epoch_duality_gap\": {fault_first_gap:.6e},\n    \"final_duality_gap\": {fault_gap:.6e},\n    \"round_metrics\": {indented_metrics}\n  }}\n}}\n",
+        rows.join(",\n"),
+        sweep_rows.join(",\n")
     );
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
     std::fs::write(&path, out).expect("writing benchmark record");

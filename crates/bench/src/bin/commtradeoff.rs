@@ -17,6 +17,7 @@
 
 use scd_bench::csv::{fmt, save_and_announce, Table};
 use scd_bench::figdata::{describe, scaled_link, webspam_fig_small};
+use scd_bench::opts::wire_flag;
 use scd_core::{Form, Solver};
 use scd_distributed::{DistributedConfig, DistributedScd};
 use scd_perf_model::LinkProfile;
@@ -27,6 +28,8 @@ fn main() {
     let form = Form::Primal;
     let k = 4;
     let target = 1e-4;
+    let wire = wire_flag();
+    println!("# wire format: {wire}");
     let coords_per_worker = problem.coords(form) / k;
 
     let fast = scaled_link(&LinkProfile::ethernet_10g(), &problem, form);
@@ -47,6 +50,7 @@ fn main() {
             let h = h_num as f64 / 8.0;
             let mut config = DistributedConfig::new(k, form)
                 .with_network(link.clone())
+                .with_wire(wire)
                 .with_seed(0x7E0);
             if h_num < 8 {
                 config = config

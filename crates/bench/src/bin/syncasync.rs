@@ -11,6 +11,7 @@
 
 use scd_bench::csv::{fmt, save_and_announce, Table};
 use scd_bench::figdata::{describe, scaled_link, webspam_fig_small};
+use scd_bench::opts::wire_flag;
 use scd_core::{Form, Solver};
 use scd_distributed::{
     Aggregation, DistributedConfig, DistributedScd, ParamServerConfig, ParamServerScd,
@@ -38,6 +39,8 @@ fn main() {
     let form = Form::Primal;
     let eps = 1e-4;
     let link = scaled_link(&LinkProfile::ethernet_10g(), &problem, form);
+    let wire = wire_flag();
+    println!("# wire format: {wire}");
 
     let mut table = Table::new(["scheme", "workers", "epochs_to_1e-4", "sim_seconds"]);
     for k in [2usize, 4, 8] {
@@ -47,6 +50,7 @@ fn main() {
             &problem,
             &DistributedConfig::new(k, form)
                 .with_network(link.clone())
+                .with_wire(wire)
                 .with_seed(0x5A),
         )
         .expect("cluster fits");
@@ -60,6 +64,7 @@ fn main() {
             &DistributedConfig::new(k, form)
                 .with_aggregation(Aggregation::Adaptive)
                 .with_network(link.clone())
+                .with_wire(wire)
                 .with_seed(0x5A),
         )
         .expect("cluster fits");
@@ -78,6 +83,7 @@ fn main() {
                 &ParamServerConfig::new(k, form)
                     .with_chunk(chunk)
                     .with_network(link.clone())
+                    .with_wire(wire)
                     .with_seed(0x5A),
             );
             let (e, s) = run_to(&mut ps, &problem, eps, 3000);

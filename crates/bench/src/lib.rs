@@ -10,6 +10,7 @@ pub mod csv;
 pub mod distributed_figs;
 pub mod figdata;
 pub mod harness;
+pub mod opts;
 pub mod plot;
 pub mod single_node;
 

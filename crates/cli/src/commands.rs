@@ -13,6 +13,7 @@ use scd_core::{
 use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, DatasetStats};
 use scd_distributed::{
     Aggregation, DistributedConfig, DistributedScd, FaultPlan, LocalSolverKind, RoundRuntime,
+    WireFormat,
 };
 use scd_sparse::io::{read_libsvm, write_libsvm, LabelledData};
 use std::fs::File;
@@ -72,6 +73,7 @@ TRAIN OPTIONS:
   --target-gap G    stop once duality gap <= G
   --workers K       distribute across K workers   (default 1 = single node)
   --aggregation A   averaging|adding|adaptive|cocoa+|line-search (default averaging)
+  --wire W          raw|fp16|topk:<k>|topk-ef:<k> delta wire format (default raw)
   --round-threads T host threads running worker rounds (0 = auto, 1 = inline)
   --fault-drop P    probability a worker's round is dropped (default 0)
   --fault-delay P   probability a round is delayed (default 0)
@@ -152,6 +154,13 @@ fn parse_form(args: &Args) -> Result<Form, String> {
         "primal" => Ok(Form::Primal),
         "dual" => Ok(Form::Dual),
         other => Err(format!("unknown --form {other:?} (primal|dual)")),
+    }
+}
+
+fn parse_wire(args: &Args) -> Result<WireFormat, String> {
+    match args.get("wire") {
+        None => Ok(WireFormat::Raw),
+        Some(s) => WireFormat::parse(s),
     }
 }
 
@@ -282,9 +291,9 @@ fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
 pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     args.check_known(&[
         "data", "features", "objective", "lambda", "l1-ratio", "form", "solver", "threads",
-        "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "round-threads",
-        "fault-drop", "fault-delay", "fault-delay-factor", "fault-timeout", "fault-retries",
-        "fault-seed", "round-metrics", "save-model", "seed",
+        "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "wire",
+        "round-threads", "fault-drop", "fault-delay", "fault-delay-factor", "fault-timeout",
+        "fault-retries", "fault-seed", "round-metrics", "save-model", "seed",
     ])
     .map_err(|e| e.to_string())?;
     let data = load(args)?;
@@ -315,6 +324,7 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                         threads: round_threads,
                     })
                     .with_fault(parse_fault(args)?)
+                    .with_wire(parse_wire(args)?)
                     .with_seed(seed);
                 distributed = Some(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?);
             } else {
@@ -366,6 +376,20 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                     dist.round_metrics().len()
                 )
                 .map_err(|e| e.to_string())?;
+            }
+            if let Some(dist) = distributed.as_ref() {
+                let (raw, encoded) = dist.wire_bytes_total();
+                if encoded > 0 {
+                    writeln!(
+                        out,
+                        "wire {}: {} B raw -> {} B encoded ({:.2}x)",
+                        dist.wire(),
+                        raw,
+                        encoded,
+                        raw as f64 / encoded as f64
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
             }
             Ok(())
         }
@@ -597,6 +621,37 @@ mod tests {
         .contains("--workers"));
         std::fs::remove_file(path).ok();
         std::fs::remove_file(metrics_path).ok();
+    }
+
+    #[test]
+    fn train_with_wire_formats() {
+        let path = tmp("wire");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 60 --cols 50 --nnz-per-row 5 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {path} --features 50 --workers 3 --wire topk-ef:8 --epochs 10 --eval-every 10"
+        ))
+        .unwrap();
+        assert!(out.contains("wire topk-ef:8:"), "{out}");
+        assert!(out.contains("B encoded"), "{out}");
+        let out = run_to_string(&format!(
+            "train --data {path} --features 50 --workers 2 --wire fp16 --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("wire fp16:"), "{out}");
+        assert!(run_to_string(&format!(
+            "train --data {path} --features 50 --workers 2 --wire zstd"
+        ))
+        .unwrap_err()
+        .contains("unknown wire format"));
+        assert!(run_to_string(&format!(
+            "train --data {path} --features 50 --workers 2 --wire topk:0"
+        ))
+        .unwrap_err()
+        .contains("positive integer"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -38,6 +38,7 @@ use scd_core::{
 };
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sparse::dense;
+use scd_wire::{DeltaCodec, WireFormat};
 use std::sync::Arc;
 
 /// How the master combines the workers' updates.
@@ -152,6 +153,9 @@ pub struct DistributedConfig {
     pub runtime: RoundRuntime,
     /// Fault injection applied by the master each round.
     pub fault: FaultPlan,
+    /// Wire format the delta traffic travels in ([`WireFormat::Raw`] is
+    /// bit-identical to direct exchange).
+    pub wire: WireFormat,
 }
 
 impl DistributedConfig {
@@ -173,6 +177,7 @@ impl DistributedConfig {
             seed: 1,
             runtime: RoundRuntime::default(),
             fault: FaultPlan::none(),
+            wire: WireFormat::Raw,
         }
     }
 
@@ -242,6 +247,12 @@ impl DistributedConfig {
         self
     }
 
+    /// Select the wire format for delta traffic.
+    pub fn with_wire(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
+        self
+    }
+
     /// Select the worker ↔ master link.
     pub fn with_network(mut self, network: LinkProfile) -> Self {
         self.network = network;
@@ -285,6 +296,14 @@ pub struct DistributedScd {
     /// Rounds completed so far (keys the fault schedule).
     epoch_index: usize,
     round_metrics: Vec<RoundMetrics>,
+    /// Format the delta traffic travels in.
+    wire: WireFormat,
+    /// The codec shipping the deltas (stateful for error feedback).
+    codec: Box<dyn DeltaCodec>,
+    /// Cumulative dense-f32 bytes across all rounds (both legs).
+    bytes_raw_total: usize,
+    /// Cumulative encoded bytes across all rounds (both legs).
+    bytes_encoded_total: usize,
 }
 
 impl DistributedScd {
@@ -389,6 +408,10 @@ impl DistributedScd {
             fault: config.fault,
             epoch_index: 0,
             round_metrics: Vec::new(),
+            wire: config.wire,
+            codec: config.wire.codec(),
+            bytes_raw_total: 0,
+            bytes_encoded_total: 0,
         })
     }
 
@@ -416,6 +439,17 @@ impl DistributedScd {
     /// The full round-metrics series as a JSON array.
     pub fn metrics_json(&self) -> String {
         RoundMetrics::series_to_json(&self.round_metrics)
+    }
+
+    /// The wire format delta traffic travels in.
+    pub fn wire(&self) -> WireFormat {
+        self.wire
+    }
+
+    /// Cumulative (dense-f32, encoded) delta-traffic bytes over every
+    /// round so far, both legs plus retry re-sends.
+    pub fn wire_bytes_total(&self) -> (usize, usize) {
+        (self.bytes_raw_total, self.bytes_encoded_total)
     }
 
     /// Run the rounds of the `pending` workers (unique ids) against the
@@ -551,7 +585,14 @@ impl Solver for DistributedScd {
                     self.workers[wid].discard_round();
                     if attempt + 1 < max_attempts {
                         retries += 1;
-                        worker_time[wid].network += self.network.retry_request_seconds();
+                        // The re-requested round re-sends the worker's
+                        // *encoded* payload as a unicast outside the
+                        // reduce tree — charge the encoded bytes, not the
+                        // dense frame.
+                        worker_time[wid].network += self.network.retry_request_seconds()
+                            + self
+                                .network
+                                .transfer_seconds(self.codec.upload_bytes(self.shared.len()));
                         still_pending.push(wid);
                     } else {
                         dropped.push(wid);
@@ -566,12 +607,18 @@ impl Solver for DistributedScd {
 
         // Phase 2: reduce the K′ surviving deltas in worker-id order —
         // the deterministic order that keeps concurrent execution
-        // bit-identical to the sequential reference loop.
+        // bit-identical to the sequential reference loop. Every surviving
+        // delta goes through the codec: what the master aggregates is what
+        // the wire carried. Dropped rounds never reach `encode`, so a
+        // stateful codec's per-worker residual only advances on commit.
         let mut delta = vec![0.0f32; self.shared.len()];
         let mut scalars = Vec::with_capacity(k);
         let mut bytes_reduced = 0usize;
-        for round in rounds.iter().flatten() {
-            dense::axpy(1.0, &round.delta_shared, &mut delta);
+        for (wid, round) in rounds.iter().enumerate() {
+            let Some(round) = round else { continue };
+            let payload = self.codec.encode(wid, &round.delta_shared);
+            let decoded = self.codec.decode(&payload);
+            dense::axpy(1.0, &decoded, &mut delta);
             scalars.push(round.scalars);
             bytes_reduced += 4 * round.delta_shared.len();
         }
@@ -622,9 +669,20 @@ impl Solver for DistributedScd {
         } else {
             0
         };
-        let bytes = 4 * self.shared.len();
-        breakdown.network += self.network.reduce_seconds(k_eff, bytes + extra_scalars * 8)
-            + self.network.broadcast_seconds(k, bytes);
+        let len = self.shared.len();
+        let upload_bytes = self.codec.upload_bytes(len);
+        let download_bytes = self.codec.broadcast_bytes(len, k_eff);
+        breakdown.network +=
+            self.network
+                .codec_round_seconds(k_eff, upload_bytes, k, download_bytes, extra_scalars);
+
+        // Byte accounting over both legs plus retry re-sends: K′ uploads
+        // into the reduce, `retries` unicast re-sends, K broadcast copies.
+        let bytes_raw = 4 * len * (k_eff + retries + k);
+        let bytes_encoded =
+            upload_bytes * (k_eff + retries) + download_bytes * k;
+        self.bytes_raw_total += bytes_raw;
+        self.bytes_encoded_total += bytes_encoded;
 
         self.round_metrics.push(RoundMetrics {
             epoch: epoch_idx,
@@ -635,6 +693,14 @@ impl Solver for DistributedScd {
             retries,
             dropped_workers: dropped,
             survivors: k_eff,
+            wire: self.wire.label(),
+            bytes_raw,
+            bytes_encoded,
+            compression_ratio: if bytes_encoded > 0 {
+                bytes_raw as f64 / bytes_encoded as f64
+            } else {
+                1.0
+            },
         });
 
         let updates = rounds

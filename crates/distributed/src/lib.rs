@@ -20,6 +20,13 @@
 //!   identically.
 //! * [`param_server`] — the asynchronous parameter-server alternative [6]
 //!   the paper's introduction contrasts the synchronous design against.
+//!
+//! Delta traffic between workers and master goes through a pluggable wire
+//! format ([`scd_wire::WireFormat`], re-exported here): raw f32 (the
+//! default, bit-identical to direct exchange), fp16, top-k sparsification,
+//! or top-k with error-feedback residuals. The network model charges the
+//! *encoded* byte counts, and [`metrics::RoundMetrics`] records raw vs
+//! encoded traffic per round.
 
 pub mod driver;
 pub mod fault;
@@ -38,6 +45,7 @@ pub use local::LocalSolver;
 pub use partition::{partition_coords, partition_problem, LocalPartition, PartitionStrategy};
 pub use runtime::{RoundPool, RoundRuntime};
 pub use worker::{Worker, WorkerRound};
+pub use scd_wire::{DeltaCodec, WireFormat};
 
 #[cfg(test)]
 mod tests {

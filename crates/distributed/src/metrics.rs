@@ -20,6 +20,11 @@ pub struct RoundMetrics {
     /// The aggregation scale the master applied.
     pub gamma: f64,
     /// Bytes of delta-shared-vector traffic reduced this round.
+    ///
+    /// Deprecated legacy field: counts only the upload leg at dense-f32
+    /// size (4·len·K′), regardless of wire format. Kept for one release
+    /// so existing consumers of the JSON keep working; new code should
+    /// read `bytes_raw` / `bytes_encoded`.
     pub bytes_reduced: usize,
     /// Retry requests the master issued this round (all workers).
     pub retries: usize,
@@ -27,6 +32,16 @@ pub struct RoundMetrics {
     pub dropped_workers: Vec<usize>,
     /// K′: number of workers whose delta made it into the update.
     pub survivors: usize,
+    /// Wire format label (`raw`, `fp16`, `topk:<k>`, `topk-ef:<k>`).
+    pub wire: String,
+    /// Dense-f32 bytes this round would have moved without a codec:
+    /// upload (K′ reduces + retry re-sends) plus download (K broadcasts).
+    pub bytes_raw: usize,
+    /// Bytes actually charged to the network model after encoding, over
+    /// the same legs as `bytes_raw` (includes sparse index overhead).
+    pub bytes_encoded: usize,
+    /// `bytes_raw / bytes_encoded`; 1.0 for `raw`, higher is better.
+    pub compression_ratio: f64,
 }
 
 impl RoundMetrics {
@@ -35,7 +50,8 @@ impl RoundMetrics {
         format!(
             "{{\"epoch\": {}, \"worker_round_seconds\": {}, \"barrier_seconds\": {:.6e}, \
              \"gamma\": {:.6e}, \"bytes_reduced\": {}, \"retries\": {}, \
-             \"dropped_workers\": {}, \"survivors\": {}}}",
+             \"dropped_workers\": {}, \"survivors\": {}, \"wire\": \"{}\", \
+             \"bytes_raw\": {}, \"bytes_encoded\": {}, \"compression_ratio\": {:.4}}}",
             self.epoch,
             json_f64_array(&self.worker_round_seconds),
             self.barrier_seconds,
@@ -44,6 +60,10 @@ impl RoundMetrics {
             self.retries,
             json_usize_array(&self.dropped_workers),
             self.survivors,
+            self.wire,
+            self.bytes_raw,
+            self.bytes_encoded,
+            self.compression_ratio,
         )
     }
 
@@ -90,6 +110,10 @@ mod tests {
             retries: 1,
             dropped_workers: vec![1],
             survivors: 1,
+            wire: "topk:8".to_string(),
+            bytes_raw: 8192,
+            bytes_encoded: 144,
+            compression_ratio: 8192.0 / 144.0,
         }
     }
 
@@ -105,6 +129,10 @@ mod tests {
             "\"retries\": 1",
             "\"dropped_workers\": [1]",
             "\"survivors\": 1",
+            "\"wire\": \"topk:8\"",
+            "\"bytes_raw\": 8192",
+            "\"bytes_encoded\": 144",
+            "\"compression_ratio\": 56.8889",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

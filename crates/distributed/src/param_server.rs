@@ -32,6 +32,7 @@ use crate::partition::{partition_problem, PartitionStrategy};
 use scd_core::{EpochStats, Form, RidgeProblem, SequentialScd, Solver, TimeBreakdown};
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sparse::dense;
+use scd_wire::{DeltaCodec, WireFormat};
 use std::collections::VecDeque;
 
 /// Configuration for the parameter-server run.
@@ -54,6 +55,8 @@ pub struct ParamServerConfig {
     pub cpu: CpuProfile,
     /// Base seed.
     pub seed: u64,
+    /// Wire format every push travels in.
+    pub wire: WireFormat,
 }
 
 impl ParamServerConfig {
@@ -68,6 +71,7 @@ impl ParamServerConfig {
             network: LinkProfile::ethernet_10g(),
             cpu: CpuProfile::xeon_e5_2640(),
             seed: 1,
+            wire: WireFormat::Raw,
         }
     }
 
@@ -101,6 +105,12 @@ impl ParamServerConfig {
         self.seed = seed;
         self
     }
+
+    /// Select the wire format for push traffic.
+    pub fn with_wire(mut self, wire: WireFormat) -> Self {
+        self.wire = wire;
+        self
+    }
 }
 
 struct PsWorker {
@@ -125,6 +135,12 @@ pub struct ParamServerScd {
     weights_total: usize,
     cpu: CpuProfile,
     network: LinkProfile,
+    /// The codec every push travels through.
+    codec: Box<dyn DeltaCodec>,
+    /// Cumulative dense-f32 bytes pushed.
+    bytes_raw_total: usize,
+    /// Cumulative encoded bytes pushed.
+    bytes_encoded_total: usize,
 }
 
 impl ParamServerScd {
@@ -161,7 +177,15 @@ impl ParamServerScd {
             weights_total: full.coords(config.form),
             cpu: config.cpu.clone(),
             network: config.network.clone(),
+            codec: config.wire.codec(),
+            bytes_raw_total: 0,
+            bytes_encoded_total: 0,
         }
+    }
+
+    /// Cumulative (dense-f32, encoded) push-traffic bytes so far.
+    pub fn wire_bytes_total(&self) -> (usize, usize) {
+        (self.bytes_raw_total, self.bytes_encoded_total)
     }
 
     /// Scatter the workers' local weights into the global coordinate space.
@@ -234,8 +258,12 @@ impl Solver for ParamServerScd {
                 *compute += stats.breakdown.total();
                 let after = w.solver.shared_vector();
                 let delta = dense::sub(&after, &before);
+                // The push travels through the codec: the server applies
+                // what the wire carried, not the worker's exact delta.
+                let payload = self.codec.encode(k, &delta);
+                let decoded = self.codec.decode(&payload);
                 self.record_history();
-                dense::axpy(1.0, &delta, &mut self.server);
+                dense::axpy(1.0, &decoded, &mut self.server);
                 pushes += 1;
             }
             if !any {
@@ -248,8 +276,12 @@ impl Solver for ParamServerScd {
         let server_host = self
             .cpu
             .host_vector_op_seconds(pushes * self.server.len());
-        let net_total =
-            pushes as f64 * self.network.transfer_seconds(4 * self.server.len());
+        // Each push carries the encoded payload; the model charges the
+        // encoded bytes (value-independent, so timing stays deterministic).
+        let push_bytes = self.codec.upload_bytes(self.server.len());
+        self.bytes_raw_total += pushes * 4 * self.server.len();
+        self.bytes_encoded_total += pushes * push_bytes;
+        let net_total = pushes as f64 * self.network.transfer_seconds(push_bytes);
         let network_excess = (net_total - compute).max(0.0);
         EpochStats {
             updates: self.coords_total,

@@ -101,7 +101,26 @@ impl LinkProfile {
         bytes: usize,
         extra_scalars: usize,
     ) -> Seconds {
-        self.reduce_seconds(workers, bytes + extra_scalars * 8) + self.broadcast_seconds(workers, bytes)
+        self.codec_round_seconds(workers, bytes, workers, bytes, extra_scalars)
+    }
+
+    /// One synchronous aggregation step whose two legs carry *encoded*
+    /// payloads of different sizes — the wire-format generalization of
+    /// [`Self::aggregation_round_seconds`]. The reduce moves
+    /// `upload_bytes` per message over the `reduce_workers` survivors;
+    /// the broadcast moves `download_bytes` to all `broadcast_workers`.
+    /// With `upload_bytes == download_bytes` and equal worker counts this
+    /// is exactly the dense round, so `--wire raw` charges are unchanged.
+    pub fn codec_round_seconds(
+        &self,
+        reduce_workers: usize,
+        upload_bytes: usize,
+        broadcast_workers: usize,
+        download_bytes: usize,
+        extra_scalars: usize,
+    ) -> Seconds {
+        self.reduce_seconds(reduce_workers, upload_bytes + extra_scalars * 8)
+            + self.broadcast_seconds(broadcast_workers, download_bytes)
     }
 }
 

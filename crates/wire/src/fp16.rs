@@ -1,0 +1,166 @@
+//! IEEE 754 binary16 conversion with round-to-nearest-even.
+//!
+//! The workspace targets stable Rust with no external crates, so the
+//! half-precision conversions are implemented directly on the bit
+//! patterns. Guarantees:
+//!
+//! * `f32 -> f16` rounds to nearest, ties to even — the rounding mode of
+//!   every GPU's `__float2half_rn`, so a relative error of at most one
+//!   half-ULP (2⁻¹¹) on values in the binary16 normal range;
+//! * values whose magnitude exceeds the largest finite half (65504 plus
+//!   half an ULP) become ±∞, values below the smallest subnormal half
+//!   (2⁻²⁵) become ±0, and the subnormal band [2⁻²⁵, 2⁻¹⁴) rounds with
+//!   the same nearest-even rule at absolute granularity 2⁻²⁴;
+//! * `f16 -> f32` is exact (every binary16 value is representable in f32).
+
+/// Shift `v` right by `shift` bits, rounding to nearest, ties to even.
+#[inline]
+fn shr_round_nearest_even(v: u32, shift: u32) -> u32 {
+    if shift == 0 {
+        return v;
+    }
+    if shift >= 32 {
+        return 0;
+    }
+    let kept = v >> shift;
+    let rem = v & ((1u32 << shift) - 1);
+    let half = 1u32 << (shift - 1);
+    if rem > half || (rem == half && kept & 1 == 1) {
+        kept + 1
+    } else {
+        kept
+    }
+}
+
+/// Convert one f32 to binary16 bits, rounding to nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let abs = b & 0x7FFF_FFFF;
+    if abs >= 0x7F80_0000 {
+        // Inf stays Inf; NaN becomes a quiet NaN with a nonzero mantissa.
+        let nan = if abs > 0x7F80_0000 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan;
+    }
+    let exp32 = (abs >> 23) as i32; // biased f32 exponent
+    if exp32 >= 143 {
+        // |x| >= 2^16: beyond the half range even before rounding.
+        return sign | 0x7C00;
+    }
+    // 24-bit significand with the implicit leading one. f32 subnormal
+    // inputs (exp32 == 0, |x| < 2^-126) lack the implicit bit, but they
+    // sit far below half's 2^-25 rounding threshold and shift to zero.
+    let mant = (abs & 0x7F_FFFF) | if exp32 == 0 { 0 } else { 0x80_0000 };
+    if exp32 >= 113 {
+        // Normal half range [2^-14, 2^16): drop 13 mantissa bits with RNE.
+        // A mantissa carry propagates into the exponent field by plain
+        // addition, including the 65504 -> Inf overflow case.
+        let h = shr_round_nearest_even(mant, 13);
+        let bits = (((exp32 - 112) as u32) << 10) + h - 0x400;
+        return sign | bits as u16;
+    }
+    // Subnormal half: value = mant * 2^(exp32-150); the half subnormal
+    // unit is 2^-24, so the stored 10-bit field is mant * 2^(exp32-126)
+    // rounded. A carry to 0x400 lands exactly on the smallest normal.
+    let h = shr_round_nearest_even(mant, (126 - exp32) as u32);
+    sign | h as u16
+}
+
+/// Convert binary16 bits back to f32 (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x3FF) as u32;
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: normalize into an f32 exponent.
+                let mut e = 113u32;
+                let mut m = mant;
+                while m & 0x400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                sign | (e << 23) | ((m & 0x3FF) << 13)
+            }
+        }
+        31 => sign | 0x7F80_0000 | (mant << 13), // Inf / NaN
+        _ => sign | ((exp + 112) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Round one f32 through binary16 and back.
+#[inline]
+pub fn round_through_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_representable_values_roundtrip_bitwise() {
+        for &x in &[
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -65504.0, 0.25, 1.5, 3.140625,
+        ] {
+            let y = round_through_f16(x);
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn normal_range_error_is_half_ulp() {
+        // 2^-11 relative error on normals — the RNE guarantee.
+        let mut x = 6.1035e-5f32; // just above 2^-14
+        while x < 6.0e4 {
+            let y = round_through_f16(x);
+            let rel = ((y - x) / x).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-9, "x {x} y {y} rel {rel}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1.0e5), 0x7C00);
+        assert_eq!(f32_to_f16_bits(-1.0e5), 0xFC00);
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7C00, "ties to even at the top");
+        assert!(round_through_f16(1.0e5).is_infinite());
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+    }
+
+    #[test]
+    fn tiny_values_flush_through_subnormals_to_zero() {
+        // Below 2^-25: rounds to zero.
+        assert_eq!(round_through_f16(1.0e-9), 0.0);
+        // Subnormal band keeps absolute granularity 2^-24.
+        let x = 3.0e-6f32;
+        let y = round_through_f16(x);
+        assert!((y - x).abs() <= 2.0f32.powi(-25) + 1e-12, "x {x} y {y}");
+        // Smallest half subnormal survives.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(round_through_f16(tiny), tiny);
+    }
+
+    #[test]
+    fn nan_stays_nan_and_sign_is_preserved() {
+        assert!(round_through_f16(f32::NAN).is_nan());
+        assert_eq!(round_through_f16(-2.5), -2.5);
+        assert!(round_through_f16(-1.0e-9).to_bits() == (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn rne_ties_go_to_even_mantissa() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10 in half
+        // precision; nearest-even keeps the even mantissa (1.0).
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(round_through_f16(tie), 1.0);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even wins.
+        let tie2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(round_through_f16(tie2), 1.0 + 2.0 * 2.0f32.powi(-10));
+    }
+}

@@ -1,0 +1,472 @@
+//! `scd-wire` — the delta wire-format subsystem.
+//!
+//! The paper's distributed rounds (Algorithm 3, §V) ship one dense f32
+//! shared-vector delta per worker per round over 10 GbE, and on the
+//! datasets studied that reduce/broadcast traffic is what caps scaling
+//! (Fig. 9's communication share; Keuper & Pfreundt, arXiv:1505.04956).
+//! This crate defines the codec boundary the distributed layer ships
+//! deltas through, so the byte count the network model charges — and the
+//! numerics the master aggregates — can trade precision for bandwidth:
+//!
+//! * [`RawF32`] — today's behaviour, bit-identical roundtrip, 4 B/entry;
+//! * [`Fp16`] — round-to-nearest-even binary16, 2 B/entry, ≤ 2⁻¹¹
+//!   relative error on the half normal range;
+//! * [`TopK`] — keep the k largest-magnitude entries as (u32 index,
+//!   f32 value) pairs with deterministic lower-index tie-breaking;
+//! * [`TopKEf`] — [`TopK`] wrapped with a per-worker **error-feedback
+//!   residual**: the mass a round drops is carried into the next round's
+//!   encode (`e ← (Δ + e) − decode(encode(Δ + e))`), which is what keeps
+//!   sparsified SCD converging to the dense solution.
+//!
+//! Encode and decode are deterministic: the same delta (and, for
+//! [`TopKEf`], the same residual history) always produces the same
+//! payload and the same decoded vector, so distributed runs stay
+//! reproducible under any codec.
+
+pub mod fp16;
+pub mod topk;
+
+pub use fp16::{f16_bits_to_f32, f32_to_f16_bits, round_through_f16};
+pub use topk::top_k_indices;
+
+/// Bytes of the header on a sparse payload (u32 length + u32 pair count).
+pub const SPARSE_HEADER_BYTES: usize = 8;
+/// Bytes per sparse (u32 index, f32 value) pair.
+pub const SPARSE_ENTRY_BYTES: usize = 8;
+
+/// One encoded delta as it would travel on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePayload {
+    /// Dense little-endian f32, 4 B/entry.
+    F32(Vec<f32>),
+    /// Dense binary16, 2 B/entry.
+    F16(Vec<u16>),
+    /// Sparse (index, value) pairs over a vector of `len` entries.
+    /// Indices are strictly increasing — the canonical order.
+    Sparse {
+        /// Length of the dense vector the pairs index into.
+        len: usize,
+        /// Strictly increasing entry indices.
+        idx: Vec<u32>,
+        /// Values at `idx`, kept in full f32.
+        val: Vec<f32>,
+    },
+}
+
+impl WirePayload {
+    /// Bytes this payload occupies on the wire. Sparse payloads pay a
+    /// [`SPARSE_HEADER_BYTES`] header plus [`SPARSE_ENTRY_BYTES`] per
+    /// pair — the index overhead is charged, not hidden.
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            WirePayload::F32(v) => 4 * v.len(),
+            WirePayload::F16(v) => 2 * v.len(),
+            WirePayload::Sparse { idx, .. } => {
+                SPARSE_HEADER_BYTES + SPARSE_ENTRY_BYTES * idx.len()
+            }
+        }
+    }
+
+    /// Bytes of the dense f32 encoding of the same vector.
+    pub fn raw_bytes(&self) -> usize {
+        match self {
+            WirePayload::F32(v) => 4 * v.len(),
+            WirePayload::F16(v) => 4 * v.len(),
+            WirePayload::Sparse { len, .. } => 4 * len,
+        }
+    }
+}
+
+/// A deterministic encoder/decoder for shared-vector deltas.
+///
+/// `encode` takes the worker id because stateful codecs ([`TopKEf`]) keep
+/// per-worker residuals; stateless codecs ignore it. `decode` is pure.
+pub trait DeltaCodec: Send {
+    /// The format this codec implements.
+    fn format(&self) -> WireFormat;
+
+    /// Encode `delta`, committing any per-worker codec state.
+    fn encode(&mut self, worker: usize, delta: &[f32]) -> WirePayload;
+
+    /// Decode a payload back to a dense delta.
+    fn decode(&self, payload: &WirePayload) -> Vec<f32> {
+        match payload {
+            WirePayload::F32(v) => v.clone(),
+            WirePayload::F16(v) => v.iter().map(|&h| f16_bits_to_f32(h)).collect(),
+            WirePayload::Sparse { len, idx, val } => {
+                let mut out = vec![0.0f32; *len];
+                for (&i, &x) in idx.iter().zip(val) {
+                    out[i as usize] = x;
+                }
+                out
+            }
+        }
+    }
+
+    /// Wire bytes of one worker's encoded upload of a `len`-entry delta.
+    /// Sizes are value-independent, so accounting never needs a payload.
+    fn upload_bytes(&self, len: usize) -> usize {
+        self.format().upload_bytes(len)
+    }
+
+    /// Wire bytes of the master's broadcast of the aggregated delta to
+    /// one worker after `survivors` uploads were merged.
+    fn broadcast_bytes(&self, len: usize, survivors: usize) -> usize {
+        self.format().broadcast_bytes(len, survivors)
+    }
+}
+
+/// Identity codec: ships the dense f32 delta unchanged (the pre-codec
+/// behaviour, bit-identical end to end).
+#[derive(Debug, Clone, Default)]
+pub struct RawF32;
+
+impl DeltaCodec for RawF32 {
+    fn format(&self) -> WireFormat {
+        WireFormat::Raw
+    }
+
+    fn encode(&mut self, _worker: usize, delta: &[f32]) -> WirePayload {
+        WirePayload::F32(delta.to_vec())
+    }
+}
+
+/// Dense binary16 codec (round-to-nearest-even), halving the payload at
+/// ≤ 2⁻¹¹ relative error per entry.
+#[derive(Debug, Clone, Default)]
+pub struct Fp16;
+
+impl DeltaCodec for Fp16 {
+    fn format(&self) -> WireFormat {
+        WireFormat::Fp16
+    }
+
+    fn encode(&mut self, _worker: usize, delta: &[f32]) -> WirePayload {
+        WirePayload::F16(delta.iter().map(|&x| f32_to_f16_bits(x)).collect())
+    }
+}
+
+/// Top-k magnitude sparsification: exactly `min(k, len)` pairs per
+/// payload, largest magnitudes first in selection, lower index on ties,
+/// emitted in index order. Dropped mass is *lost* — see [`TopKEf`] for
+/// the convergence-preserving variant.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+}
+
+impl TopK {
+    /// Keep the `k` largest-magnitude entries per delta (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        TopK { k }
+    }
+
+    fn sparsify(&self, delta: &[f32]) -> WirePayload {
+        let keep = top_k_indices(delta, self.k);
+        WirePayload::Sparse {
+            len: delta.len(),
+            idx: keep.iter().map(|&i| i as u32).collect(),
+            val: keep.iter().map(|&i| delta[i]).collect(),
+        }
+    }
+}
+
+impl DeltaCodec for TopK {
+    fn format(&self) -> WireFormat {
+        WireFormat::TopK(self.k)
+    }
+
+    fn encode(&mut self, _worker: usize, delta: &[f32]) -> WirePayload {
+        self.sparsify(delta)
+    }
+}
+
+/// [`TopK`] with per-worker error-feedback residual state.
+///
+/// Each worker's dropped mass is remembered and added into its next
+/// round's delta before selection:
+///
+/// ```text
+/// c_t = Δ_t + e_t            (compensate)
+/// p_t = topk(c_t)            (encode; what the master decodes)
+/// e_{t+1} = c_t − decode(p_t) (carry the dropped mass forward)
+/// ```
+///
+/// Because top-k ships selected values in full f32, the residual is
+/// exactly `c_t` outside the selected support and exactly zero on it —
+/// no quantization error accumulates, only deferral.
+pub struct TopKEf {
+    k: usize,
+    /// Residual per worker id, sized lazily on first encode.
+    residuals: Vec<Vec<f32>>,
+}
+
+impl TopKEf {
+    /// Keep `k` entries per round, deferring the rest (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "top-k needs k >= 1");
+        TopKEf {
+            k,
+            residuals: Vec::new(),
+        }
+    }
+
+    /// The residual currently held for `worker` (None before its first
+    /// encode). Exposed for tests and telemetry.
+    pub fn residual(&self, worker: usize) -> Option<&[f32]> {
+        self.residuals
+            .get(worker)
+            .filter(|r| !r.is_empty())
+            .map(|r| r.as_slice())
+    }
+}
+
+impl DeltaCodec for TopKEf {
+    fn format(&self) -> WireFormat {
+        WireFormat::TopKEf(self.k)
+    }
+
+    fn encode(&mut self, worker: usize, delta: &[f32]) -> WirePayload {
+        if self.residuals.len() <= worker {
+            self.residuals.resize_with(worker + 1, Vec::new);
+        }
+        let resid = &mut self.residuals[worker];
+        if resid.len() != delta.len() {
+            resid.clear();
+            resid.resize(delta.len(), 0.0);
+        }
+        // Compensate, select, and keep the dropped mass as the residual.
+        for (r, &d) in resid.iter_mut().zip(delta) {
+            *r += d;
+        }
+        let keep = top_k_indices(resid, self.k);
+        let idx: Vec<u32> = keep.iter().map(|&i| i as u32).collect();
+        let val: Vec<f32> = keep.iter().map(|&i| resid[i]).collect();
+        for &i in &keep {
+            resid[i] = 0.0;
+        }
+        WirePayload::Sparse {
+            len: delta.len(),
+            idx,
+            val,
+        }
+    }
+}
+
+/// The wire format selected on a command line or a config — the parsed
+/// form of `--wire {raw,fp16,topk:<k>,topk-ef:<k>}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Dense f32, bit-identical (the default).
+    #[default]
+    Raw,
+    /// Dense binary16.
+    Fp16,
+    /// Top-k sparsification, mass dropped.
+    TopK(usize),
+    /// Top-k sparsification with per-worker error feedback.
+    TopKEf(usize),
+}
+
+impl WireFormat {
+    /// Parse `raw`, `fp16`, `topk:<k>`, or `topk-ef:<k>`.
+    pub fn parse(s: &str) -> Result<WireFormat, String> {
+        let bad_k = |spec: &str| {
+            format!("--wire {spec}: k must be a positive integer (e.g. {spec}:64)")
+        };
+        match s {
+            "raw" => Ok(WireFormat::Raw),
+            "fp16" => Ok(WireFormat::Fp16),
+            _ => {
+                if let Some(k) = s.strip_prefix("topk-ef:") {
+                    let k: usize = k.parse().map_err(|_| bad_k("topk-ef"))?;
+                    if k == 0 {
+                        return Err(bad_k("topk-ef"));
+                    }
+                    Ok(WireFormat::TopKEf(k))
+                } else if let Some(k) = s.strip_prefix("topk:") {
+                    let k: usize = k.parse().map_err(|_| bad_k("topk"))?;
+                    if k == 0 {
+                        return Err(bad_k("topk"));
+                    }
+                    Ok(WireFormat::TopK(k))
+                } else {
+                    Err(format!(
+                        "unknown wire format {s:?} (raw|fp16|topk:<k>|topk-ef:<k>)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The canonical label (`parse(label())` roundtrips).
+    pub fn label(&self) -> String {
+        match self {
+            WireFormat::Raw => "raw".to_string(),
+            WireFormat::Fp16 => "fp16".to_string(),
+            WireFormat::TopK(k) => format!("topk:{k}"),
+            WireFormat::TopKEf(k) => format!("topk-ef:{k}"),
+        }
+    }
+
+    /// Stand up a codec for this format.
+    pub fn codec(&self) -> Box<dyn DeltaCodec> {
+        match *self {
+            WireFormat::Raw => Box::new(RawF32),
+            WireFormat::Fp16 => Box::new(Fp16),
+            WireFormat::TopK(k) => Box::new(TopK::new(k)),
+            WireFormat::TopKEf(k) => Box::new(TopKEf::new(k)),
+        }
+    }
+
+    /// True when decode(encode(x)) == x bitwise for every input.
+    pub fn is_lossless(&self) -> bool {
+        matches!(self, WireFormat::Raw)
+    }
+
+    /// Wire bytes of one worker's upload of a `len`-entry delta. Sparse
+    /// formats fall back to the dense f32 frame when the pair encoding
+    /// would be larger (a real sender would, too).
+    pub fn upload_bytes(&self, len: usize) -> usize {
+        match *self {
+            WireFormat::Raw => 4 * len,
+            WireFormat::Fp16 => 2 * len,
+            WireFormat::TopK(k) | WireFormat::TopKEf(k) => {
+                (SPARSE_HEADER_BYTES + SPARSE_ENTRY_BYTES * k.min(len)).min(4 * len)
+            }
+        }
+    }
+
+    /// Wire bytes of the master's broadcast of the aggregated delta to
+    /// one worker after `survivors` uploads were merged. For sparse
+    /// formats the aggregate's support is the union of the survivors'
+    /// supports (at most `survivors * k` pairs), which the master can
+    /// ship losslessly; dense formats re-ship the dense frame.
+    pub fn broadcast_bytes(&self, len: usize, survivors: usize) -> usize {
+        match *self {
+            WireFormat::Raw => 4 * len,
+            WireFormat::Fp16 => 2 * len,
+            WireFormat::TopK(k) | WireFormat::TopKEf(k) => {
+                let pairs = (k.saturating_mul(survivors)).min(len);
+                (SPARSE_HEADER_BYTES + SPARSE_ENTRY_BYTES * pairs).min(4 * len)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for s in ["raw", "fp16", "topk:64", "topk-ef:8"] {
+            let f = WireFormat::parse(s).unwrap();
+            assert_eq!(f.label(), s);
+            assert_eq!(WireFormat::parse(&f.label()).unwrap(), f);
+        }
+        assert!(WireFormat::parse("topk:0").is_err());
+        assert!(WireFormat::parse("topk-ef:x").is_err());
+        assert!(WireFormat::parse("zstd").is_err());
+        assert_eq!(WireFormat::default(), WireFormat::Raw);
+        assert!(WireFormat::Raw.is_lossless());
+        assert!(!WireFormat::Fp16.is_lossless());
+        assert_eq!(format!("{}", WireFormat::TopK(4)), "topk:4");
+    }
+
+    #[test]
+    fn raw_roundtrip_is_bit_identical() {
+        let delta = vec![1.0f32, -0.0, 3.5e-20, f32::MIN_POSITIVE, -7.25];
+        let mut codec = RawF32;
+        let p = codec.encode(0, &delta);
+        let back = codec.decode(&p);
+        assert_eq!(delta.len(), back.len());
+        for (a, b) in delta.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(p.encoded_bytes(), 4 * delta.len());
+        assert_eq!(p.raw_bytes(), p.encoded_bytes());
+    }
+
+    #[test]
+    fn fp16_halves_bytes() {
+        let delta = vec![0.5f32; 100];
+        let mut codec = Fp16;
+        let p = codec.encode(0, &delta);
+        assert_eq!(p.encoded_bytes(), 200);
+        assert_eq!(p.raw_bytes(), 400);
+        assert_eq!(codec.decode(&p), delta, "0.5 is exactly representable");
+    }
+
+    #[test]
+    fn topk_keeps_exactly_k_and_decodes_sparsely() {
+        let delta = vec![0.1f32, -5.0, 0.2, 4.0, -0.3, 0.0];
+        let mut codec = TopK::new(2);
+        let p = codec.encode(0, &delta);
+        match &p {
+            WirePayload::Sparse { len, idx, val } => {
+                assert_eq!(*len, 6);
+                assert_eq!(idx, &[1, 3]);
+                assert_eq!(val, &[-5.0, 4.0]);
+            }
+            other => panic!("expected sparse payload, got {other:?}"),
+        }
+        assert_eq!(p.encoded_bytes(), SPARSE_HEADER_BYTES + 2 * SPARSE_ENTRY_BYTES);
+        assert_eq!(codec.decode(&p), vec![0.0, -5.0, 0.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_ef_carries_dropped_mass_forward() {
+        let mut codec = TopKEf::new(1);
+        let d1 = vec![3.0f32, 1.0, -2.0];
+        let p1 = codec.encode(0, &d1);
+        assert_eq!(codec.decode(&p1), vec![3.0, 0.0, 0.0]);
+        assert_eq!(codec.residual(0).unwrap(), &[0.0, 1.0, -2.0]);
+        // Next round: residual compensates before selection. -2 + -2 = -4
+        // now outranks the fresh 3.0.
+        let d2 = vec![3.0f32, 0.5, -2.0];
+        let p2 = codec.encode(0, &d2);
+        assert_eq!(codec.decode(&p2), vec![0.0, 0.0, -4.0]);
+        assert_eq!(codec.residual(0).unwrap(), &[3.0, 1.5, 0.0]);
+        // Other workers keep independent residuals.
+        assert!(codec.residual(1).is_none());
+        codec.encode(1, &[1.0, 0.0]);
+        assert_eq!(codec.residual(1).unwrap(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn byte_accounting_includes_index_overhead_and_dense_fallback() {
+        let f = WireFormat::TopK(64);
+        assert_eq!(f.upload_bytes(2000), 8 + 8 * 64);
+        // k >= len: sparse would cost more than dense f32 — fall back.
+        assert_eq!(f.upload_bytes(10), 40);
+        // Broadcast support is the union of survivors' picks, capped at len.
+        assert_eq!(f.broadcast_bytes(2000, 4), 8 + 8 * 256);
+        assert_eq!(WireFormat::TopK(600).broadcast_bytes(2000, 4), 4 * 2000);
+        assert_eq!(WireFormat::Raw.broadcast_bytes(2000, 4), 8000);
+        assert_eq!(WireFormat::Fp16.broadcast_bytes(2000, 4), 4000);
+        assert_eq!(WireFormat::Fp16.upload_bytes(2000), 4000);
+    }
+
+    #[test]
+    fn codecs_report_their_format() {
+        for f in [
+            WireFormat::Raw,
+            WireFormat::Fp16,
+            WireFormat::TopK(7),
+            WireFormat::TopKEf(7),
+        ] {
+            let codec = f.codec();
+            assert_eq!(codec.format(), f);
+            assert_eq!(codec.upload_bytes(100), f.upload_bytes(100));
+            assert_eq!(codec.broadcast_bytes(100, 3), f.broadcast_bytes(100, 3));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic top-k magnitude selection.
+//!
+//! The sparsified payload keeps the k entries of largest magnitude.
+//! Selection must be *deterministic* — the same delta always yields the
+//! same payload, on any host — so ties in magnitude are broken toward the
+//! lower index, and the emitted pairs are sorted by index ascending (a
+//! canonical order that also makes the payload streamable).
+
+/// Indices of the `k` largest-magnitude entries of `values`, sorted
+/// ascending. Ties in magnitude go to the lower index. Returns all
+/// indices when `k >= values.len()`.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let n = values.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    // Total order: |v| descending, then index ascending. `total_cmp` on
+    // the absolute value is deterministic even for NaN/-0 corner cases.
+    let rank = |i: usize, j: usize| {
+        values[j]
+            .abs()
+            .total_cmp(&values[i].abs())
+            .then(i.cmp(&j))
+    };
+    if k < n {
+        order.select_nth_unstable_by(k - 1, |&i, &j| rank(i, j));
+        order.truncate(k);
+    }
+    order.sort_unstable();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_largest_magnitudes_sorted_by_index() {
+        let v = [0.1f32, -5.0, 2.0, -0.5, 4.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 4]);
+        assert_eq!(top_k_indices(&v, 3), vec![1, 2, 4]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+        assert_eq!(top_k_indices(&v, 99), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_index() {
+        let v = [1.0f32, -1.0, 1.0, -1.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+        assert_eq!(top_k_indices(&v, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zeros_count_as_smallest() {
+        let v = [0.0f32, 0.0, 0.5, 0.0];
+        assert_eq!(top_k_indices(&v, 1), vec![2]);
+        // Exact-k even when fewer nonzeros exist: zero entries pad.
+        assert_eq!(top_k_indices(&v, 2), vec![0, 2]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the codec roundtrip invariants the distributed
+//! layer relies on:
+//!
+//! * RawF32 is bit-identical (the `--wire raw` == pre-codec guarantee);
+//! * Fp16 honours the half-ULP (2⁻¹¹ relative) RNE bound on the binary16
+//!   normal range, with a 2⁻²⁴ absolute floor through the subnormals;
+//! * TopK emits exactly min(k, len) pairs, in strictly increasing index
+//!   order, deterministically, and never keeps a smaller magnitude while
+//!   dropping a larger one;
+//! * TopKEf conserves mass exactly: decoded + new residual == delta +
+//!   old residual, entry for entry, in f32.
+
+use proptest::prelude::*;
+use scd_wire::{
+    DeltaCodec, Fp16, RawF32, TopK, TopKEf, WirePayload, SPARSE_ENTRY_BYTES,
+    SPARSE_HEADER_BYTES,
+};
+
+/// Deltas with a mix of magnitudes, signs, and exact zeros.
+fn delta_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (0u32..10, -1.0f64..1.0).prop_map(|(kind, u)| match kind {
+            0 => 0.0f32,                      // exact zeros are common in deltas
+            1 => (u * 1e-6) as f32,           // subnormal-half territory
+            2 => (u * 6e4) as f32,            // near the top of the half range
+            _ => (u * 8.0) as f32,            // typical coordinate-delta scale
+        }),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn raw_f32_roundtrip_is_bit_identical(delta in delta_strategy()) {
+        let mut codec = RawF32;
+        let payload = codec.encode(0, &delta);
+        let back = codec.decode(&payload);
+        prop_assert_eq!(delta.len(), back.len());
+        for (a, b) in delta.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(payload.encoded_bytes(), 4 * delta.len());
+    }
+
+    #[test]
+    fn fp16_roundtrip_respects_the_ulp_bound(delta in delta_strategy()) {
+        let mut codec = Fp16;
+        let payload = codec.encode(0, &delta);
+        let back = codec.decode(&payload);
+        prop_assert_eq!(payload.encoded_bytes(), 2 * delta.len());
+        for (&x, &y) in delta.iter().zip(&back) {
+            // RNE: relative error <= 2^-11 on normals, absolute <= 2^-25
+            // through the subnormal band (half the subnormal spacing).
+            let bound = f64::max(x.abs() as f64 / 2048.0, 2f64.powi(-25));
+            prop_assert!(
+                ((y - x) as f64).abs() <= bound + 1e-12,
+                "{} -> {} exceeds fp16 bound {}", x, y, bound
+            );
+        }
+    }
+
+    #[test]
+    fn topk_keeps_exactly_k_in_index_order(delta in delta_strategy(), k in 1usize..20) {
+        let mut codec = TopK::new(k);
+        let payload = codec.encode(0, &delta);
+        let (len, idx, val) = match &payload {
+            WirePayload::Sparse { len, idx, val } => (*len, idx.clone(), val.clone()),
+            other => return Err(TestCaseError::Fail(format!("not sparse: {other:?}"))),
+        };
+        prop_assert_eq!(len, delta.len());
+        prop_assert_eq!(idx.len(), k.min(delta.len()));
+        prop_assert_eq!(val.len(), idx.len());
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "indices strictly increasing");
+        // Values ride the wire in full f32.
+        for (&i, &v) in idx.iter().zip(&val) {
+            prop_assert_eq!(v.to_bits(), delta[i as usize].to_bits());
+        }
+        // No dropped entry outranks a kept one.
+        let kept_min = val.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (i, &d) in delta.iter().enumerate() {
+            if !idx.contains(&(i as u32)) {
+                prop_assert!(
+                    d.abs() <= kept_min,
+                    "dropped |{}| at {} outranks kept minimum {}", d, i, kept_min
+                );
+            }
+        }
+        prop_assert_eq!(
+            payload.encoded_bytes(),
+            SPARSE_HEADER_BYTES + SPARSE_ENTRY_BYTES * idx.len()
+        );
+    }
+
+    #[test]
+    fn topk_encoding_is_deterministic(delta in delta_strategy(), k in 1usize..20) {
+        let mut a = TopK::new(k);
+        let mut b = TopK::new(k);
+        prop_assert_eq!(a.encode(0, &delta), b.encode(7, &delta));
+    }
+
+    #[test]
+    fn topk_ef_conserves_mass_exactly(
+        rounds in proptest::collection::vec(delta_strategy(), 1..5),
+        k in 1usize..12,
+    ) {
+        // All rounds must share one length for a single worker's stream.
+        let len = rounds.iter().map(Vec::len).min().unwrap_or(1);
+        let mut codec = TopKEf::new(k);
+        let mut prev_resid = vec![0.0f32; len];
+        for round in &rounds {
+            let delta = &round[..len];
+            let payload = codec.encode(0, delta);
+            let decoded = codec.decode(&payload);
+            let resid = codec.residual(0).expect("residual exists after encode");
+            for i in 0..len {
+                // decoded + e_{t+1} == Δ_t + e_t, bit for bit: top-k ships
+                // exact f32 values, so nothing is lost, only deferred.
+                let sent_plus_kept = decoded[i] + resid[i];
+                let compensated = delta[i] + prev_resid[i];
+                prop_assert_eq!(sent_plus_kept.to_bits(), compensated.to_bits());
+                // And each entry lands wholly on one side of the split.
+                prop_assert!(decoded[i] == 0.0 || resid[i] == 0.0);
+            }
+            prev_resid = resid.to_vec();
+        }
+    }
+}
