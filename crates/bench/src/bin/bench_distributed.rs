@@ -17,12 +17,20 @@
 //! ratio, and the duality gap each codec reaches — the bandwidth/accuracy
 //! trade-off of the `scd-wire` subsystem. The timed rows honour `--wire`
 //! (default raw).
+//!
+//! A fourth section sweeps the staleness bound τ of the event-driven
+//! runtime at K=4 with a 4x straggler on worker 3: τ=0 is the barrier
+//! (bit-identical to the synchronous driver), τ ∈ {1, 4, ∞} let the fast
+//! workers pipeline past the straggler. Recorded per τ: simulated seconds
+//! per epoch, epochs and simulated seconds to a 5e-3 gap, and the final
+//! gap — the freshness/overlap trade the bounded-staleness design buys.
 
 use scd_bench::opts::wire_flag;
 use scd_core::{Form, RidgeProblem, Solver};
 use scd_datasets::{scale_values, webspam_like};
 use scd_distributed::{
-    DistributedConfig, DistributedScd, FaultPlan, RoundMetrics, RoundRuntime, WireFormat,
+    AsyncScd, DistributedConfig, DistributedScd, FaultPlan, RoundMetrics, RoundRuntime, Staleness,
+    WireFormat,
 };
 use std::time::Instant;
 
@@ -152,11 +160,53 @@ fn main() {
         ));
     }
 
+    // Staleness sweep: K=4 with a 4x straggler so the barrier actually
+    // costs something for bounded staleness to remove.
+    let stale_eps = 5e-3;
+    let stale_cap = 300usize;
+    let mut stale_rows = Vec::new();
+    for tau in [
+        Staleness::Bounded(0),
+        Staleness::Bounded(1),
+        Staleness::Bounded(4),
+        Staleness::Unbounded,
+    ] {
+        let config = DistributedConfig::new(4, Form::Primal)
+            .with_seed(42)
+            .with_wire(wire)
+            .with_worker_slowdowns(vec![1.0, 1.0, 1.0, 4.0]);
+        let mut event = AsyncScd::new(&full, &config, tau).unwrap();
+        let mut sim_seconds = 0.0;
+        let mut ran = 0usize;
+        let mut converged = false;
+        while ran < stale_cap {
+            sim_seconds += event.epoch(&full).seconds();
+            ran += 1;
+            if event.duality_gap(&full) <= stale_eps {
+                converged = true;
+                break;
+            }
+        }
+        let gap = event.duality_gap(&full);
+        let per_epoch = sim_seconds / ran as f64;
+        println!(
+            "# staleness tau={tau}: {ran} epochs ({}), {per_epoch:.3e} sim s/epoch, \
+             {sim_seconds:.3e} sim s total, gap {gap:.3e}",
+            if converged { "converged" } else { "cap hit" }
+        );
+        stale_rows.push(format!(
+            "    {{\"tau\": \"{tau}\", \"converged\": {converged}, \"epochs_to_5e-3\": {ran}, \
+             \"sim_seconds_per_epoch\": {per_epoch:.6e}, \"sim_seconds_to_5e-3\": {sim_seconds:.6e}, \
+             \"final_duality_gap\": {gap:.6e}}}"
+        ));
+    }
+
     let indented_metrics = fault_metrics.replace('\n', "\n  ");
     let out = format!(
-        "{{\n  \"benchmark\": \"distributed_scd_rounds\",\n  \"dataset\": \"webspam_like(2000, 1200, 60, 80) scale 0.3\",\n  \"lambda\": 1e-3,\n  \"epochs_timed\": {epochs},\n  \"host_threads\": {host_threads},\n  \"wire\": \"{wire}\",\n  \"rounds\": [\n{}\n  ],\n  \"compression_sweep\": [\n{}\n  ],\n  \"fault_demo\": {{\n    \"plan\": \"rotating_drop, max_retries 1, K=4\",\n    \"epochs\": {fault_epochs},\n    \"first_epoch_duality_gap\": {fault_first_gap:.6e},\n    \"final_duality_gap\": {fault_gap:.6e},\n    \"round_metrics\": {indented_metrics}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"distributed_scd_rounds\",\n  \"dataset\": \"webspam_like(2000, 1200, 60, 80) scale 0.3\",\n  \"lambda\": 1e-3,\n  \"epochs_timed\": {epochs},\n  \"host_threads\": {host_threads},\n  \"wire\": \"{wire}\",\n  \"rounds\": [\n{}\n  ],\n  \"compression_sweep\": [\n{}\n  ],\n  \"staleness_sweep\": {{\n    \"cluster\": \"K=4, worker 3 slowed 4x\",\n    \"gap_target\": 5e-3,\n    \"epoch_cap\": {stale_cap},\n    \"rows\": [\n{}\n    ]\n  }},\n  \"fault_demo\": {{\n    \"plan\": \"rotating_drop, max_retries 1, K=4\",\n    \"epochs\": {fault_epochs},\n    \"first_epoch_duality_gap\": {fault_first_gap:.6e},\n    \"final_duality_gap\": {fault_gap:.6e},\n    \"round_metrics\": {indented_metrics}\n  }}\n}}\n",
         rows.join(",\n"),
-        sweep_rows.join(",\n")
+        sweep_rows.join(",\n"),
+        stale_rows.join(",\n")
     );
     let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_distributed.json".to_string());
     std::fs::write(&path, out).expect("writing benchmark record");

@@ -14,7 +14,8 @@ use scd_bench::figdata::{describe, scaled_link, webspam_fig_small};
 use scd_bench::opts::wire_flag;
 use scd_core::{Form, Solver};
 use scd_distributed::{
-    Aggregation, DistributedConfig, DistributedScd, ParamServerConfig, ParamServerScd,
+    Aggregation, AsyncScd, DistributedConfig, DistributedScd, ParamServerConfig, ParamServerScd,
+    Staleness,
 };
 use scd_perf_model::LinkProfile;
 
@@ -71,6 +72,31 @@ fn main() {
         let (e, s) = run_to(&mut sync_ada, &problem, eps, 3000);
         println!("#   synchronous adaptive:   {e:>7} epochs, {s} s");
         table.row(["sync adaptive".to_string(), k.to_string(), e, s]);
+
+        // Bounded-staleness event runtime: τ=0 replays the synchronous
+        // barrier bit-for-bit (same epochs as "sync averaging" above),
+        // larger τ trades snapshot freshness for overlap — the middle
+        // ground between the barrier and the free-running server below.
+        for tau in [
+            Staleness::Bounded(0),
+            Staleness::Bounded(1),
+            Staleness::Bounded(4),
+            Staleness::Unbounded,
+        ] {
+            let mut event = AsyncScd::new(
+                &problem,
+                &DistributedConfig::new(k, form)
+                    .with_network(link.clone())
+                    .with_wire(wire)
+                    .with_seed(0x5A),
+                tau,
+            )
+            .expect("cluster fits");
+            let (e, s) = run_to(&mut event, &problem, eps, 3000);
+            let label = format!("event tau={tau}:");
+            println!("#   {label:<24}{e:>7} epochs, {s} s");
+            table.row([format!("event tau={tau}"), k.to_string(), e, s]);
+        }
 
         // Asynchronous parameter server [6], across push granularities:
         // small chunks are nearly fresh (fast convergence, chatty), large

@@ -12,8 +12,8 @@ use scd_core::{
 };
 use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, DatasetStats};
 use scd_distributed::{
-    Aggregation, DistributedConfig, DistributedScd, FaultPlan, LocalSolverKind, RoundRuntime,
-    WireFormat,
+    Aggregation, AsyncScd, DistributedConfig, DistributedScd, FaultPlan, LocalSolverKind,
+    RoundRuntime, Staleness, WireFormat,
 };
 use scd_sparse::io::{read_libsvm, write_libsvm, LabelledData};
 use std::fs::File;
@@ -75,6 +75,11 @@ TRAIN OPTIONS:
   --aggregation A   averaging|adding|adaptive|cocoa+|line-search (default averaging)
   --wire W          raw|fp16|topk:<k>|topk-ef:<k> delta wire format (default raw)
   --round-threads T host threads running worker rounds (0 = auto, 1 = inline)
+  --runtime R       sync|event round engine (default sync; event = discrete-event
+                    simulation with bounded staleness; implied by --staleness)
+  --staleness T     staleness bound for --runtime event: integer or inf
+                    (default 0 = synchronous barrier, bit-identical to sync)
+  --event-trace F   write the event runtime's per-event trace to F
   --fault-drop P    probability a worker's round is dropped (default 0)
   --fault-delay P   probability a round is delayed (default 0)
   --fault-delay-factor F  slowdown of a delayed round (default 3)
@@ -292,8 +297,9 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     args.check_known(&[
         "data", "features", "objective", "lambda", "l1-ratio", "form", "solver", "threads",
         "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "wire",
-        "round-threads", "fault-drop", "fault-delay", "fault-delay-factor", "fault-timeout",
-        "fault-retries", "fault-seed", "round-metrics", "save-model", "seed",
+        "round-threads", "runtime", "staleness", "event-trace", "fault-drop", "fault-delay",
+        "fault-delay-factor", "fault-timeout", "fault-retries", "fault-seed", "round-metrics",
+        "save-model", "seed",
     ])
     .map_err(|e| e.to_string())?;
     let data = load(args)?;
@@ -309,9 +315,10 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "ridge" => {
             let form = parse_form(args)?;
             let workers = args.get_or("workers", 1usize, "integer").map_err(|e| e.to_string())?;
-            // The distributed driver stays concrete so its round metrics
+            // The distributed drivers stay concrete so their round metrics
             // remain reachable after training.
             let mut distributed: Option<DistributedScd> = None;
+            let mut event_driven: Option<AsyncScd> = None;
             let mut single: Option<Box<dyn Solver>> = None;
             if workers > 1 {
                 let round_threads = args
@@ -326,13 +333,38 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                     .with_fault(parse_fault(args)?)
                     .with_wire(parse_wire(args)?)
                     .with_seed(seed);
-                distributed = Some(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?);
+                // --staleness implies the event runtime; --runtime sync is
+                // the lock-step barrier driver.
+                let runtime = args.get("runtime").unwrap_or(if args.get("staleness").is_some() {
+                    "event"
+                } else {
+                    "sync"
+                });
+                match runtime {
+                    "sync" => {
+                        distributed =
+                            Some(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?);
+                    }
+                    "event" => {
+                        let tau = Staleness::parse(args.get("staleness").unwrap_or("0"))?;
+                        let mut asynch =
+                            AsyncScd::new(&problem, &config, tau).map_err(|e| e.to_string())?;
+                        if args.get("event-trace").is_some() {
+                            asynch.set_trace(true);
+                        }
+                        event_driven = Some(asynch);
+                    }
+                    other => return Err(format!("--runtime {other:?}: expected sync|event")),
+                }
             } else {
                 single = Some(single_node_solver(args, &problem, form, seed)?);
             }
-            let solver: &mut dyn Solver = match distributed.as_mut() {
-                Some(dist) => dist,
-                None => single.as_mut().expect("one branch populated").as_mut(),
+            let solver: &mut dyn Solver = if let Some(dist) = distributed.as_mut() {
+                dist
+            } else if let Some(asynch) = event_driven.as_mut() {
+                asynch
+            } else {
+                single.as_mut().expect("one branch populated").as_mut()
             };
             writeln!(out, "solver: {} ({} form)", solver.name(), form.label())
                 .map_err(|e| e.to_string())?;
@@ -360,30 +392,48 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
             }
             if let Some(path) = args.get("round-metrics") {
-                let dist = distributed
-                    .as_ref()
-                    .ok_or("--round-metrics needs --workers > 1")?;
-                std::fs::write(path, dist.metrics_json())
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
-                let dropped: usize = dist
-                    .round_metrics()
-                    .iter()
-                    .map(|m| m.dropped_workers.len())
-                    .sum();
+                let (json, rounds, dropped) = if let Some(dist) = distributed.as_ref() {
+                    let dropped = dist.round_metrics().iter().map(|m| m.dropped_workers.len()).sum();
+                    (dist.metrics_json(), dist.round_metrics().len(), dropped)
+                } else if let Some(asynch) = event_driven.as_ref() {
+                    let dropped =
+                        asynch.round_metrics().iter().map(|m| m.dropped_workers.len()).sum();
+                    (asynch.metrics_json(), asynch.round_metrics().len(), dropped)
+                } else {
+                    return Err("--round-metrics needs --workers > 1".into());
+                };
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                let dropped: usize = dropped;
                 writeln!(
                     out,
-                    "round metrics written to {path} ({} rounds, {dropped} dropped rounds)",
-                    dist.round_metrics().len()
+                    "round metrics written to {path} ({rounds} rounds, {dropped} dropped rounds)"
                 )
                 .map_err(|e| e.to_string())?;
             }
-            if let Some(dist) = distributed.as_ref() {
-                let (raw, encoded) = dist.wire_bytes_total();
+            if let Some(path) = args.get("event-trace") {
+                let asynch = event_driven
+                    .as_ref()
+                    .ok_or("--event-trace needs --runtime event")?;
+                let mut trace = asynch.trace_lines().join("\n");
+                trace.push('\n');
+                std::fs::write(path, &trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+                writeln!(
+                    out,
+                    "event trace written to {path} ({} events)",
+                    asynch.trace_lines().len()
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            let wire_totals = distributed
+                .as_ref()
+                .map(|d| (d.wire(), d.wire_bytes_total()))
+                .or_else(|| event_driven.as_ref().map(|a| (a.wire(), a.wire_bytes_total())));
+            if let Some((wire, (raw, encoded))) = wire_totals {
                 if encoded > 0 {
                     writeln!(
                         out,
                         "wire {}: {} B raw -> {} B encoded ({:.2}x)",
-                        dist.wire(),
+                        wire,
                         raw,
                         encoded,
                         raw as f64 / encoded as f64
@@ -652,6 +702,50 @@ mod tests {
         .unwrap_err()
         .contains("positive integer"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_event_runtime_with_staleness() {
+        let path = tmp("event");
+        let metrics_path = tmp("event_metrics").replace(".svm", ".json");
+        let trace_path = tmp("event_trace").replace(".svm", ".log");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 60 --cols 50 --nnz-per-row 5 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        // --staleness alone implies --runtime event.
+        let out = run_to_string(&format!(
+            "train --data {path} --features 50 --workers 3 --staleness 2 --epochs 10 \
+             --eval-every 10 --round-metrics {metrics_path} --event-trace {trace_path}"
+        ))
+        .unwrap();
+        assert!(out.contains("tau=2"), "{out}");
+        assert!(out.contains("round metrics written"), "{out}");
+        assert!(out.contains("event trace written"), "{out}");
+        let json = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(json.contains("\"staleness_hist\""), "{json}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.lines().next().unwrap().starts_with("t="), "{trace}");
+
+        let out = run_to_string(&format!(
+            "train --data {path} --features 50 --workers 2 --runtime event --staleness inf \
+             --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("tau=inf"), "{out}");
+        assert!(run_to_string(&format!(
+            "train --data {path} --features 50 --workers 2 --runtime warp"
+        ))
+        .unwrap_err()
+        .contains("expected sync|event"));
+        assert!(run_to_string(&format!(
+            "train --data {path} --features 50 --workers 2 --event-trace {trace_path}"
+        ))
+        .unwrap_err()
+        .contains("needs --runtime event"));
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(metrics_path).ok();
+        std::fs::remove_file(trace_path).ok();
     }
 
     #[test]

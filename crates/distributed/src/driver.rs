@@ -278,6 +278,181 @@ impl DistributedConfig {
     }
 }
 
+/// Partition `full` per `config` and construct the K workers — the
+/// shared setup of [`DistributedScd`] and the bounded-staleness
+/// [`crate::AsyncScd`], factored out so both drivers stand on identical
+/// partitions, seeds, and per-worker cost profiles.
+pub(crate) fn build_workers(
+    full: &RidgeProblem,
+    config: &DistributedConfig,
+) -> Result<Vec<Worker>, GpuError> {
+    let partitions = partition_problem(
+        full,
+        config.form,
+        config.workers,
+        config.partition_strategy(),
+    );
+    // CoCoA+ makes adding safe by scaling the local quadratic term.
+    let sigma_prime = if config.aggregation == Aggregation::CocoaPlus {
+        config.workers as f64
+    } else {
+        1.0
+    };
+    let mut workers = Vec::with_capacity(config.workers);
+    for (k, part) in partitions.into_iter().enumerate() {
+        let worker_seed = config.seed ^ ((k as u64 + 1) * 0x5DEECE66D);
+        let slowdown = config.worker_slowdowns.get(k).copied().unwrap_or(1.0);
+        let worker_cpu = CpuProfile {
+            seconds_per_nnz: config.cpu.seconds_per_nnz * slowdown,
+            seconds_per_coord: config.cpu.seconds_per_coord * slowdown,
+            host_stream_bytes_per_s: config.cpu.host_stream_bytes_per_s / slowdown,
+            ..config.cpu.clone()
+        };
+        let solver: Box<dyn LocalSolver> = match &config.solver {
+            LocalSolverKind::Sequential => {
+                let mut s = match config.form {
+                    Form::Primal => SequentialScd::primal(&part.problem, worker_seed),
+                    Form::Dual => SequentialScd::dual(&part.problem, worker_seed),
+                }
+                .with_cpu(worker_cpu.clone())
+                .with_quadratic_scale(sigma_prime);
+                if let Some(cap) = config.local_updates_per_round {
+                    s = s.with_updates_per_call(cap);
+                }
+                Box::new(s)
+            }
+            LocalSolverKind::AsyncSim {
+                mode,
+                threads,
+                paper_scale_staleness,
+            } => {
+                let coords = part.problem.coords(config.form);
+                let mut s =
+                    AsyncSimScd::new(&part.problem, config.form, *mode, *threads, worker_seed)
+                        .with_cpu(worker_cpu.clone());
+                if *paper_scale_staleness {
+                    let reference = match config.form {
+                        Form::Primal => 680_715,
+                        Form::Dual => 262_938,
+                    };
+                    s = s.with_staleness(scaled_staleness(*threads, coords, reference));
+                }
+                Box::new(s.with_quadratic_scale(sigma_prime))
+            }
+            LocalSolverKind::Tpa {
+                profile,
+                lanes,
+                deterministic,
+            } => {
+                let mut gpu = Gpu::new(profile.clone());
+                if *deterministic {
+                    gpu = gpu.with_host_threads(1);
+                }
+                let s = TpaScd::new(&part.problem, config.form, Arc::new(gpu), worker_seed)?
+                    .with_lanes(*lanes)
+                    .with_cpu(worker_cpu.clone())
+                    .with_quadratic_scale(sigma_prime);
+                Box::new(s)
+            }
+        };
+        workers.push(Worker::new(
+            k,
+            part,
+            solver,
+            config.form,
+            worker_cpu,
+            config.pcie.clone(),
+        )
+        .with_local_epochs(config.local_epochs_per_round));
+    }
+    Ok(workers)
+}
+
+/// The master's γ rule over the `k_eff` surviving workers. Free function
+/// shared verbatim by the synchronous and bounded-staleness drivers, so
+/// τ=0 async runs make bit-identical choices.
+pub(crate) fn choose_gamma(
+    aggregation: Aggregation,
+    form: Form,
+    full: &RidgeProblem,
+    shared: &[f32],
+    delta: &[f32],
+    reduced: &WorkerScalars,
+    k_eff: usize,
+) -> f64 {
+    match aggregation {
+        Aggregation::Averaging => 1.0 / k_eff as f64,
+        Aggregation::Adding | Aggregation::CocoaPlus => 1.0,
+        Aggregation::LineSearch => match form {
+            Form::Primal => {
+                // φ(γ) = (1/2N)‖w+γΔw−y‖² + λ(γ⟨β,Δβ⟩ + γ²‖Δβ‖²/2) + const.
+                let n = full.n() as f64;
+                let lambda = full.lambda();
+                let fit_a: f64 = delta
+                    .iter()
+                    .map(|&d| (d as f64) * (d as f64))
+                    .sum::<f64>()
+                    / (2.0 * n);
+                let fit_b: f64 = shared
+                    .iter()
+                    .zip(full.labels())
+                    .zip(delta)
+                    .map(|((&w, &y), &d)| (w as f64 - y as f64) * d as f64)
+                    .sum::<f64>()
+                    / n;
+                let phi = |g: f64| {
+                    fit_a * g * g
+                        + fit_b * g
+                        + lambda * (g * reduced.x_dot_dx + g * g * reduced.dx_sq / 2.0)
+                };
+                golden_min(phi, -4.0, 4.0)
+            }
+            Form::Dual => {
+                // maximize ψ(γ) ⇔ minimize −ψ(γ).
+                let n = full.n() as f64;
+                let lambda = full.lambda();
+                let quad_w: f64 = delta
+                    .iter()
+                    .map(|&d| (d as f64) * (d as f64))
+                    .sum::<f64>()
+                    / (2.0 * lambda);
+                let lin_w: f64 = shared
+                    .iter()
+                    .zip(delta)
+                    .map(|(&w, &d)| w as f64 * d as f64)
+                    .sum::<f64>()
+                    / lambda;
+                let neg_psi = |g: f64| {
+                    n / 2.0 * (2.0 * g * reduced.x_dot_dx + g * g * reduced.dx_sq)
+                        + quad_w * g * g
+                        + lin_w * g
+                        - g * reduced.dx_dot_y
+                };
+                golden_min(neg_psi, -4.0, 4.0)
+            }
+        },
+        Aggregation::Adaptive => match form {
+            Form::Primal => optimal_gamma_primal(
+                full.labels(),
+                shared,
+                delta,
+                reduced.x_dot_dx,
+                reduced.dx_sq,
+                full.n_lambda(),
+            ),
+            Form::Dual => optimal_gamma_dual(
+                shared,
+                delta,
+                reduced.dx_dot_y,
+                reduced.x_dot_dx,
+                reduced.dx_sq,
+                full.n(),
+                full.lambda(),
+            ),
+        },
+    }
+}
+
 /// The distributed solver (implements [`Solver`], so the same harness
 /// drives single-node and distributed runs).
 pub struct DistributedScd {
@@ -309,85 +484,7 @@ pub struct DistributedScd {
 impl DistributedScd {
     /// Partition the problem and stand up the cluster.
     pub fn new(full: &RidgeProblem, config: &DistributedConfig) -> Result<Self, GpuError> {
-        let partitions = partition_problem(
-            full,
-            config.form,
-            config.workers,
-            config.partition_strategy(),
-        );
-        // CoCoA+ makes adding safe by scaling the local quadratic term.
-        let sigma_prime = if config.aggregation == Aggregation::CocoaPlus {
-            config.workers as f64
-        } else {
-            1.0
-        };
-        let mut workers = Vec::with_capacity(config.workers);
-        for (k, part) in partitions.into_iter().enumerate() {
-            let worker_seed = config.seed ^ ((k as u64 + 1) * 0x5DEECE66D);
-            let slowdown = config.worker_slowdowns.get(k).copied().unwrap_or(1.0);
-            let worker_cpu = CpuProfile {
-                seconds_per_nnz: config.cpu.seconds_per_nnz * slowdown,
-                seconds_per_coord: config.cpu.seconds_per_coord * slowdown,
-                host_stream_bytes_per_s: config.cpu.host_stream_bytes_per_s / slowdown,
-                ..config.cpu.clone()
-            };
-            let solver: Box<dyn LocalSolver> = match &config.solver {
-                LocalSolverKind::Sequential => {
-                    let mut s = match config.form {
-                        Form::Primal => SequentialScd::primal(&part.problem, worker_seed),
-                        Form::Dual => SequentialScd::dual(&part.problem, worker_seed),
-                    }
-                    .with_cpu(worker_cpu.clone())
-                    .with_quadratic_scale(sigma_prime);
-                    if let Some(cap) = config.local_updates_per_round {
-                        s = s.with_updates_per_call(cap);
-                    }
-                    Box::new(s)
-                }
-                LocalSolverKind::AsyncSim {
-                    mode,
-                    threads,
-                    paper_scale_staleness,
-                } => {
-                    let coords = part.problem.coords(config.form);
-                    let mut s =
-                        AsyncSimScd::new(&part.problem, config.form, *mode, *threads, worker_seed)
-                            .with_cpu(worker_cpu.clone());
-                    if *paper_scale_staleness {
-                        let reference = match config.form {
-                            Form::Primal => 680_715,
-                            Form::Dual => 262_938,
-                        };
-                        s = s.with_staleness(scaled_staleness(*threads, coords, reference));
-                    }
-                    Box::new(s.with_quadratic_scale(sigma_prime))
-                }
-                LocalSolverKind::Tpa {
-                    profile,
-                    lanes,
-                    deterministic,
-                } => {
-                    let mut gpu = Gpu::new(profile.clone());
-                    if *deterministic {
-                        gpu = gpu.with_host_threads(1);
-                    }
-                    let s = TpaScd::new(&part.problem, config.form, Arc::new(gpu), worker_seed)?
-                        .with_lanes(*lanes)
-                        .with_cpu(worker_cpu.clone())
-                        .with_quadratic_scale(sigma_prime);
-                    Box::new(s)
-                }
-            };
-            workers.push(Worker::new(
-                k,
-                part,
-                solver,
-                config.form,
-                worker_cpu,
-                config.pcie.clone(),
-            )
-            .with_local_epochs(config.local_epochs_per_round));
-        }
+        let workers = build_workers(full, config)?;
         // A one-thread pool would run the same inline loop with extra
         // hand-offs; only stand the pool up when it can overlap rounds.
         let pool = config
@@ -613,14 +710,12 @@ impl Solver for DistributedScd {
         // stateful codec's per-worker residual only advances on commit.
         let mut delta = vec![0.0f32; self.shared.len()];
         let mut scalars = Vec::with_capacity(k);
-        let mut bytes_reduced = 0usize;
         for (wid, round) in rounds.iter().enumerate() {
             let Some(round) = round else { continue };
             let payload = self.codec.encode(wid, &round.delta_shared);
             let decoded = self.codec.decode(&payload);
             dense::axpy(1.0, &decoded, &mut delta);
             scalars.push(round.scalars);
-            bytes_reduced += 4 * round.delta_shared.len();
         }
         let k_eff = scalars.len();
         let reduced = WorkerScalars::reduce(scalars);
@@ -629,7 +724,15 @@ impl Solver for DistributedScd {
         let gamma = if k_eff == 0 {
             0.0
         } else {
-            self.choose_gamma(full, &delta, &reduced, k_eff)
+            choose_gamma(
+                self.aggregation,
+                self.form,
+                full,
+                &self.shared,
+                &delta,
+                &reduced,
+                k_eff,
+            )
         };
         self.last_gamma = gamma;
 
@@ -689,7 +792,9 @@ impl Solver for DistributedScd {
             worker_round_seconds: worker_time.iter().map(TimeBreakdown::total).collect(),
             barrier_seconds: worker_time[slowest].total(),
             gamma,
-            bytes_reduced,
+            // Synchronous rounds apply every surviving delta at staleness
+            // 0 by construction.
+            staleness_hist: vec![k_eff],
             retries,
             dropped_workers: dropped,
             survivors: k_eff,
@@ -721,87 +826,3 @@ impl Solver for DistributedScd {
     }
 }
 
-impl DistributedScd {
-    /// The master's γ rule over the `k_eff` surviving workers.
-    fn choose_gamma(
-        &self,
-        full: &RidgeProblem,
-        delta: &[f32],
-        reduced: &WorkerScalars,
-        k_eff: usize,
-    ) -> f64 {
-        match self.aggregation {
-            Aggregation::Averaging => 1.0 / k_eff as f64,
-            Aggregation::Adding | Aggregation::CocoaPlus => 1.0,
-            Aggregation::LineSearch => match self.form {
-                Form::Primal => {
-                    // φ(γ) = (1/2N)‖w+γΔw−y‖² + λ(γ⟨β,Δβ⟩ + γ²‖Δβ‖²/2) + const.
-                    let n = full.n() as f64;
-                    let lambda = full.lambda();
-                    let fit_a: f64 = delta
-                        .iter()
-                        .map(|&d| (d as f64) * (d as f64))
-                        .sum::<f64>()
-                        / (2.0 * n);
-                    let fit_b: f64 = self
-                        .shared
-                        .iter()
-                        .zip(full.labels())
-                        .zip(delta)
-                        .map(|((&w, &y), &d)| (w as f64 - y as f64) * d as f64)
-                        .sum::<f64>()
-                        / n;
-                    let phi = |g: f64| {
-                        fit_a * g * g
-                            + fit_b * g
-                            + lambda * (g * reduced.x_dot_dx + g * g * reduced.dx_sq / 2.0)
-                    };
-                    golden_min(phi, -4.0, 4.0)
-                }
-                Form::Dual => {
-                    // maximize ψ(γ) ⇔ minimize −ψ(γ).
-                    let n = full.n() as f64;
-                    let lambda = full.lambda();
-                    let quad_w: f64 = delta
-                        .iter()
-                        .map(|&d| (d as f64) * (d as f64))
-                        .sum::<f64>()
-                        / (2.0 * lambda);
-                    let lin_w: f64 = self
-                        .shared
-                        .iter()
-                        .zip(delta)
-                        .map(|(&w, &d)| w as f64 * d as f64)
-                        .sum::<f64>()
-                        / lambda;
-                    let neg_psi = |g: f64| {
-                        n / 2.0 * (2.0 * g * reduced.x_dot_dx + g * g * reduced.dx_sq)
-                            + quad_w * g * g
-                            + lin_w * g
-                            - g * reduced.dx_dot_y
-                    };
-                    golden_min(neg_psi, -4.0, 4.0)
-                }
-            },
-            Aggregation::Adaptive => match self.form {
-                Form::Primal => optimal_gamma_primal(
-                    full.labels(),
-                    &self.shared,
-                    delta,
-                    reduced.x_dot_dx,
-                    reduced.dx_sq,
-                    full.n_lambda(),
-                ),
-                Form::Dual => optimal_gamma_dual(
-                    &self.shared,
-                    delta,
-                    reduced.dx_dot_y,
-                    reduced.x_dot_dx,
-                    reduced.dx_sq,
-                    full.n(),
-                    full.lambda(),
-                ),
-            },
-        }
-    }
-}

@@ -19,7 +19,12 @@
 //!   so the figure harness drives distributed and single-node runs
 //!   identically.
 //! * [`param_server`] — the asynchronous parameter-server alternative [6]
-//!   the paper's introduction contrasts the synchronous design against.
+//!   the paper's introduction contrasts the synchronous design against;
+//!   its timing now runs on the discrete-event engine.
+//! * [`async_scd`] — bounded-staleness asynchronous rounds on the
+//!   deterministic event engine ([`scd_events`]): τ=0 reproduces the
+//!   synchronous barrier bit-identically, τ=∞ is a true event-driven
+//!   parameter server, anything between is SSP-style bounded staleness.
 //!
 //! Delta traffic between workers and master goes through a pluggable wire
 //! format ([`scd_wire::WireFormat`], re-exported here): raw f32 (the
@@ -28,6 +33,7 @@
 //! *encoded* byte counts, and [`metrics::RoundMetrics`] records raw vs
 //! encoded traffic per round.
 
+pub mod async_scd;
 pub mod driver;
 pub mod fault;
 pub mod local;
@@ -37,6 +43,7 @@ pub mod partition;
 pub mod runtime;
 pub mod worker;
 
+pub use async_scd::{AsyncScd, Staleness};
 pub use driver::{Aggregation, DistributedConfig, DistributedScd, LocalSolverKind};
 pub use fault::{FaultPlan, RoundFate};
 pub use metrics::RoundMetrics;

@@ -19,13 +19,12 @@ pub struct RoundMetrics {
     pub barrier_seconds: f64,
     /// The aggregation scale the master applied.
     pub gamma: f64,
-    /// Bytes of delta-shared-vector traffic reduced this round.
-    ///
-    /// Deprecated legacy field: counts only the upload leg at dense-f32
-    /// size (4·len·K′), regardless of wire format. Kept for one release
-    /// so existing consumers of the JSON keep working; new code should
-    /// read `bytes_raw` / `bytes_encoded`.
-    pub bytes_reduced: usize,
+    /// Histogram of the staleness of the deltas applied this round:
+    /// `staleness_hist[s]` counts deltas computed against a snapshot `s`
+    /// master versions behind the version they were applied to. A
+    /// synchronous round is always `[K′]` (every delta exactly fresh);
+    /// the bounded-staleness driver reports the spread its τ permitted.
+    pub staleness_hist: Vec<usize>,
     /// Retry requests the master issued this round (all workers).
     pub retries: usize,
     /// Workers whose round never arrived and were aggregated around.
@@ -49,14 +48,14 @@ impl RoundMetrics {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"epoch\": {}, \"worker_round_seconds\": {}, \"barrier_seconds\": {:.6e}, \
-             \"gamma\": {:.6e}, \"bytes_reduced\": {}, \"retries\": {}, \
+             \"gamma\": {:.6e}, \"staleness_hist\": {}, \"retries\": {}, \
              \"dropped_workers\": {}, \"survivors\": {}, \"wire\": \"{}\", \
              \"bytes_raw\": {}, \"bytes_encoded\": {}, \"compression_ratio\": {:.4}}}",
             self.epoch,
             json_f64_array(&self.worker_round_seconds),
             self.barrier_seconds,
             self.gamma,
-            self.bytes_reduced,
+            json_usize_array(&self.staleness_hist),
             self.retries,
             json_usize_array(&self.dropped_workers),
             self.survivors,
@@ -106,7 +105,7 @@ mod tests {
             worker_round_seconds: vec![0.5, 1.25],
             barrier_seconds: 1.25,
             gamma: 0.5,
-            bytes_reduced: 4096,
+            staleness_hist: vec![1],
             retries: 1,
             dropped_workers: vec![1],
             survivors: 1,
@@ -125,7 +124,7 @@ mod tests {
             "\"worker_round_seconds\": [5.000000e-1, 1.250000e0]",
             "\"barrier_seconds\":",
             "\"gamma\":",
-            "\"bytes_reduced\": 4096",
+            "\"staleness_hist\": [1]",
             "\"retries\": 1",
             "\"dropped_workers\": [1]",
             "\"survivors\": 1",

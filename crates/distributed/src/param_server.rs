@@ -23,13 +23,19 @@
 //! ### Timing
 //!
 //! The async design's selling point is that communication overlaps
-//! computation: no barrier, pushes stream while workers compute. The
-//! breakdown therefore charges the slowest worker's compute plus only the
-//! *excess* of total server traffic over what compute hides (the server
-//! link saturates when K·push-bytes outpaces a chunk's compute).
+//! computation: no barrier, pushes stream while workers compute. Timing
+//! is simulated on the discrete-event engine ([`scd_events`]): each
+//! worker's chunks become compute-completion events at its cumulative
+//! compute times, and the pushes they emit contend for the server's
+//! single ingress link ([`scd_events::FifoLink`]) in event order. The
+//! epoch costs the later of "slowest worker finishes computing" and
+//! "last push drains off the server link"; only the excess over compute
+//! is charged as network. The round-robin *numerics* are untouched — the
+//! engine re-times the schedule, it does not reorder the updates.
 
 use crate::partition::{partition_problem, PartitionStrategy};
 use scd_core::{EpochStats, Form, RidgeProblem, SequentialScd, Solver, TimeBreakdown};
+use scd_events::{Engine, FifoLink};
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sparse::dense;
 use scd_wire::{DeltaCodec, WireFormat};
@@ -239,6 +245,9 @@ impl Solver for ParamServerScd {
             w.remaining = w.problem.coords(self.form);
         }
         let mut per_worker_compute = vec![0.0f64; self.workers.len()];
+        // Per-worker chunk durations, in execution order — the compute
+        // schedule replayed on the event engine below.
+        let mut chunk_schedule: Vec<Vec<f64>> = vec![Vec::new(); self.workers.len()];
         let mut pushes = 0usize;
         // Round-robin until every worker exhausted its quota.
         loop {
@@ -256,6 +265,7 @@ impl Solver for ParamServerScd {
                 let stats = w.solver.epoch(&w.problem);
                 w.remaining = w.remaining.saturating_sub(stats.updates);
                 *compute += stats.breakdown.total();
+                chunk_schedule[k].push(stats.breakdown.total());
                 let after = w.solver.shared_vector();
                 let delta = dense::sub(&after, &before);
                 // The push travels through the codec: the server applies
@@ -270,8 +280,10 @@ impl Solver for ParamServerScd {
                 break;
             }
         }
-        // Async overlap: compute runs continuously on the slowest worker;
-        // the server link only costs what compute cannot hide.
+        // Async overlap, timed on the event engine: each worker's chunks
+        // complete back to back at its cumulative compute times; every
+        // completion emits a push that contends for the server's single
+        // ingress link in completion order (engine order — deterministic).
         let compute = per_worker_compute.iter().copied().fold(0.0f64, f64::max);
         let server_host = self
             .cpu
@@ -281,8 +293,21 @@ impl Solver for ParamServerScd {
         let push_bytes = self.codec.upload_bytes(self.server.len());
         self.bytes_raw_total += pushes * 4 * self.server.len();
         self.bytes_encoded_total += pushes * push_bytes;
-        let net_total = pushes as f64 * self.network.transfer_seconds(push_bytes);
-        let network_excess = (net_total - compute).max(0.0);
+        let mut engine: Engine<usize> = Engine::new();
+        for durations in &chunk_schedule {
+            let mut ready = 0.0f64;
+            for &d in durations {
+                ready += d;
+                engine.schedule_at(ready, push_bytes);
+            }
+        }
+        let mut ingress = FifoLink::new(self.network.clone());
+        let mut last_arrival = 0.0f64;
+        while let Some((key, bytes)) = engine.step() {
+            last_arrival = ingress.delivery(key.time, bytes);
+        }
+        let elapsed = compute.max(last_arrival);
+        let network_excess = (elapsed - compute).max(0.0);
         EpochStats {
             updates: self.coords_total,
             breakdown: TimeBreakdown {
@@ -442,9 +467,13 @@ mod tests {
         let mut ps = ParamServerScd::new(&p, &config);
         let stats = ps.epoch(&p);
         assert!(stats.breakdown.host > 0.0);
-        assert_eq!(
-            stats.breakdown.network, 0.0,
-            "fully-hidden pushes must add no wall-clock"
+        // The tail push still has to drain off the link after the last
+        // chunk completes, so "hidden" means sub-nanosecond here, not an
+        // exact zero.
+        assert!(
+            stats.breakdown.network < 1e-9,
+            "fully-hidden pushes must add no wall-clock, got {}",
+            stats.breakdown.network
         );
         assert!(ps.name().contains("Parameter server"));
 

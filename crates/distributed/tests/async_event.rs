@@ -1,0 +1,237 @@
+//! The bounded-staleness event driver's contract with the synchronous
+//! driver:
+//!
+//! * τ=0 is **bit-identical** to `DistributedScd` — same weights, same
+//!   shared vector, same γ series — across forms, aggregations, worker
+//!   counts, and wire formats (property-tested over random seeds);
+//! * τ ∈ {1, ∞} still converges on the golden problems;
+//! * τ>0 shortens the simulated wall-clock per epoch when the cluster
+//!   has a straggler (the barrier's cost, removed);
+//! * staleness histograms record what the bound permitted;
+//! * the per-event trace is recorded on demand.
+
+use proptest::prelude::*;
+use scd_core::{Form, RidgeProblem, Solver};
+use scd_datasets::webspam_like;
+use scd_distributed::{
+    Aggregation, AsyncScd, DistributedConfig, DistributedScd, FaultPlan, Staleness, WireFormat,
+};
+
+fn full_problem() -> RidgeProblem {
+    RidgeProblem::from_labelled(&webspam_like(240, 180, 10, 77), 1e-3).unwrap()
+}
+
+/// Better conditioned for the slower dual-form runs.
+fn dual_problem() -> RidgeProblem {
+    RidgeProblem::from_labelled(&webspam_like(240, 180, 10, 77), 1e-2).unwrap()
+}
+
+/// Run both drivers in lock-step and demand bit-identical trajectories.
+fn assert_tau0_bit_identical(full: &RidgeProblem, config: &DistributedConfig, epochs: usize) {
+    let mut sync = DistributedScd::new(full, config).unwrap();
+    let mut asynch = AsyncScd::new(full, config, Staleness::Bounded(0)).unwrap();
+    for e in 0..epochs {
+        sync.epoch(full);
+        asynch.epoch(full);
+        assert_eq!(
+            sync.last_gamma(),
+            asynch.last_gamma(),
+            "gamma diverged at epoch {e}"
+        );
+        assert_eq!(
+            sync.shared_vector(),
+            asynch.shared_vector(),
+            "shared vector diverged at epoch {e}"
+        );
+    }
+    assert_eq!(sync.weights(), asynch.weights());
+}
+
+#[test]
+fn tau0_bit_identical_primal_averaging() {
+    let full = full_problem();
+    for k in [2, 4] {
+        let config = DistributedConfig::new(k, Form::Primal).with_seed(5);
+        assert_tau0_bit_identical(&full, &config, 10);
+    }
+}
+
+#[test]
+fn tau0_bit_identical_primal_adaptive() {
+    let full = full_problem();
+    let config = DistributedConfig::new(4, Form::Primal)
+        .with_aggregation(Aggregation::Adaptive)
+        .with_seed(11);
+    assert_tau0_bit_identical(&full, &config, 10);
+}
+
+#[test]
+fn tau0_bit_identical_dual_forms() {
+    let full = dual_problem();
+    for agg in [Aggregation::Averaging, Aggregation::Adaptive] {
+        let config = DistributedConfig::new(3, Form::Dual)
+            .with_aggregation(agg)
+            .with_seed(7);
+        assert_tau0_bit_identical(&full, &config, 8);
+    }
+}
+
+#[test]
+fn tau0_bit_identical_through_stateful_codec() {
+    // Error-feedback top-k keeps per-worker residuals; both drivers must
+    // advance them in the same order.
+    let full = full_problem();
+    let config = DistributedConfig::new(4, Form::Primal)
+        .with_wire(WireFormat::TopKEf(16))
+        .with_seed(5);
+    assert_tau0_bit_identical(&full, &config, 10);
+}
+
+#[test]
+fn tau0_bit_identical_under_rotating_drop() {
+    // With max_retries = 0 the synchronous driver aggregates straight
+    // around the lost worker — exactly what the async barrier does.
+    let full = full_problem();
+    let plan = FaultPlan {
+        rotating_drop: true,
+        ..FaultPlan::none()
+    };
+    let config = DistributedConfig::new(4, Form::Primal)
+        .with_seed(3)
+        .with_fault(plan);
+    assert_tau0_bit_identical(&full, &config, 8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tau0_bit_identical_over_random_seeds(seed in 0u64..10_000, k in 2usize..5) {
+        let full = full_problem();
+        let config = DistributedConfig::new(k, Form::Primal).with_seed(seed);
+        let mut sync = DistributedScd::new(&full, &config).unwrap();
+        let mut asynch = AsyncScd::new(&full, &config, Staleness::Bounded(0)).unwrap();
+        for _ in 0..5 {
+            sync.epoch(&full);
+            asynch.epoch(&full);
+        }
+        prop_assert_eq!(sync.weights(), asynch.weights());
+        prop_assert_eq!(sync.shared_vector(), asynch.shared_vector());
+    }
+}
+
+#[test]
+fn bounded_and_unbounded_staleness_converge() {
+    let full = full_problem();
+    for tau in [Staleness::Bounded(1), Staleness::Bounded(4), Staleness::Unbounded] {
+        let config = DistributedConfig::new(4, Form::Primal).with_seed(9);
+        let mut asynch = AsyncScd::new(&full, &config, tau).unwrap();
+        for _ in 0..300 {
+            asynch.epoch(&full);
+        }
+        let gap = asynch.duality_gap(&full);
+        assert!(gap < 1e-3, "tau={tau} must converge, gap {gap}");
+    }
+}
+
+#[test]
+fn staleness_relaxation_shortens_epochs_under_a_straggler() {
+    // The barrier charges every round at the straggler's pace; bounded
+    // staleness lets the fast workers pipeline past it.
+    let full = full_problem();
+    let elapsed_for = |tau: Staleness| -> f64 {
+        let config = DistributedConfig::new(4, Form::Primal)
+            .with_worker_slowdowns(vec![1.0, 1.0, 1.0, 4.0])
+            .with_seed(17);
+        let mut asynch = AsyncScd::new(&full, &config, tau).unwrap();
+        (0..12).map(|_| asynch.epoch(&full).breakdown.total()).sum()
+    };
+    let t0 = elapsed_for(Staleness::Bounded(0));
+    let t1 = elapsed_for(Staleness::Bounded(1));
+    let t4 = elapsed_for(Staleness::Bounded(4));
+    let tinf = elapsed_for(Staleness::Unbounded);
+    assert!(
+        tinf < t0,
+        "free-running ({tinf:.3e}s) must beat the barrier ({t0:.3e}s)"
+    );
+    assert!(t1 <= t0 * 1.001, "tau=1 ({t1:.3e}s) must not trail tau=0 ({t0:.3e}s)");
+    assert!(t4 <= t1 * 1.001, "tau=4 ({t4:.3e}s) must not trail tau=1 ({t1:.3e}s)");
+    assert!(tinf <= t4 * 1.001);
+}
+
+#[test]
+fn staleness_histograms_respect_the_bound() {
+    let full = full_problem();
+    // τ=0: every epoch applies K deltas at staleness exactly 0.
+    let config = DistributedConfig::new(4, Form::Primal).with_seed(21);
+    let mut barrier = AsyncScd::new(&full, &config, Staleness::Bounded(0)).unwrap();
+    for _ in 0..5 {
+        barrier.epoch(&full);
+    }
+    for m in barrier.round_metrics() {
+        assert_eq!(m.staleness_hist, vec![4]);
+        assert_eq!(m.survivors, 4);
+        assert_eq!(m.retries, 0);
+    }
+
+    // Unbounded with a straggler: fresh applies dominate but stale ones
+    // appear; every applied delta lands in the histogram.
+    let config = DistributedConfig::new(4, Form::Primal)
+        .with_worker_slowdowns(vec![1.0, 1.0, 1.0, 4.0])
+        .with_seed(21);
+    let mut free = AsyncScd::new(&full, &config, Staleness::Unbounded).unwrap();
+    let mut saw_stale = false;
+    for _ in 0..12 {
+        free.epoch(&full);
+    }
+    for m in free.round_metrics() {
+        let applied: usize = m.staleness_hist.iter().sum();
+        assert_eq!(applied, m.survivors, "histogram must cover every apply");
+        if m.staleness_hist.len() > 1 {
+            saw_stale = true;
+        }
+    }
+    assert!(
+        saw_stale,
+        "a 4x straggler under unbounded staleness must produce stale applies"
+    );
+}
+
+#[test]
+fn trace_records_events_when_enabled() {
+    let full = full_problem();
+    let config = DistributedConfig::new(2, Form::Primal).with_seed(2);
+    let mut silent = AsyncScd::new(&full, &config, Staleness::Bounded(0)).unwrap();
+    silent.epoch(&full);
+    assert!(silent.trace_lines().is_empty(), "tracing is off by default");
+
+    let mut traced = AsyncScd::new(&full, &config, Staleness::Bounded(0)).unwrap();
+    traced.set_trace(true);
+    traced.epoch(&full);
+    let lines = traced.trace_lines();
+    assert!(!lines.is_empty());
+    assert!(lines.iter().any(|l| l.contains("worker0")));
+    assert!(lines.iter().any(|l| l.contains("master")));
+    assert!(lines.iter().all(|l| l.starts_with("t=")));
+}
+
+#[test]
+fn async_name_and_accessors() {
+    let full = full_problem();
+    let config = DistributedConfig::new(3, Form::Primal)
+        .with_aggregation(Aggregation::Adaptive)
+        .with_seed(4);
+    let mut asynch = AsyncScd::new(&full, &config, Staleness::Unbounded).unwrap();
+    assert_eq!(asynch.worker_count(), 3);
+    assert_eq!(asynch.staleness(), Staleness::Unbounded);
+    assert!(asynch.name().contains("tau=inf"));
+    assert!(asynch.name().contains("K=3"));
+    assert_eq!(Staleness::parse("inf").unwrap(), Staleness::Unbounded);
+    assert_eq!(Staleness::parse("3").unwrap(), Staleness::Bounded(3));
+    assert!(Staleness::parse("-1").is_err());
+    asynch.epoch(&full);
+    let (raw, encoded) = asynch.wire_bytes_total();
+    assert!(raw > 0 && encoded > 0);
+    assert_eq!(asynch.wire(), WireFormat::Raw);
+    assert!(asynch.metrics_json().starts_with("[\n"));
+}

@@ -172,8 +172,10 @@ fn one_worker_dropped_per_round_still_converges() {
         assert_eq!(m.survivors, 3);
         assert_eq!(m.gamma, 1.0 / 3.0);
         assert_eq!(m.worker_round_seconds.len(), 4);
-        // Only the 3 surviving Δ-vectors were reduced.
-        assert_eq!(m.bytes_reduced, 3 * 4 * full.shared_len(Form::Primal));
+        // Only the 3 surviving Δ-vectors were reduced, all at staleness 0,
+        // and the byte accounting covers 3 uploads + 1 retry + 4 broadcasts.
+        assert_eq!(m.staleness_hist, vec![3]);
+        assert_eq!(m.bytes_raw, 4 * full.shared_len(Form::Primal) * (3 + 1 + 4));
         assert!(m.barrier_seconds > 0.0);
         let json = m.to_json();
         assert!(json.contains(&format!("\"dropped_workers\": [{}]", e % 4)));

@@ -4,8 +4,7 @@
 //!   boundary must be invisible when it ships dense f32);
 //! * top-k with error feedback converges to within 1e-3 of the raw-f32
 //!   suboptimality while moving several times fewer bytes;
-//! * the round metrics record the raw/encoded byte split and the legacy
-//!   `bytes_reduced` field keeps its old meaning.
+//! * the round metrics record the raw/encoded byte split over both legs.
 
 use scd_core::{Form, RidgeProblem, Solver};
 use scd_datasets::webspam_like;
@@ -126,15 +125,15 @@ fn plain_topk_trails_its_error_feedback_variant() {
 }
 
 #[test]
-fn legacy_bytes_reduced_keeps_upload_leg_semantics() {
+fn byte_accounting_covers_both_legs() {
     let full = full_problem();
     let dist = run(&full, WireFormat::TopKEf(16), 3);
     let shared_len = full.shared_len(Form::Primal);
     for m in dist.round_metrics() {
-        // 4 survivors x dense f32, whatever the wire format.
-        assert_eq!(m.bytes_reduced, 4 * 4 * shared_len);
-        // New fields cover upload + download legs.
+        // 4 uploads + 4 broadcasts, dense f32 baseline on both legs.
         assert_eq!(m.bytes_raw, 4 * shared_len * 8);
         assert!(m.bytes_encoded > 0 && m.bytes_encoded < m.bytes_raw);
+        // Synchronous rounds apply every surviving delta perfectly fresh.
+        assert_eq!(m.staleness_hist, vec![4]);
     }
 }

@@ -1,0 +1,126 @@
+//! Timed message channels: delivery times computed from a
+//! [`LinkProfile`], so that what arrives *when* in the simulation follows
+//! the same calibrated network model the synchronous driver charges.
+
+use crate::engine::Engine;
+use scd_perf_model::LinkProfile;
+
+/// A contention-free point-to-point channel: every message takes
+/// `latency + bytes/bandwidth` regardless of what else is in flight
+/// (the link model the synchronous reduce/broadcast trees also assume).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    link: LinkProfile,
+}
+
+impl Channel {
+    /// Wrap a link profile.
+    pub fn new(link: LinkProfile) -> Self {
+        Channel { link }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &LinkProfile {
+        &self.link
+    }
+
+    /// Time a message of `bytes` spends on the wire.
+    pub fn delivery_seconds(&self, bytes: usize) -> f64 {
+        self.link.transfer_seconds(bytes)
+    }
+
+    /// Send `event` now: it pops out of the engine one transfer later.
+    pub fn send<E>(&self, engine: &mut Engine<E>, bytes: usize, event: E) {
+        engine.schedule_in(self.link.transfer_seconds(bytes), event);
+    }
+
+    /// Send `event` after `extra_delay` seconds of sender-side work
+    /// (encoding, aggregation arithmetic) followed by one transfer.
+    pub fn send_after<E>(&self, engine: &mut Engine<E>, extra_delay: f64, bytes: usize, event: E) {
+        engine.schedule_in(extra_delay + self.link.transfer_seconds(bytes), event);
+    }
+}
+
+/// A serializing link: messages queue FIFO and occupy the link back to
+/// back — the server ingress of a parameter server, where K workers'
+/// pushes contend for one NIC. Deterministic: callers must offer
+/// messages in ready-time order (pop them off an [`Engine`], which
+/// yields exactly that order).
+#[derive(Debug, Clone)]
+pub struct FifoLink {
+    link: LinkProfile,
+    busy_until: f64,
+}
+
+impl FifoLink {
+    /// An idle link.
+    pub fn new(link: LinkProfile) -> Self {
+        FifoLink {
+            link,
+            busy_until: 0.0,
+        }
+    }
+
+    /// A message of `bytes` ready to transmit at `ready` finishes
+    /// arriving at the returned time; the link is busy until then.
+    pub fn delivery(&mut self, ready: f64, bytes: usize) -> f64 {
+        let start = self.busy_until.max(ready);
+        let done = start + self.link.transfer_seconds(bytes);
+        self.busy_until = done;
+        done
+    }
+
+    /// When the link next falls idle.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_link() -> LinkProfile {
+        LinkProfile {
+            name: "test",
+            latency_seconds: 0.5,
+            bandwidth_bytes_per_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn channel_delivers_after_one_transfer() {
+        let ch = Channel::new(unit_link());
+        let mut e: Engine<&str> = Engine::new();
+        // 0.5 latency + 10 bytes / 10 B/s = 1.5 s.
+        ch.send(&mut e, 10, "payload");
+        let (key, ev) = e.step().unwrap();
+        assert_eq!(ev, "payload");
+        assert!((key.time - 1.5).abs() < 1e-12);
+        assert_eq!(ch.link().name, "test");
+        assert!((ch.delivery_seconds(10) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn send_after_adds_sender_side_work() {
+        let ch = Channel::new(unit_link());
+        let mut e: Engine<()> = Engine::new();
+        ch.send_after(&mut e, 2.0, 0, ());
+        let (key, _) = e.step().unwrap();
+        assert!((key.time - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_link_serializes_overlapping_messages() {
+        let mut fifo = FifoLink::new(unit_link());
+        // Two messages ready at t=0: the second waits for the first.
+        let a = fifo.delivery(0.0, 10); // 0.0 .. 1.5
+        let b = fifo.delivery(0.0, 10); // 1.5 .. 3.0
+        assert!((a - 1.5).abs() < 1e-12);
+        assert!((b - 3.0).abs() < 1e-12);
+        // A message ready after the link drains starts immediately.
+        let c = fifo.delivery(10.0, 10);
+        assert!((c - 11.5).abs() < 1e-12);
+        assert!((fifo.busy_until() - 11.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! # scd-events — deterministic discrete-event simulation
+//!
+//! The substrate for asynchronous distributed experiments: a virtual
+//! clock, a binary-heap event queue with **total `(time, seq)`
+//! ordering**, actor-labelled per-event traces, and channels whose
+//! delivery times come from the calibrated [`scd_perf_model`] link
+//! profiles.
+//!
+//! Design rules:
+//!
+//! * **Determinism is total ordering.** Times are compared with
+//!   [`f64::total_cmp`] and ties are broken by a monotone insertion
+//!   counter, so a schedule of `(time, seq)` pairs has exactly one pop
+//!   order no matter what order it was inserted in (property-tested in
+//!   `tests/proptests.rs`).
+//! * **The clock moves only by popping events.** `Engine::next()`
+//!   advances `now` to the popped event's time; scheduling into the past
+//!   panics. Simulated time is therefore monotone by construction.
+//! * **Timing comes from the perf model.** [`Channel`] charges
+//!   `latency + bytes/bandwidth` per message; [`FifoLink`] additionally
+//!   serializes messages that contend for one endpoint (a parameter
+//!   server's ingress). Compute durations are supplied by the caller
+//!   from `CpuProfile`/GPU cost models, fault delays from its fault
+//!   plan — the engine only orders what it is given.
+//!
+//! Built on top of this (in `scd-distributed`): `AsyncScd`, the
+//! bounded-staleness asynchronous driver whose τ=0 mode reproduces the
+//! synchronous barrier bit-identically, and the event-timed parameter
+//! server.
+
+pub mod channel;
+pub mod engine;
+pub mod queue;
+
+pub use channel::{Channel, FifoLink};
+pub use engine::{ActorId, Engine, TraceEntry};
+pub use queue::{EventKey, EventQueue};

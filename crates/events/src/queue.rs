@@ -1,0 +1,202 @@
+//! The event queue: a binary heap whose entries are totally ordered by
+//! `(time, seq)`.
+//!
+//! Virtual times are `f64` seconds compared with [`f64::total_cmp`], and
+//! `seq` is a monotone insertion counter, so two events can never be
+//! "equal" — every schedule has exactly one pop order, regardless of the
+//! order its events were inserted in. That total order is what makes the
+//! simulation deterministic: when two messages land at the same instant
+//! (symmetric workers finishing identical rounds), the one *scheduled*
+//! first is delivered first, not the one an unstable heap happens to
+//! surface.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// The total-order key of one scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct EventKey {
+    /// Virtual time in seconds (finite; `NaN`/`inf` are rejected at
+    /// insertion).
+    pub time: f64,
+    /// Insertion sequence number — the deterministic tie-breaker.
+    pub seq: u64,
+}
+
+impl PartialEq for EventKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One heap entry; ordered by key alone so payloads need no bounds.
+struct Entry<T> {
+    key: EventKey,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic priority queue of timed events.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue whose first auto-assigned `seq` is 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time`, auto-assigning the next sequence
+    /// number; returns the key under which it will pop.
+    pub fn push(&mut self, time: f64, payload: T) -> EventKey {
+        let key = EventKey {
+            time,
+            seq: self.next_seq,
+        };
+        self.push_at(key, payload);
+        key
+    }
+
+    /// Schedule `payload` under an explicit key. The auto-assign counter
+    /// jumps past `key.seq`, so mixing explicit and automatic insertion
+    /// cannot produce duplicate keys.
+    pub fn push_at(&mut self, key: EventKey, payload: T) {
+        assert!(
+            key.time.is_finite(),
+            "event time must be finite, got {}",
+            key.time
+        );
+        self.next_seq = self.next_seq.max(key.seq + 1);
+        self.heap.push(Reverse(Entry { key, payload }));
+    }
+
+    /// Remove and return the earliest event: smallest `(time, seq)`.
+    pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.payload))
+    }
+
+    /// The key the next [`Self::pop`] would return.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|Reverse(e)| e.key)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.push(1.5, label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn explicit_keys_control_the_tie_break() {
+        let mut q = EventQueue::new();
+        q.push_at(EventKey { time: 1.0, seq: 9 }, "late");
+        q.push_at(EventKey { time: 1.0, seq: 2 }, "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "late");
+        // The auto counter jumped past the explicit seqs.
+        let key = q.push(1.0, "auto");
+        assert!(key.seq >= 10);
+    }
+
+    #[test]
+    fn negative_zero_and_zero_order_stably() {
+        // total_cmp puts -0.0 before 0.0 — a fixed, documented order.
+        let mut q = EventQueue::new();
+        q.push(0.0, "positive");
+        q.push(-0.0, "negative");
+        assert_eq!(q.pop().unwrap().1, "negative");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_times() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(2.0, ());
+        q.push(1.0, ());
+        assert_eq!(q.len(), 2);
+        let k = q.peek_key().unwrap();
+        assert_eq!(k.time, 1.0);
+        assert_eq!(k.seq, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the event queue's determinism contract: a schedule
+//! of `(time, seq)` keys has exactly one pop order — sorted by the total
+//! `(time, seq)` order — no matter what order the events were inserted
+//! in, including schedules dense with duplicate times.
+
+use proptest::prelude::*;
+use scd_events::{EventKey, EventQueue};
+
+/// splitmix64 — the workspace's standard small deterministic generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates shuffle of indices `0..n`.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Schedules with deliberately clumpy times: a handful of distinct time
+/// values spread over many events, so duplicate times are the common
+/// case, not the corner case.
+fn schedule_strategy() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    proptest::collection::vec((0u32..8, 0.0f64..10.0), 1..60).prop_map(|raw| {
+        let buckets: Vec<f64> = (0..8).map(|b| b as f64 * 0.75).collect();
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(bucket, jitter))| {
+                // Half the events share a bucket time exactly; the rest
+                // get a jittered unique-ish time.
+                let time = if i % 2 == 0 {
+                    buckets[bucket as usize]
+                } else {
+                    jitter
+                };
+                (time, i as u64)
+            })
+            .collect()
+    })
+}
+
+fn pop_all(queue: &mut EventQueue<usize>) -> Vec<(f64, u64, usize)> {
+    std::iter::from_fn(|| queue.pop().map(|(k, p)| (k.time, k.seq, p))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pop_order_is_invariant_under_insertion_order(
+        schedule in schedule_strategy(),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        // Insert the same (time, seq) schedule in schedule order and in a
+        // shuffled order; payload = original index.
+        let mut in_order = EventQueue::new();
+        for (i, &(time, seq)) in schedule.iter().enumerate() {
+            in_order.push_at(EventKey { time, seq }, i);
+        }
+        let mut shuffled = EventQueue::new();
+        for &i in &shuffled_indices(schedule.len(), shuffle_seed) {
+            let (time, seq) = schedule[i];
+            shuffled.push_at(EventKey { time, seq }, i);
+        }
+        let a = pop_all(&mut in_order);
+        let b = pop_all(&mut shuffled);
+        prop_assert_eq!(&a, &b);
+
+        // And that one order is the (time, seq) sort of the schedule.
+        let mut expected: Vec<(f64, u64, usize)> = schedule
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, s))| (t, s, i))
+            .collect();
+        expected.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+        prop_assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn auto_assigned_seqs_preserve_insertion_order_at_equal_times(
+        times in proptest::collection::vec(0u32..4, 1..40),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        // With auto-assigned seqs, events pushed later at the same time
+        // pop later — and the popped seq sequence records exactly the
+        // insertion order, so replaying the popped keys with push_at
+        // reproduces the run.
+        let times: Vec<f64> = times.iter().map(|&t| t as f64).collect();
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let first = pop_all(&mut q);
+
+        // Replay: same keys, inserted shuffled.
+        let mut replay = EventQueue::new();
+        for &i in &shuffled_indices(first.len(), shuffle_seed) {
+            let (time, seq, payload) = first[i];
+            replay.push_at(EventKey { time, seq }, payload);
+        }
+        let second = pop_all(&mut replay);
+        prop_assert_eq!(first.clone(), second);
+
+        // Within one time value, payloads (insertion indices) ascend.
+        for w in first.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].2 < w[1].2, "ties must pop in insertion order");
+            }
+        }
+    }
+}

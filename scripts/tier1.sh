@@ -3,10 +3,40 @@
 #
 #   scripts/tier1.sh
 #
-# Runs the release build, the full test suite, and clippy with warnings
-# denied, from the repository root.
+# Runs the release build, the full workspace test suite, the subsystem
+# suites called out below, and clippy with warnings denied, from the
+# repository root. CRATES is the explicit list of workspace members this
+# gate knows about; the completeness check fails the gate if a crate
+# exists under crates/ that the list forgot, so a new crate cannot land
+# without tier-1 acknowledging it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CRATES=(
+  scd-sparse
+  scd-perf-model
+  scd-events
+  gpu-sim
+  scd-wire
+  scd-core
+  scd-datasets
+  scd-distributed
+  scd-bench
+  scd-cli
+)
+
+echo "==> crate list completeness"
+for manifest in crates/*/Cargo.toml; do
+  name=$(sed -n 's/^name = "\(.*\)"/\1/p' "$manifest" | head -n1)
+  found=no
+  for c in "${CRATES[@]}"; do
+    [[ "$c" == "$name" ]] && found=yes
+  done
+  if [[ "$found" == no ]]; then
+    echo "tier1.sh: crate '$name' ($manifest) is missing from CRATES" >&2
+    exit 1
+  fi
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -16,6 +46,9 @@ cargo test -q
 
 echo "==> cargo test -q -p scd-wire"
 cargo test -q -p scd-wire
+
+echo "==> cargo test -q -p scd-events"
+cargo test -q -p scd-events
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

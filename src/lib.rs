@@ -10,6 +10,9 @@
 //! * [`datasets`] — synthetic webspam-like and criteo-like generators.
 //! * [`perf`] — calibrated hardware cost models (Xeon, M4000, Titan X,
 //!   10 GbE, PCIe 3.0).
+//! * [`events`] — deterministic discrete-event engine (virtual clock,
+//!   totally ordered event queue, perf-model-timed channels) behind the
+//!   bounded-staleness distributed driver.
 //! * [`gpu`] — the software GPU: SMs, thread blocks, SIMT lanes, block
 //!   barriers, f32 atomic adds, cycle accounting.
 //! * [`core`] — ridge regression (primal/dual), duality gap, sequential SCD,
@@ -40,5 +43,6 @@ pub use gpu_sim as gpu;
 pub use scd_core as core;
 pub use scd_datasets as datasets;
 pub use scd_distributed as distributed;
+pub use scd_events as events;
 pub use scd_perf_model as perf;
 pub use scd_sparse as sparse;
