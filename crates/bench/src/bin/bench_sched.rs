@@ -1,0 +1,160 @@
+//! Wall-clock benchmark of the unified host scheduler, recorded to
+//! `BENCH_sched.json` so the perf trajectory is tracked across PRs.
+//!
+//! Two configurations run the *same* simulated work — K TPA-SCD workers
+//! each doing one dual epoch per round on their own partition:
+//!
+//! * `fragmented`: the pre-unification shape — K dedicated round threads
+//!   (a `crossbeam::scope`), each worker's device driving its own private
+//!   H-thread scheduler, so the process holds `K + K*(H-1)` host threads
+//!   and they fight for the cores. This variant even skips the per-epoch
+//!   barrier the real driver pays, so the comparison is conservative.
+//! * `shared`: everything on one H-thread work-stealing scheduler — the
+//!   K rounds are a task group (`RoundPool`) and each round's kernel
+//!   grids nest onto the same threads.
+//!
+//! The headline is `speedup_shared_over_fragmented` per H ∈ {1, 2, 4};
+//! on a 1-core host the expectation is parity (no regression), on a
+//! multi-core host the shared pool should win by avoiding
+//! oversubscription.
+
+use gpu_sim::{Gpu, GpuProfile};
+use scd_core::problem::{Form, RidgeProblem};
+use scd_core::solver::Solver;
+use scd_core::tpa::TpaScd;
+use scd_datasets::{scale_values, webspam_like};
+use scd_distributed::{partition_problem, RoundPool};
+use scd_sched::Scheduler;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const WORKERS: usize = 3;
+const LANES: usize = 64;
+
+fn partitions() -> Vec<RidgeProblem> {
+    let data = scale_values(&webspam_like(900, 600, 40, 80), 0.3);
+    let full = RidgeProblem::from_labelled(&data, 1e-3).unwrap();
+    partition_problem(
+        &full,
+        Form::Dual,
+        WORKERS,
+        scd_distributed::PartitionStrategy::Contiguous,
+    )
+    .into_iter()
+    .map(|p| p.problem)
+    .collect()
+}
+
+fn solver_on(sched: &Arc<Scheduler>, h: usize, problem: &RidgeProblem, seed: u64) -> TpaScd {
+    let gpu = Gpu::new(GpuProfile::quadro_m4000())
+        .with_scheduler(Arc::clone(sched))
+        .with_host_threads(h);
+    TpaScd::new(problem, Form::Dual, Arc::new(gpu), seed)
+        .unwrap()
+        .with_lanes(LANES)
+}
+
+/// K dedicated round threads, each with a private H-thread scheduler.
+fn fragmented_seconds_per_epoch(parts: &[RidgeProblem], h: usize, epochs: usize) -> f64 {
+    let mut solvers: Vec<(TpaScd, &RidgeProblem)> = parts
+        .iter()
+        .enumerate()
+        .map(|(k, p)| (solver_on(&Scheduler::new(h), h, p, k as u64 + 1), p))
+        .collect();
+    for (s, p) in solvers.iter_mut() {
+        s.epoch(p); // warm the device pools before timing
+    }
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for (s, p) in solvers.iter_mut() {
+            scope.spawn(move |_| {
+                for _ in 0..epochs {
+                    s.epoch(p);
+                }
+            });
+        }
+    })
+    .expect("fragmented worker panicked");
+    start.elapsed().as_secs_f64() / epochs as f64
+}
+
+/// One H-thread scheduler for the round group and every nested grid.
+/// Returns (seconds/epoch, peak host parallelism observed).
+fn shared_seconds_per_epoch(parts: &[RidgeProblem], h: usize, epochs: usize) -> (f64, usize) {
+    let sched = Scheduler::new(h);
+    let solvers: Vec<(Mutex<TpaScd>, &RidgeProblem)> = parts
+        .iter()
+        .enumerate()
+        .map(|(k, p)| (Mutex::new(solver_on(&sched, h, p, k as u64 + 1)), p))
+        .collect();
+    for (s, p) in &solvers {
+        s.lock().unwrap().epoch(p);
+    }
+    let pool = RoundPool::on(Arc::clone(&sched), WORKERS);
+    sched.reset_peak();
+    let start = Instant::now();
+    for _ in 0..epochs {
+        pool.run(WORKERS, &|k| {
+            let (s, p) = &solvers[k];
+            s.lock().unwrap().epoch(p);
+        });
+    }
+    let per_epoch = start.elapsed().as_secs_f64() / epochs as f64;
+    (per_epoch, sched.peak_parallelism())
+}
+
+fn main() {
+    let parts = partitions();
+    let epochs: usize = std::env::var("BENCH_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "# {WORKERS}-worker TPA-SCD rounds, fragmented vs shared scheduler, {epochs} epochs/config, host cores {host}"
+    );
+    let reps: usize = std::env::var("BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let mut rows = Vec::new();
+    for h in [1usize, 2, 4] {
+        // Interleave the variants and keep the best of `reps` runs each:
+        // on a shared host the minimum is the least noisy estimator.
+        let mut fragmented = f64::INFINITY;
+        let mut shared = f64::INFINITY;
+        let mut peak = 0usize;
+        for _ in 0..reps {
+            fragmented = fragmented.min(fragmented_seconds_per_epoch(&parts, h, epochs));
+            let (s, p) = shared_seconds_per_epoch(&parts, h, epochs);
+            shared = shared.min(s);
+            peak = peak.max(p);
+        }
+        let speedup = fragmented / shared;
+        println!(
+            "# H={h}: fragmented {:.3} ms/epoch ({} host threads), shared {:.3} ms/epoch ({h} host threads, peak {peak}), speedup {speedup:.2}x",
+            fragmented * 1e3,
+            WORKERS + WORKERS * (h - 1),
+            shared * 1e3,
+        );
+        assert!(
+            peak <= h.max(1),
+            "shared scheduler exceeded its configured width: peak {peak} > {h}"
+        );
+        rows.push(format!(
+            "    {{\n      \"host_threads\": {h},\n      \"fragmented_threads_total\": {},\n      \"fragmented_seconds_per_epoch\": {fragmented:.6e},\n      \"shared_seconds_per_epoch\": {shared:.6e},\n      \"shared_peak_parallelism\": {peak},\n      \"speedup_shared_over_fragmented\": {speedup:.3}\n    }}",
+            WORKERS + WORKERS * (h - 1)
+        ));
+    }
+
+    let out = format!(
+        "{{\n  \"benchmark\": \"host_scheduler_fragmented_vs_shared\",\n  \"dataset\": \"webspam_like(900, 600, 40, 80) scale 0.3, dual form, K={WORKERS} contiguous partitions\",\n  \"epochs_timed\": {epochs},\n  \"host_parallelism\": {host},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_sched.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+}

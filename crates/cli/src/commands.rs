@@ -67,6 +67,9 @@ TRAIN OPTIONS:
   --form F          primal|dual                   (default primal; ridge only)
   --solver S        seq|a-scd|wild|asyscd|tpa-m4000|tpa-titanx (default seq)
   --threads T       modeled threads for a-scd/wild (default 16)
+  --host-threads T  host threads in the shared work-stealing scheduler
+                    (0 = auto-size to this machine's cores; the scheduler is
+                    process-wide, so the first train in a process fixes it)
   --step E          AsySCD step size              (default 1.0)
   --epochs E        epochs to run                 (default 50)
   --eval-every K    print the gap every K epochs  (default 10)
@@ -296,12 +299,21 @@ fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
 pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     args.check_known(&[
         "data", "features", "objective", "lambda", "l1-ratio", "form", "solver", "threads",
-        "step", "epochs", "eval-every", "target-gap", "workers", "aggregation", "wire",
-        "round-threads", "runtime", "staleness", "event-trace", "fault-drop", "fault-delay",
-        "fault-delay-factor", "fault-timeout", "fault-retries", "fault-seed", "round-metrics",
-        "save-model", "seed",
+        "host-threads", "step", "epochs", "eval-every", "target-gap", "workers", "aggregation",
+        "wire", "round-threads", "runtime", "staleness", "event-trace", "fault-drop",
+        "fault-delay", "fault-delay-factor", "fault-timeout", "fault-retries", "fault-seed",
+        "round-metrics", "save-model", "seed",
     ])
     .map_err(|e| e.to_string())?;
+    // Size the process-wide host scheduler before anything can lazily
+    // initialize it. 0 = leave it at the auto default.
+    let host_threads = args
+        .get_or("host-threads", 0usize, "integer")
+        .map_err(|e| e.to_string())?;
+    if host_threads > 0 {
+        scd_sched::configure_global(host_threads)
+            .map_err(|e| format!("--host-threads {host_threads}: {e}"))?;
+    }
     let data = load(args)?;
     let lambda = args.get_or("lambda", 1e-3f64, "number").map_err(|e| e.to_string())?;
     let epochs = args.get_or("epochs", 50usize, "integer").map_err(|e| e.to_string())?;
@@ -762,6 +774,24 @@ mod tests {
             .unwrap();
             assert!(out.contains("epoch     5"), "{obj}: {out}");
         }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn host_threads_zero_leaves_the_scheduler_alone() {
+        // 0 = auto: train must not try to (re)configure the process-wide
+        // scheduler, so this is safe to run in-process alongside other
+        // tests that may have already initialized it.
+        let path = tmp("host_auto");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 40 --cols 30 --nnz-per-row 4 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {path} --features 30 --host-threads 0 --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("epoch     5"), "{out}");
         std::fs::remove_file(path).ok();
     }
 

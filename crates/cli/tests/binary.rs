@@ -92,3 +92,30 @@ fn distributed_gpu_training_from_the_command_line() {
 
     std::fs::remove_file(&data).ok();
 }
+
+#[test]
+fn host_threads_sizes_the_shared_scheduler() {
+    // A fresh process, so --host-threads can claim the process-wide
+    // scheduler; the distributed GPU run then schedules on 2 host threads.
+    let data = tmp("ht_data.svm");
+    let data_s = data.to_str().unwrap();
+    let out = scd(&[
+        "generate", "--kind", "webspam", "--rows", "80", "--cols", "60", "--nnz-per-row", "6",
+        "--scale", "0.3", "--output", data_s,
+    ]);
+    assert!(out.status.success());
+
+    let out = scd(&[
+        "train", "--data", data_s, "--features", "60", "--workers", "2", "--solver",
+        "tpa-m4000", "--host-threads", "2", "--epochs", "5", "--eval-every", "5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("K=2"), "{text}");
+
+    let out = scd(&["train", "--data", data_s, "--features", "60", "--host-threads", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("expected integer"));
+
+    std::fs::remove_file(&data).ok();
+}

@@ -23,8 +23,10 @@ use crate::solver::{EpochStats, Solver, TimeBreakdown};
 use crate::updates::{dual_delta, primal_delta};
 use gpu_sim::{DeviceBuffer, MemSemantics};
 use scd_perf_model::{AsyncCpuMode, CpuProfile};
+use scd_sched::Scheduler;
 use scd_sparse::perm::Permutation;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Lock-free shared `f32` array (bit-cast atomics). Re-uses the GPU
 /// simulator's buffer type: the semantics required here — relaxed loads,
@@ -42,6 +44,12 @@ pub struct AsyncCpuScd {
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
+    /// Host scheduler the epoch's worker tasks run on; `None` (the
+    /// default) resolves to the process-wide shared scheduler at epoch
+    /// time. The *modeled* thread count stays `threads` either way — if
+    /// the scheduler is narrower, each host thread drains more of the
+    /// cursor, which changes interleavings but never the algorithm.
+    sched: Option<Arc<Scheduler>>,
 }
 
 impl AsyncCpuScd {
@@ -63,12 +71,20 @@ impl AsyncCpuScd {
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
+            sched: None,
         }
     }
 
     /// Override the CPU profile used for simulated timing.
     pub fn with_cpu(mut self, cpu: CpuProfile) -> Self {
         self.cpu = cpu;
+        self
+    }
+
+    /// Run epochs on an explicit scheduler instead of the process-wide
+    /// one (tests use this to pin real parallelism).
+    pub fn with_scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.sched = Some(sched);
         self
     }
 
@@ -89,69 +105,71 @@ impl AsyncCpuScd {
         let n_lambda = problem.n_lambda();
         let lambda = problem.lambda();
 
-        crossbeam::scope(|s| {
-            for _ in 0..self.threads {
-                s.spawn(|_| {
-                    let mut local_nnz = 0usize;
-                    loop {
-                        let j = cursor.fetch_add(1, Ordering::Relaxed);
-                        if j >= coords {
-                            break;
+        // One task per modeled thread, all draining the same cursor; the
+        // shared scheduler may run them on fewer host threads, which only
+        // changes interleavings, never the claim-exactly-once contract.
+        let sched = match &self.sched {
+            Some(s) => Arc::clone(s),
+            None => scd_sched::global(),
+        };
+        let worker = |_t: usize| {
+            let mut local_nnz = 0usize;
+            loop {
+                let j = cursor.fetch_add(1, Ordering::Relaxed);
+                if j >= coords {
+                    break;
+                }
+                let c = perm.apply(j);
+                match self.form {
+                    Form::Primal => {
+                        let col = problem.csc().col(c);
+                        local_nnz += col.nnz();
+                        let y = problem.labels();
+                        let mut dot = 0.0f64;
+                        for (&i, &v) in col.indices.iter().zip(col.values) {
+                            let i = i as usize;
+                            dot += (y[i] as f64 - self.shared.load(i) as f64) * v as f64;
                         }
-                        let c = perm.apply(j);
-                        match self.form {
-                            Form::Primal => {
-                                let col = problem.csc().col(c);
-                                local_nnz += col.nnz();
-                                let y = problem.labels();
-                                let mut dot = 0.0f64;
-                                for (&i, &v) in col.indices.iter().zip(col.values) {
-                                    let i = i as usize;
-                                    dot +=
-                                        (y[i] as f64 - self.shared.load(i) as f64) * v as f64;
-                                }
-                                let beta_c = self.weights.load(c);
-                                let delta = primal_delta(
-                                    dot,
-                                    beta_c as f64,
-                                    problem.col_sq_norms()[c],
-                                    n_lambda,
-                                ) as f32;
-                                // Single owner per coordinate within an epoch:
-                                // a plain store is enough.
-                                self.weights.store(c, beta_c + delta);
-                                for (&i, &v) in col.indices.iter().zip(col.values) {
-                                    self.shared.add(sem, i as usize, v * delta);
-                                }
-                            }
-                            Form::Dual => {
-                                let row = problem.csr().row(c);
-                                local_nnz += row.nnz();
-                                let mut dot = 0.0f64;
-                                for (&i, &v) in row.indices.iter().zip(row.values) {
-                                    dot += self.shared.load(i as usize) as f64 * v as f64;
-                                }
-                                let alpha_c = self.weights.load(c);
-                                let delta = dual_delta(
-                                    dot,
-                                    problem.labels()[c] as f64,
-                                    alpha_c as f64,
-                                    problem.row_sq_norms()[c],
-                                    lambda,
-                                    n_lambda,
-                                ) as f32;
-                                self.weights.store(c, alpha_c + delta);
-                                for (&i, &v) in row.indices.iter().zip(row.values) {
-                                    self.shared.add(sem, i as usize, v * delta);
-                                }
-                            }
+                        let beta_c = self.weights.load(c);
+                        let delta = primal_delta(
+                            dot,
+                            beta_c as f64,
+                            problem.col_sq_norms()[c],
+                            n_lambda,
+                        ) as f32;
+                        // Single owner per coordinate within an epoch:
+                        // a plain store is enough.
+                        self.weights.store(c, beta_c + delta);
+                        for (&i, &v) in col.indices.iter().zip(col.values) {
+                            self.shared.add(sem, i as usize, v * delta);
                         }
                     }
-                    nnz_total.fetch_add(local_nnz, Ordering::Relaxed);
-                });
+                    Form::Dual => {
+                        let row = problem.csr().row(c);
+                        local_nnz += row.nnz();
+                        let mut dot = 0.0f64;
+                        for (&i, &v) in row.indices.iter().zip(row.values) {
+                            dot += self.shared.load(i as usize) as f64 * v as f64;
+                        }
+                        let alpha_c = self.weights.load(c);
+                        let delta = dual_delta(
+                            dot,
+                            problem.labels()[c] as f64,
+                            alpha_c as f64,
+                            problem.row_sq_norms()[c],
+                            lambda,
+                            n_lambda,
+                        ) as f32;
+                        self.weights.store(c, alpha_c + delta);
+                        for (&i, &v) in row.indices.iter().zip(row.values) {
+                            self.shared.add(sem, i as usize, v * delta);
+                        }
+                    }
+                }
             }
-        })
-        .expect("async SCD worker panicked");
+            nnz_total.fetch_add(local_nnz, Ordering::Relaxed);
+        };
+        sched.parallel_for_limited(self.threads, self.threads, &worker);
 
         (coords, nnz_total.into_inner())
     }

@@ -37,6 +37,7 @@ use scd_core::{
     WorkerScalars,
 };
 use scd_perf_model::{CpuProfile, LinkProfile};
+use scd_sched::Scheduler;
 use scd_sparse::dense;
 use scd_wire::{DeltaCodec, WireFormat};
 use std::sync::Arc;
@@ -156,6 +157,9 @@ pub struct DistributedConfig {
     /// Wire format the delta traffic travels in ([`WireFormat::Raw`] is
     /// bit-identical to direct exchange).
     pub wire: WireFormat,
+    /// Host scheduler the round pool and any worker GPUs submit to;
+    /// `None` (the default) uses the process-wide shared scheduler.
+    pub sched: Option<Arc<Scheduler>>,
 }
 
 impl DistributedConfig {
@@ -178,6 +182,7 @@ impl DistributedConfig {
             runtime: RoundRuntime::default(),
             fault: FaultPlan::none(),
             wire: WireFormat::Raw,
+            sched: None,
         }
     }
 
@@ -276,6 +281,14 @@ impl DistributedConfig {
         self.seed = seed;
         self
     }
+
+    /// Pin the cluster to an explicit host scheduler instead of the
+    /// process-wide one — benchmarks and tests use this to control real
+    /// parallelism regardless of the host's core count.
+    pub fn with_scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.sched = Some(sched);
+        self
+    }
 }
 
 /// Partition `full` per `config` and construct the K workers — the
@@ -345,8 +358,11 @@ pub(crate) fn build_workers(
                 deterministic,
             } => {
                 let mut gpu = Gpu::new(profile.clone());
+                if let Some(sched) = &config.sched {
+                    gpu = gpu.with_scheduler(Arc::clone(sched));
+                }
                 if *deterministic {
-                    gpu = gpu.with_host_threads(1);
+                    gpu = gpu.try_with_host_threads(1)?;
                 }
                 let s = TpaScd::new(&part.problem, config.form, Arc::new(gpu), worker_seed)?
                     .with_lanes(*lanes)
@@ -491,7 +507,10 @@ impl DistributedScd {
             .runtime
             .pool_threads(config.workers)
             .filter(|&t| t > 1)
-            .map(RoundPool::new);
+            .map(|t| match &config.sched {
+                Some(sched) => RoundPool::on(Arc::clone(sched), t),
+                None => RoundPool::new(t),
+            });
         Ok(DistributedScd {
             form: config.form,
             aggregation: config.aggregation,

@@ -1,31 +1,28 @@
-//! The round runtime: persistent host threads that execute worker rounds
-//! concurrently inside one synchronous epoch.
+//! The round runtime: worker rounds of one synchronous epoch as a task
+//! group on the shared host scheduler.
 //!
 //! The original driver ran the K workers one after another on the calling
-//! thread. That was semantically fine (workers are independent state
-//! machines), but it serialized real wall-clock across K and made the
-//! "synchronous barrier" a fiction of the cost model only. This module
-//! applies the persistent-pool pattern of `gpu_sim`'s executor
-//! (`crates/gpusim/src/pool.rs`) to the cluster: a pool of host threads is
-//! created once per [`crate::DistributedScd`], and every epoch publishes
-//! one job ("run the round of each pending worker") that the threads drain
-//! from a shared cursor.
+//! thread; PR 2 moved them onto a dedicated pool of host threads owned by
+//! each [`crate::DistributedScd`]. That pool was one of three independent
+//! thread mechanisms in the workspace (gpu-sim's executor and the
+//! crossbeam scopes in the CPU baselines being the others), so a
+//! K-worker run whose local solver is TPA-SCD oversubscribed the host K×.
+//! [`RoundPool`] is now a thin facade over the work-stealing scheduler
+//! (`scd-sched`): an epoch submits "run the round of each pending worker"
+//! as one task group capped at the configured width, and the worker
+//! rounds — plus any kernel grids they launch — schedule cooperatively on
+//! one process-wide set of host threads. Nested TPA-SCD launches inside a
+//! round are safe by the scheduler's nesting rule (the submitting thread
+//! drains its own group inline before blocking).
 //!
 //! Determinism: each task index is claimed by exactly one thread, every
-//! worker is touched by at most one thread per job, and the *master*
-//! reduces results in worker-id order afterwards — so the aggregated state
-//! is bit-identical to the sequential loop regardless of thread count or
-//! scheduling.
-//!
-//! Safety model (same as the gpu-sim pool): `run` erases the task
-//! closure's lifetime to publish it to the long-lived workers and does not
-//! return until every thread has checked in for the job, after which no
-//! thread touches the job again.
+//! worker is touched by at most one thread per epoch, and the *master*
+//! reduces results in worker-id order afterwards — so the aggregated
+//! state is bit-identical to the sequential loop regardless of thread
+//! count or scheduling.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use scd_sched::Scheduler;
+use std::sync::Arc;
 
 /// How the driver executes the K worker rounds of one epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,10 +30,10 @@ pub enum RoundRuntime {
     /// One worker after another on the calling thread — the pre-pool
     /// reference loop, kept for equivalence testing and 1-core hosts.
     Sequential,
-    /// Rounds run on a persistent pool of host threads. `threads == 0`
-    /// auto-sizes to `min(K, available_parallelism)`.
+    /// Rounds run as task groups on the shared host scheduler.
+    /// `threads == 0` auto-sizes to `min(K, available_parallelism)`.
     Concurrent {
-        /// Pool width; 0 = auto.
+        /// Parallelism cap; 0 = auto.
         threads: usize,
     },
 }
@@ -48,8 +45,8 @@ impl Default for RoundRuntime {
 }
 
 impl RoundRuntime {
-    /// Resolve the pool width for a cluster of `workers` nodes; `None`
-    /// means "no pool, run inline".
+    /// Resolve the round-parallelism cap for a cluster of `workers`
+    /// nodes; `None` means "no pool, run inline".
     pub(crate) fn pool_threads(self, workers: usize) -> Option<usize> {
         match self {
             RoundRuntime::Sequential => None,
@@ -64,166 +61,59 @@ impl RoundRuntime {
     }
 }
 
-/// A task body as the pool sees it: run task `i` of the current job.
-type TaskFn<'a> = &'a (dyn Fn(usize) + Sync);
-
-/// One job in flight: task count, the erased body, the claim cursor, and
-/// the completion latch.
-struct Job {
-    /// Task body with its borrow lifetime erased; valid until the `run`
-    /// call that published it returns.
-    run: TaskFn<'static>,
-    tasks: usize,
-    /// Next unclaimed task index (dynamic dispatch, exactly-once claim).
-    next: AtomicUsize,
-    /// Set when a task panicked; remaining tasks are abandoned.
-    panicked: AtomicBool,
-    /// Completion latch: threads that have finished this job.
-    done: Mutex<usize>,
-    all_done: Condvar,
-}
-
-enum Command {
-    Idle,
-    Run(u64, Arc<Job>),
-    Shutdown,
-}
-
-struct PoolShared {
-    command: Mutex<Command>,
-    wake: Condvar,
-}
-
-/// A persistent pool of host threads executing per-worker round tasks.
+/// Per-driver handle onto the shared scheduler for executing the
+/// per-worker round tasks of an epoch.
 pub struct RoundPool {
-    shared: Arc<PoolShared>,
-    threads: Vec<JoinHandle<()>>,
+    sched: Arc<Scheduler>,
+    /// Parallelism cap for this driver's epochs.
+    threads: usize,
 }
 
 impl RoundPool {
-    /// Spin up `threads` host threads.
+    /// A handle capped at `threads` concurrent rounds, on the
+    /// process-wide scheduler.
     pub fn new(threads: usize) -> Self {
+        Self::on(scd_sched::global(), threads)
+    }
+
+    /// A handle on an explicit scheduler — tests and benchmarks use this
+    /// to pin real parallelism regardless of the host's core count.
+    pub fn on(sched: Arc<Scheduler>, threads: usize) -> Self {
         assert!(threads >= 1, "round pool needs at least one thread");
-        let shared = Arc::new(PoolShared {
-            command: Mutex::new(Command::Idle),
-            wake: Condvar::new(),
-        });
-        let handles = (0..threads)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("scd-round-{i}"))
-                    .spawn(move || thread_loop(&shared))
-                    .expect("spawning round-pool thread")
-            })
-            .collect();
-        RoundPool {
-            shared,
-            threads: handles,
-        }
+        RoundPool { sched, threads }
     }
 
-    /// Number of pool threads.
+    /// This handle's round-parallelism cap.
     pub fn threads(&self) -> usize {
-        self.threads.len()
+        self.threads
     }
 
-    /// Execute `tasks` tasks on the pool; `run_task(i)` is called exactly
-    /// once for every `i in 0..tasks`, from some pool thread. Returns after
-    /// every task has finished.
+    /// The scheduler this handle submits to.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Execute `tasks` tasks as one group; `run_task(i)` is called exactly
+    /// once for every `i in 0..tasks`. Returns after every task has
+    /// finished. Tasks may themselves submit nested work (TPA-SCD kernel
+    /// launches) to the same scheduler.
     ///
     /// # Panics
     /// Panics if any task panicked.
     pub fn run(&self, tasks: usize, run_task: &(dyn Fn(usize) + Sync)) {
-        // SAFETY: the erased reference outlives this call only inside the
-        // job slot, and this call does not return until every thread has
-        // checked in and can no longer touch it (see module docs).
-        let run_static: TaskFn<'static> = unsafe { std::mem::transmute(run_task) };
-        let job = Arc::new(Job {
-            run: run_static,
-            tasks,
-            next: AtomicUsize::new(0),
-            panicked: AtomicBool::new(false),
-            done: Mutex::new(0),
-            all_done: Condvar::new(),
-        });
-
-        {
-            let mut cmd = self.shared.command.lock().unwrap();
-            let generation = match &*cmd {
-                Command::Run(g, _) => g + 1,
-                _ => 1,
-            };
-            *cmd = Command::Run(generation, Arc::clone(&job));
-            self.shared.wake.notify_all();
-        }
-
-        let threads = self.threads.len();
-        let mut done = job.done.lock().unwrap();
-        while *done < threads {
-            done = job.all_done.wait(done).unwrap();
-        }
-        drop(done);
-
-        if job.panicked.load(Ordering::Relaxed) {
-            panic!("worker round panicked");
-        }
-    }
-}
-
-impl Drop for RoundPool {
-    fn drop(&mut self) {
-        {
-            let mut cmd = self.shared.command.lock().unwrap();
-            *cmd = Command::Shutdown;
-            self.shared.wake.notify_all();
-        }
-        for handle in self.threads.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn thread_loop(shared: &PoolShared) {
-    let mut seen: u64 = 0;
-    loop {
-        let job = {
-            let mut cmd = shared.command.lock().unwrap();
-            loop {
-                match &*cmd {
-                    Command::Shutdown => return,
-                    Command::Run(generation, job) if *generation != seen => {
-                        seen = *generation;
-                        break Arc::clone(job);
-                    }
-                    _ => cmd = shared.wake.wait(cmd).unwrap(),
-                }
-            }
-        };
-
-        loop {
-            let i = job.next.fetch_add(1, Ordering::Relaxed);
-            if i >= job.tasks || job.panicked.load(Ordering::Relaxed) {
-                break;
-            }
-            if catch_unwind(AssertUnwindSafe(|| (job.run)(i))).is_err() {
-                job.panicked.store(true, Ordering::Relaxed);
-            }
-        }
-
-        let mut done = job.done.lock().unwrap();
-        *done += 1;
-        job.all_done.notify_all();
+        self.sched.parallel_for_limited(tasks, self.threads, run_task);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn every_task_runs_exactly_once_and_pool_is_reusable() {
-        let pool = RoundPool::new(3);
+        let pool = RoundPool::on(Scheduler::new(3), 3);
         for _ in 0..4 {
             let hits: Vec<AtomicUsize> = (0..17).map(|_| AtomicUsize::new(0)).collect();
             pool.run(17, &|i| {
@@ -242,7 +132,7 @@ mod tests {
 
     #[test]
     fn panicking_task_fails_the_job_but_not_the_pool() {
-        let pool = RoundPool::new(2);
+        let pool = RoundPool::on(Scheduler::new(2), 2);
         let failed = catch_unwind(AssertUnwindSafe(|| {
             pool.run(8, &|i| {
                 if i == 3 {
@@ -256,6 +146,23 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    /// The cap throttles a wide scheduler: at most `threads` rounds run
+    /// concurrently even when the scheduler could host more.
+    #[test]
+    fn cap_bounds_concurrent_rounds() {
+        let sched = Scheduler::new(4);
+        let pool = RoundPool::on(Arc::clone(&sched), 2);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.run(12, &|_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
     }
 
     #[test]

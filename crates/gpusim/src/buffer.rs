@@ -176,24 +176,69 @@ impl DeviceBuffer {
         }
     }
 
+    /// Transfers below this many elements stay on the calling thread;
+    /// above it the copy is chunked across the shared host scheduler.
+    /// Each element is an independent relaxed word access, so the split
+    /// is bit-exact regardless of chunking or thread count.
+    const PAR_COPY_MIN: usize = 1 << 15;
+
+    /// Chunk size that splits `len` elements into roughly one task per
+    /// scheduler thread (clamped so tiny tails don't become tasks).
+    fn copy_chunk(len: usize, threads: usize) -> usize {
+        len.div_ceil(threads).max(4096)
+    }
+
     /// Copy the buffer back to host memory (`cudaMemcpy` D2H).
+    ///
+    /// Large transfers run as one scoped task group on the shared host
+    /// scheduler — a persistent pool, so the transfer hot path spawns no
+    /// threads per call.
     pub fn to_host(&self) -> Vec<f32> {
-        self.words
-            .iter()
-            .map(|w| f32::from_bits(w.load(Ordering::Relaxed)))
-            .collect()
+        let read = |w: &AtomicU32| f32::from_bits(w.load(Ordering::Relaxed));
+        if self.len() < Self::PAR_COPY_MIN {
+            return self.words.iter().map(read).collect();
+        }
+        let sched = scd_sched::global();
+        let mut out = vec![0f32; self.len()];
+        let chunk = Self::copy_chunk(self.len(), sched.threads());
+        sched.scope(|s| {
+            for (dst, src) in out.chunks_mut(chunk).zip(self.words.chunks(chunk)) {
+                s.spawn(move || {
+                    for (d, w) in dst.iter_mut().zip(src) {
+                        *d = read(w);
+                    }
+                });
+            }
+        });
+        out
     }
 
     /// Overwrite the whole buffer from host memory (H2D refresh of the
-    /// shared vector at the start of a distributed epoch).
+    /// shared vector at the start of a distributed epoch). Large
+    /// transfers are chunked across the shared host scheduler like
+    /// [`DeviceBuffer::to_host`].
     ///
     /// # Panics
     /// Panics if lengths differ.
     pub fn copy_from_host(&self, data: &[f32]) {
         assert_eq!(data.len(), self.len(), "copy_from_host: length mismatch");
-        for (w, &v) in self.words.iter().zip(data) {
-            w.store(v.to_bits(), Ordering::Relaxed);
+        if self.len() < Self::PAR_COPY_MIN {
+            for (w, &v) in self.words.iter().zip(data) {
+                w.store(v.to_bits(), Ordering::Relaxed);
+            }
+            return;
         }
+        let sched = scd_sched::global();
+        let chunk = Self::copy_chunk(self.len(), sched.threads());
+        sched.scope(|s| {
+            for (src, dst) in data.chunks(chunk).zip(self.words.chunks(chunk)) {
+                s.spawn(move || {
+                    for (&v, w) in src.iter().zip(dst) {
+                        w.store(v.to_bits(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
     }
 
     /// Bytes of device memory held by this buffer.
@@ -206,7 +251,7 @@ impl DeviceBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
+    use scd_sched::Scheduler;
 
     #[test]
     fn zeroed_and_from_host() {
@@ -248,17 +293,31 @@ mod tests {
         let buf = DeviceBuffer::zeroed(1);
         let threads = 4;
         let per_thread = 10_000;
-        thread::scope(|s| {
-            for _ in 0..threads {
-                let buf = buf.clone();
-                s.spawn(move || {
-                    for _ in 0..per_thread {
-                        buf.atomic_add(0, 1.0);
-                    }
-                });
+        // An explicit scheduler pins real concurrency regardless of the
+        // host's core count.
+        let sched = Scheduler::new(threads);
+        sched.parallel_for(threads, &|_| {
+            for _ in 0..per_thread {
+                buf.atomic_add(0, 1.0);
             }
         });
         assert_eq!(buf.load(0), (threads * per_thread) as f32);
+    }
+
+    /// Transfers that cross the parallel-copy threshold round-trip
+    /// bit-exactly (the chunked path must be indistinguishable from the
+    /// elementwise one).
+    #[test]
+    fn large_copies_roundtrip_bit_exactly() {
+        let n = DeviceBuffer::PAR_COPY_MIN + 1234;
+        let data: Vec<f32> = (0..n).map(|i| (i as f32).sin() * 1e3).collect();
+        let buf = DeviceBuffer::zeroed(n);
+        buf.copy_from_host(&data);
+        let back = buf.to_host();
+        assert_eq!(data.len(), back.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@ use crate::kernel::{BlockCost, BlockCtx, Kernel};
 use crate::pool::ExecutorPool;
 use crate::schedule::schedule_blocks;
 use scd_perf_model::{GpuProfile, Seconds};
+use scd_sched::Scheduler;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Errors raised by the device.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +22,12 @@ pub enum GpuError {
         /// Device capacity in bytes.
         capacity: usize,
     },
+    /// [`Gpu::try_with_host_threads`] after the first pooled launch: the
+    /// executor pool is already sized and running.
+    HostThreadsAfterLaunch {
+        /// The width the pool is already running with.
+        current: usize,
+    },
 }
 
 impl std::fmt::Display for GpuError {
@@ -34,6 +41,11 @@ impl std::fmt::Display for GpuError {
                 f,
                 "device out of memory: requested {requested} B with {allocated} B \
                  already allocated of {capacity} B capacity"
+            ),
+            GpuError::HostThreadsAfterLaunch { current } => write!(
+                f,
+                "host thread count cannot change after the first launch \
+                 (executor pool already running with {current} thread(s))"
             ),
         }
     }
@@ -109,16 +121,21 @@ pub struct Gpu {
     profile: GpuProfile,
     allocated_bytes: AtomicUsize,
     host_threads: usize,
-    /// Persistent worker pool (the simulated SM array), created lazily on
-    /// the first multi-threaded launch and reused for every launch after —
-    /// a launch enqueues the grid and waits on a completion latch instead
-    /// of spawning/joining a thread scope.
+    /// Host scheduler this device's launches run on. Set explicitly via
+    /// [`Gpu::with_scheduler`] (tests, benchmarks), otherwise the
+    /// process-wide shared pool is adopted at the first pooled launch —
+    /// so K devices in one process share one set of host threads.
+    sched: OnceLock<Arc<Scheduler>>,
+    /// Per-device handle onto the scheduler (launch serialization plus
+    /// the `host_threads` parallelism cap), created at the first
+    /// multi-threaded launch.
     pool: OnceLock<ExecutorPool>,
 }
 
 impl Gpu {
-    /// Create a device with the given profile. Kernel blocks execute on a
-    /// host pool of `min(sm_count, available_parallelism)` threads.
+    /// Create a device with the given profile. Kernel blocks execute on
+    /// the shared host scheduler, capped at
+    /// `min(sm_count, available_parallelism)` threads for this device.
     pub fn new(profile: GpuProfile) -> Self {
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -128,29 +145,61 @@ impl Gpu {
             profile,
             allocated_bytes: AtomicUsize::new(0),
             host_threads,
+            sched: OnceLock::new(),
             pool: OnceLock::new(),
         }
     }
 
-    /// Fix the host execution pool size. `1` makes launches fully
-    /// deterministic (blocks run sequentially in launch order) — useful for
-    /// reproducible figure generation and tests; the simulated clock is
-    /// unaffected because timing comes from counted work, not host time.
+    /// Run this device's launches on an explicit scheduler instead of the
+    /// process-wide one. Must be called before the first launch. Tests
+    /// and benchmarks use this to pin a width regardless of the host;
+    /// production code should let the device adopt the shared pool.
+    pub fn with_scheduler(self, sched: Arc<Scheduler>) -> Self {
+        assert!(
+            self.pool.get().is_none(),
+            "with_scheduler must be called before the first launch"
+        );
+        assert!(
+            self.sched.set(sched).is_ok(),
+            "a scheduler is already attached to this device"
+        );
+        self
+    }
+
+    /// Fix the host-side parallelism cap for this device's launches. `1`
+    /// makes launches fully deterministic (blocks run sequentially in
+    /// launch order) — useful for reproducible figure generation and
+    /// tests; the simulated clock is unaffected because timing comes from
+    /// counted work, not host time.
     ///
     /// The sequential path additionally assumes the launching thread is the
     /// only writer to device buffers for the duration of a launch, which
     /// lets counted atomic adds use plain read-modify-write mechanics
     /// (bit-identical on one thread, and still charged as atomics). Do not
     /// mutate a launch's buffers from other host threads mid-launch in this
-    /// mode; with `n > 1` the pool uses real CAS atomics throughout.
-    pub fn with_host_threads(mut self, n: usize) -> Self {
+    /// mode; with `n > 1` launches use real CAS atomics throughout.
+    ///
+    /// # Panics
+    /// Panics if called after the first launch — use
+    /// [`Gpu::try_with_host_threads`] to handle that case as an error.
+    pub fn with_host_threads(self, n: usize) -> Self {
+        self.try_with_host_threads(n)
+            .expect("with_host_threads must be called before the first launch")
+    }
+
+    /// Fallible form of [`Gpu::with_host_threads`]: returns
+    /// [`GpuError::HostThreadsAfterLaunch`] instead of panicking when the
+    /// executor pool already exists, so callers like the CLI can surface
+    /// a clean error.
+    pub fn try_with_host_threads(mut self, n: usize) -> Result<Self, GpuError> {
         assert!(n >= 1, "need at least one host thread");
-        assert!(
-            self.pool.get().is_none(),
-            "with_host_threads must be called before the first launch"
-        );
+        if let Some(pool) = self.pool.get() {
+            return Err(GpuError::HostThreadsAfterLaunch {
+                current: pool.width(),
+            });
+        }
         self.host_threads = n;
-        self
+        Ok(self)
     }
 
     /// The device's performance profile.
@@ -212,8 +261,9 @@ impl Gpu {
 
     /// Launch `blocks` thread blocks of `lanes` lanes each.
     ///
-    /// Blocks are dispatched dynamically to the device's persistent worker
-    /// pool and execute concurrently; the returned simulated duration
+    /// Blocks are dispatched dynamically as one task group on the shared
+    /// host scheduler (capped at this device's `host_threads`) and execute
+    /// concurrently; the returned simulated duration
     /// replays the measured per-block costs through the greedy block-to-SM
     /// scheduler of the device profile. With `host_threads == 1` blocks run
     /// sequentially on the calling thread in launch order (deterministic
@@ -244,9 +294,10 @@ impl Gpu {
             }
             costs
         } else {
-            let pool = self
-                .pool
-                .get_or_init(|| ExecutorPool::new(self.host_threads));
+            let pool = self.pool.get_or_init(|| {
+                let sched = Arc::clone(self.sched.get_or_init(scd_sched::global));
+                ExecutorPool::new(sched, self.host_threads)
+            });
             pool.run(&|ctx| kernel.block(ctx), blocks, lanes, shared_len)
         };
 
@@ -351,6 +402,7 @@ mod tests {
                 assert_eq!(allocated, 64);
                 assert_eq!(capacity, cap);
             }
+            other => panic!("unexpected error {other}"),
         }
         g.release_bytes(64);
         assert_eq!(g.allocated_bytes(), 0);
@@ -422,6 +474,63 @@ mod tests {
         let empty = g.launch(&Noop2, 0, 32);
         assert_eq!(empty.utilization(), 0.0);
         assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn try_with_host_threads_errors_after_first_pooled_launch() {
+        let g = gpu().with_scheduler(Scheduler::new(2)).with_host_threads(2);
+        let k = CountingKernel {
+            out: DeviceBuffer::zeroed(3),
+            executed: AtomicU64::new(0),
+        };
+        let _ = g.launch(&k, 8, 4);
+        let Err(err) = g.try_with_host_threads(4) else {
+            panic!("expected HostThreadsAfterLaunch");
+        };
+        assert_eq!(err, GpuError::HostThreadsAfterLaunch { current: 2 });
+        assert!(err.to_string().contains("after the first launch"));
+    }
+
+    #[test]
+    fn try_with_host_threads_ok_before_launch() {
+        let g = gpu().try_with_host_threads(1).unwrap();
+        let k = CountingKernel {
+            out: DeviceBuffer::zeroed(3),
+            executed: AtomicU64::new(0),
+        };
+        let _ = g.launch(&k, 8, 4);
+        assert_eq!(k.executed.load(Ordering::Relaxed), 8);
+    }
+
+    /// `with_host_threads(1)` must produce the same bits no matter how
+    /// wide a scheduler is attached: the deterministic path runs inline
+    /// on the caller and never touches the pool.
+    #[test]
+    fn deterministic_launch_ignores_attached_scheduler_width() {
+        struct Sweep(DeviceBuffer);
+        impl Kernel for Sweep {
+            fn block(&self, ctx: &mut BlockCtx) {
+                let i = ctx.block_id();
+                // Order-sensitive accumulation into one slot: only a truly
+                // sequential execution reproduces it bit-for-bit.
+                let v = ctx.read(&self.0, 0);
+                ctx.write(&self.0, 0, v * 1.0001 + i as f32);
+            }
+        }
+        let mut reference = None;
+        for width in [1, 2, 4] {
+            let g = gpu()
+                .with_scheduler(Scheduler::new(width))
+                .with_host_threads(1);
+            let k = Sweep(DeviceBuffer::zeroed(1));
+            let stats = g.launch(&k, 64, 4);
+            let bits = k.0.to_host()[0].to_bits();
+            let sim = stats.simulated_seconds.to_bits();
+            match reference {
+                None => reference = Some((bits, sim)),
+                Some(r) => assert_eq!(r, (bits, sim), "width {width}"),
+            }
+        }
     }
 
     #[test]

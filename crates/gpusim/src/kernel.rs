@@ -25,20 +25,22 @@
 //! pool and interact only through atomic global memory, which is exactly
 //! the asynchrony the "twice parallel, asynchronous" name refers to.
 //!
-//! ### Executor-pool architecture
+//! ### Executor architecture
 //!
-//! Blocks are executed by a **persistent worker pool** owned by the device
-//! ([`crate::Gpu`]): a launch publishes the grid as a job, the pool's
-//! workers claim block indices from a shared cursor (dynamic dispatch,
-//! like the hardware grid scheduler), and the launch returns once every
-//! worker has checked in on a completion latch. Workers reuse one
-//! `BlockCtx` scratchpad arena per job — the shared-memory buffer is
-//! zeroed between blocks, never reallocated — and record each block's
-//! [`BlockCost`] into a disjoint per-block slot, so the hot path takes no
-//! locks and performs no per-block heap allocation. With
-//! `Gpu::with_host_threads(1)` the pool is bypassed and blocks run
-//! sequentially in launch order on the calling thread (deterministic
-//! mode).
+//! Blocks are executed on the **shared work-stealing host scheduler**
+//! (`scd-sched`): a launch submits the grid as one task group, capped at
+//! the device's `host_threads`, and participating threads claim block
+//! indices from the group's cursor (dynamic dispatch, like the hardware
+//! grid scheduler) until the grid is drained. Every device in the
+//! process shares one pool sized to the host, so K distributed workers
+//! launching TPA-SCD grids schedule cooperatively instead of spawning K
+//! pools. Each host thread reuses one `BlockCtx` scratchpad arena — the
+//! shared-memory buffer is zeroed between blocks, never reallocated —
+//! and records each block's [`BlockCost`] into a disjoint per-block
+//! slot, so the hot path takes no locks and performs no per-block heap
+//! allocation. With `Gpu::with_host_threads(1)` the scheduler is
+//! bypassed and blocks run sequentially in launch order on the calling
+//! thread (deterministic mode).
 //!
 //! ### Bulk accessors and the cost-accounting invariant
 //!

@@ -1,125 +1,82 @@
-//! The persistent executor pool: host threads that play the role of the
-//! device's SM array across kernel launches.
+//! Grid execution on the shared host scheduler: the simulated SM array.
 //!
-//! The original executor spawned a fresh `crossbeam::scope` of worker
-//! threads for **every** kernel launch and recorded every block's cost through a
-//! shared `Mutex<Vec<BlockCost>>`. TPA-SCD launches one kernel per epoch
-//! and thousands of epochs per experiment, so thread spawn/join and lock
-//! traffic dominated real wall-clock. This module replaces that with:
+//! Historically this module owned a dedicated pool of worker threads per
+//! [`crate::Gpu`]. That made a K-worker distributed run whose local
+//! solver is TPA-SCD spawn K independent pools and oversubscribe the
+//! host K× (the ROADMAP "Pool sharing" item). The pool is now a thin
+//! per-device facade over the process-wide work-stealing scheduler
+//! (`scd-sched`): a launch submits the grid as one task group capped at
+//! the device's `host_threads`, so K devices share one set of host
+//! threads and nested distributed-over-TPA-SCD runs schedule
+//! cooperatively.
 //!
-//! * a pool of workers owned by [`crate::Gpu`], created once on the first
-//!   multi-threaded launch and reused for every subsequent one — a launch
-//!   is "publish job, wait on a completion latch", no thread creation;
-//! * one reusable [`BlockCtx`] scratchpad arena per worker per job (the
-//!   shared-memory buffer is zeroed between blocks, not reallocated);
-//! * lock-free cost recording: each claimed block index is owned by exactly
-//!   one worker, which writes its [`BlockCost`] into a disjoint slot of a
-//!   preallocated array — no mutex on the hot path.
+//! What the port preserves from the dedicated pool:
 //!
-//! Safety model: `run` erases the kernel closure's lifetime to publish it
-//! to the long-lived workers, exactly like a scoped-thread implementation.
-//! Soundness holds because `run` does not return until every worker has
-//! checked in for the job (the completion latch), after which no worker
-//! touches the job again; the job slot itself holds the erased reference
-//! only until the launch completes.
+//! * **Scratchpad arena reuse** — each host thread keeps one [`BlockCtx`]
+//!   in a thread-local slot, re-armed (`reinit`) for every block it
+//!   claims and reused across launches while the geometry matches; no
+//!   per-block allocation.
+//! * **Lock-free cost recording** — each claimed block index is owned by
+//!   exactly one thread, which writes its [`BlockCost`] into a disjoint
+//!   slot of a preallocated array; the group join orders the reads.
+//! * **Launch serialization** — concurrent `run` calls on one device
+//!   still queue behind a per-device lock, as kernel grids serialize on
+//!   a real GPU stream. (Progress is guaranteed even when a *pool
+//!   worker* blocks on this lock, because the scheduler's submitting
+//!   thread always drains its own group inline.)
+//!
+//! Simulated time is untouched by any of this: block costs come from
+//! counted work, so wall-clock scheduling changes never move the
+//! simulated clock.
 
 use crate::kernel::{BlockCost, BlockCtx};
+use scd_sched::Scheduler;
+use std::cell::RefCell;
 use std::cell::UnsafeCell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, Mutex};
 
-/// The kernel body as the pool sees it: run block `b` in `ctx` (the worker
-/// has already re-armed `ctx` for `b`).
-type BlockFn<'a> = &'a (dyn Fn(&mut BlockCtx) + Sync);
-
-/// One launch in flight: grid geometry, the erased kernel body, the block
-/// cursor, the per-block cost slots, and the completion latch.
-struct Job {
-    /// Kernel body with its borrow lifetime erased; valid until the launch
-    /// that published it returns.
-    run: BlockFn<'static>,
-    blocks: usize,
-    lanes: usize,
-    shared_len: usize,
-    /// Next unclaimed block (dynamic dispatch, same policy as hardware
-    /// grid schedulers and the old per-launch executor).
-    next: AtomicUsize,
-    /// Per-block cost slots; slot `b` is written only by the worker that
-    /// claimed `b`, read by the launcher after the latch closes.
-    costs: Box<[CostSlot]>,
-    /// Set when a kernel block panicked; remaining blocks are abandoned.
-    panicked: AtomicBool,
-    /// Completion latch: workers that have finished this job.
-    done: Mutex<usize>,
-    all_done: Condvar,
-}
-
-/// A `BlockCost` cell written by exactly one worker (the one that claimed
-/// its block index) and read only after the completion latch closes.
+/// A `BlockCost` cell written by exactly one thread (the one that claimed
+/// its block index) and read only after the launch's task group joins.
 struct CostSlot(UnsafeCell<BlockCost>);
 
-// SAFETY: disjoint-index writes (each block index is claimed by exactly one
-// worker via fetch_add) plus latch-ordered reads — see module docs.
+// SAFETY: disjoint-index writes (each block index is claimed by exactly
+// one thread via the group's claim cursor) plus join-ordered reads — see
+// module docs.
 unsafe impl Sync for CostSlot {}
 
-/// What the pool broadcasts to its workers.
-enum Command {
-    /// No job published yet (startup state).
-    Idle,
-    /// Run this job; the `u64` is the job generation.
-    Run(u64, Arc<Job>),
-    /// Pool is shutting down; workers exit.
-    Shutdown,
+thread_local! {
+    /// Per-host-thread scratchpad arena: `(lanes, shared_len, ctx)`,
+    /// reused across blocks and launches while the geometry matches.
+    static ARENA: RefCell<Option<(usize, usize, BlockCtx)>> = const { RefCell::new(None) };
 }
 
-struct PoolShared {
-    command: Mutex<Command>,
-    wake: Condvar,
-}
-
-/// A persistent worker pool executing kernel grids.
+/// Per-device handle onto the shared scheduler.
 pub(crate) struct ExecutorPool {
-    shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
+    sched: Arc<Scheduler>,
+    /// Parallelism cap for this device's launches (`Gpu::host_threads`).
+    width: usize,
     /// Serializes concurrent `run` calls on one device (a real GPU also
     /// serializes kernel grids on a stream).
     launch_lock: Mutex<()>,
 }
 
 impl ExecutorPool {
-    /// Spin up `workers` host threads (the simulated SM array).
-    pub(crate) fn new(workers: usize) -> Self {
-        assert!(workers >= 1, "pool needs at least one worker");
-        let shared = Arc::new(PoolShared {
-            command: Mutex::new(Command::Idle),
-            wake: Condvar::new(),
-        });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("gpu-sim-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning gpu-sim worker")
-            })
-            .collect();
+    pub(crate) fn new(sched: Arc<Scheduler>, width: usize) -> Self {
+        assert!(width >= 1, "pool needs at least one worker");
         ExecutorPool {
-            shared,
-            workers: handles,
+            sched,
+            width,
             launch_lock: Mutex::new(()),
         }
     }
 
-    /// Number of worker threads.
-    #[cfg(test)]
-    pub(crate) fn workers(&self) -> usize {
-        self.workers.len()
+    /// Parallelism cap for this device.
+    pub(crate) fn width(&self) -> usize {
+        self.width
     }
 
-    /// Execute a grid of `blocks` blocks on the pool and return the
-    /// per-block costs in block order.
+    /// Execute a grid of `blocks` blocks as one scheduler task group and
+    /// return the per-block costs in block order.
     ///
     /// # Panics
     /// Panics if any kernel block panicked.
@@ -136,113 +93,43 @@ impl ExecutorPool {
             .launch_lock
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        // SAFETY: the erased reference outlives this call only inside the
-        // job slot, and this call does not return until every worker has
-        // checked in and can no longer touch it (see module docs).
-        let run_static: BlockFn<'static> = unsafe { std::mem::transmute(run_block) };
-        let job = Arc::new(Job {
-            run: run_static,
-            blocks,
-            lanes,
-            shared_len,
-            next: AtomicUsize::new(0),
-            costs: (0..blocks)
-                .map(|_| CostSlot(UnsafeCell::new(BlockCost::default())))
-                .collect(),
-            panicked: AtomicBool::new(false),
-            done: Mutex::new(0),
-            all_done: Condvar::new(),
-        });
-
-        {
-            let mut cmd = self.shared.command.lock().unwrap();
-            let generation = match &*cmd {
-                Command::Run(g, _) => g + 1,
-                _ => 1,
+        let costs: Box<[CostSlot]> = (0..blocks)
+            .map(|_| CostSlot(UnsafeCell::new(BlockCost::default())))
+            .collect();
+        self.sched.parallel_for_limited(blocks, self.width, &|b| {
+            let mut ctx = match ARENA.with(|slot| slot.borrow_mut().take()) {
+                // Arena hit: same geometry, re-arm in place.
+                Some((l, s, ctx)) if l == lanes && s == shared_len => ctx,
+                _ => BlockCtx::new(0, lanes, shared_len),
             };
-            *cmd = Command::Run(generation, Arc::clone(&job));
-            self.shared.wake.notify_all();
-        }
-
-        let workers = self.workers.len();
-        let mut done = job.done.lock().unwrap();
-        while *done < workers {
-            done = job.all_done.wait(done).unwrap();
-        }
-        drop(done);
-
-        if job.panicked.load(Ordering::Relaxed) {
-            panic!("kernel block panicked");
-        }
-        job.costs
+            ctx.reinit(b);
+            run_block(&mut ctx);
+            // SAFETY: this thread claimed `b`, so slot `b` is its
+            // exclusive property (see CostSlot).
+            unsafe { *costs[b].0.get() = ctx.cost() };
+            ARENA.with(|slot| *slot.borrow_mut() = Some((lanes, shared_len, ctx)));
+        });
+        costs
             .iter()
-            // SAFETY: all workers have checked in; no concurrent access.
+            // SAFETY: the task group has joined; no concurrent access.
             .map(|slot| unsafe { *slot.0.get() })
             .collect()
-    }
-}
-
-impl Drop for ExecutorPool {
-    fn drop(&mut self) {
-        {
-            let mut cmd = self.shared.command.lock().unwrap();
-            *cmd = Command::Shutdown;
-            self.shared.wake.notify_all();
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &PoolShared) {
-    let mut seen: u64 = 0;
-    loop {
-        let job = {
-            let mut cmd = shared.command.lock().unwrap();
-            loop {
-                match &*cmd {
-                    Command::Shutdown => return,
-                    Command::Run(generation, job) if *generation != seen => {
-                        seen = *generation;
-                        break Arc::clone(job);
-                    }
-                    _ => cmd = shared.wake.wait(cmd).unwrap(),
-                }
-            }
-        };
-
-        // One scratchpad arena per worker per job, re-armed (not
-        // reallocated) for every block this worker claims.
-        let mut ctx = BlockCtx::new(0, job.lanes, job.shared_len);
-        loop {
-            let b = job.next.fetch_add(1, Ordering::Relaxed);
-            if b >= job.blocks || job.panicked.load(Ordering::Relaxed) {
-                break;
-            }
-            ctx.reinit(b);
-            let outcome = catch_unwind(AssertUnwindSafe(|| (job.run)(&mut ctx)));
-            match outcome {
-                // SAFETY: this worker claimed `b`, so slot `b` is its
-                // exclusive property (see CostSlot).
-                Ok(()) => unsafe { *job.costs[b].0.get() = ctx.cost() },
-                Err(_) => job.panicked.store(true, Ordering::Relaxed),
-            }
-        }
-
-        let mut done = job.done.lock().unwrap();
-        *done += 1;
-        job.all_done.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(width: usize) -> ExecutorPool {
+        ExecutorPool::new(Scheduler::new(width), width)
+    }
 
     #[test]
     fn pool_runs_every_block_once_and_is_reusable() {
-        let pool = ExecutorPool::new(4);
+        let pool = pool(4);
         for round in 0..5 {
             let counter = AtomicUsize::new(0);
             let run = |ctx: &mut BlockCtx| {
@@ -254,12 +141,12 @@ mod tests {
             assert_eq!(costs.len(), 100);
             assert!(costs.iter().all(|c| c.lane_ops == 1 + round as u64));
         }
-        assert_eq!(pool.workers(), 4);
+        assert_eq!(pool.width(), 4);
     }
 
     #[test]
     fn pool_reports_costs_in_block_order() {
-        let pool = ExecutorPool::new(3);
+        let pool = pool(3);
         let run = |ctx: &mut BlockCtx| {
             let id = ctx.block_id() as u64;
             ctx.charge_read_bytes(id * 8);
@@ -272,7 +159,7 @@ mod tests {
 
     #[test]
     fn panicking_block_fails_the_launch() {
-        let pool = ExecutorPool::new(2);
+        let pool = pool(2);
         let run = |ctx: &mut BlockCtx| {
             if ctx.block_id() == 7 {
                 panic!("boom");
@@ -287,8 +174,44 @@ mod tests {
 
     #[test]
     fn empty_grid_completes() {
-        let pool = ExecutorPool::new(2);
+        let pool = pool(2);
         let costs = pool.run(&|_ctx: &mut BlockCtx| {}, 0, 32, 0);
         assert!(costs.is_empty());
+    }
+
+    /// Two devices sharing one scheduler: launches on both complete and
+    /// the host never runs more threads than the scheduler owns.
+    #[test]
+    fn two_devices_share_one_scheduler() {
+        let sched = Scheduler::new(3);
+        let a = ExecutorPool::new(Arc::clone(&sched), 2);
+        let b = ExecutorPool::new(Arc::clone(&sched), 3);
+        sched.reset_peak();
+        for _ in 0..4 {
+            let hits = AtomicUsize::new(0);
+            let run = |_ctx: &mut BlockCtx| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            };
+            let ca = a.run(&run, 20, 8, 0);
+            let cb = b.run(&run, 30, 8, 0);
+            assert_eq!(hits.load(Ordering::Relaxed), 50);
+            assert_eq!(ca.len(), 20);
+            assert_eq!(cb.len(), 30);
+        }
+        assert!(sched.peak_parallelism() <= 3);
+    }
+
+    /// The cap keeps a narrow device from fanning out across a wide
+    /// shared scheduler.
+    #[test]
+    fn width_one_device_on_wide_scheduler_is_sequential() {
+        let sched = Scheduler::new(4);
+        let pool = ExecutorPool::new(sched, 1);
+        let order = Mutex::new(Vec::new());
+        let run = |ctx: &mut BlockCtx| {
+            order.lock().unwrap().push(ctx.block_id());
+        };
+        pool.run(&run, 12, 8, 0);
+        assert_eq!(*order.lock().unwrap(), (0..12).collect::<Vec<_>>());
     }
 }

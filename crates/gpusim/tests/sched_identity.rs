@@ -1,0 +1,61 @@
+//! Bit-identity of deterministic launches under the shared scheduler:
+//! `with_host_threads(1)` results must be unchanged no matter how wide a
+//! scheduler the device is attached to — the regression oracle for the
+//! scd-sched port (simulated clocks come from counted work, and the
+//! deterministic path runs inline on the caller).
+
+use gpu_sim::{BlockCtx, DeviceBuffer, Gpu, GpuProfile, Kernel};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scd_sched::Scheduler;
+
+/// An order-sensitive kernel: every block folds into one accumulator slot
+/// with a non-associative update, so only a truly sequential launch
+/// reproduces the series bit-for-bit; a second buffer takes disjoint
+/// per-block writes to cover the data-parallel shape too.
+struct FoldAndScale {
+    acc: DeviceBuffer,
+    out: DeviceBuffer,
+    data: Vec<f32>,
+}
+
+impl Kernel for FoldAndScale {
+    fn block(&self, ctx: &mut BlockCtx) {
+        let b = ctx.block_id();
+        let x = self.data[b % self.data.len()];
+        let prev = ctx.read(&self.acc, 0);
+        ctx.write(&self.acc, 0, prev * 1.0009f32 + x);
+        ctx.write(&self.out, b, x * 0.5f32 + b as f32);
+        ctx.charge_lane_ops(ctx.lanes() as u64);
+    }
+}
+
+fn run_once(width: usize, data: &[f32], blocks: usize) -> (Vec<u32>, Vec<u32>, u64) {
+    let gpu = Gpu::new(GpuProfile::quadro_m4000())
+        .with_scheduler(Scheduler::new(width))
+        .with_host_threads(1);
+    let kernel = FoldAndScale {
+        acc: DeviceBuffer::zeroed(1),
+        out: DeviceBuffer::zeroed(blocks),
+        data: data.to_vec(),
+    };
+    let stats = gpu.launch(&kernel, blocks, 8);
+    let acc = kernel.acc.to_host().iter().map(|v| v.to_bits()).collect();
+    let out = kernel.out.to_host().iter().map(|v| v.to_bits()).collect();
+    (acc, out, stats.simulated_seconds.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn deterministic_results_independent_of_scheduler_width(
+        data in vec(-100.0f32..100.0, 1..40),
+        blocks in 1usize..96,
+        width in 2usize..5,
+    ) {
+        let reference = run_once(1, &data, blocks);
+        let wide = run_once(width, &data, blocks);
+        prop_assert_eq!(reference, wide);
+    }
+}

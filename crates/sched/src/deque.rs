@@ -1,0 +1,208 @@
+//! Fixed-capacity Chase–Lev work-stealing deque.
+//!
+//! One deque per pool worker: the owner pushes and pops at the *bottom*
+//! (LIFO, so nested groups run before their parents' leftovers), thieves
+//! take from the *top* (FIFO, so the oldest — usually largest — work
+//! migrates first). This is the classic Chase–Lev algorithm in the
+//! formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP 2013), with two
+//! simplifications that fit this workspace:
+//!
+//! * the ring buffer never grows — a full deque overflows to the
+//!   scheduler's global injector instead (tasks here are coarse group
+//!   tokens, a handful per launch, so 256 slots is already generous);
+//! * every atomic uses `SeqCst`. Task granularity is a whole kernel
+//!   launch or worker round, microseconds at minimum, so the cost of the
+//!   conservative orderings is unmeasurable while the correctness
+//!   argument stays the textbook one.
+//!
+//! Items are `usize` payloads — the scheduler stores `Arc<GroupCore>`
+//! pointers from `Arc::into_raw`. Ownership transfers with the item: a
+//! successful `pop`/`steal` hands the reference count to the caller.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::SeqCst};
+
+/// Result of a steal attempt.
+pub(crate) enum Steal {
+    /// Took this item; its ownership transfers to the thief.
+    Success(usize),
+    /// Nothing to take.
+    Empty,
+    /// Lost a race with the owner or another thief; top has moved, retry.
+    Retry,
+}
+
+pub(crate) struct Deque {
+    /// Next position a thief steals from. Monotonically increasing, which
+    /// is what rules out ABA on the CAS.
+    top: AtomicIsize,
+    /// Next position the owner pushes to. Written only by the owner.
+    bottom: AtomicIsize,
+    buf: Box<[AtomicUsize]>,
+}
+
+impl Deque {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.buf.len() - 1
+    }
+
+    /// Owner-only: push at the bottom. Returns the item back if the ring
+    /// is full (caller overflows to the injector).
+    pub(crate) fn push(&self, item: usize) -> Result<(), usize> {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        if b - t >= self.buf.len() as isize {
+            return Err(item);
+        }
+        self.buf[(b as usize) & self.mask()].store(item, SeqCst);
+        self.bottom.store(b + 1, SeqCst);
+        Ok(())
+    }
+
+    /// Owner-only: pop at the bottom (LIFO). The single-element case races
+    /// with thieves and is decided by a CAS on `top`.
+    pub(crate) fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(SeqCst) - 1;
+        self.bottom.store(b, SeqCst);
+        let t = self.top.load(SeqCst);
+        if t > b {
+            // Already empty; undo the reservation.
+            self.bottom.store(b + 1, SeqCst);
+            return None;
+        }
+        let item = self.buf[(b as usize) & self.mask()].load(SeqCst);
+        if t == b {
+            // Last element: fight the thieves for it.
+            let won = self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            self.bottom.store(b + 1, SeqCst);
+            return won.then_some(item);
+        }
+        Some(item)
+    }
+
+    /// Any thread: steal from the top (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let item = self.buf[(t as usize) & self.mask()].load(SeqCst);
+        if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            Steal::Success(item)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Racy occupancy hint, used only to decide whether a worker may park
+    /// (the sleep protocol's SeqCst fence pairing makes a stale answer
+    /// safe — see `Shared::park`).
+    pub(crate) fn is_empty_hint(&self) -> bool {
+        self.top.load(SeqCst) >= self.bottom.load(SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = Deque::new(8);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        d.push(3).unwrap();
+        assert_eq!(d.pop(), Some(3));
+        match d.steal() {
+            Steal::Success(v) => assert_eq!(v, 1),
+            _ => panic!("steal should take the oldest item"),
+        }
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn overflow_returns_the_item() {
+        let d = Deque::new(4);
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert_eq!(d.push(99), Err(99));
+    }
+
+    /// One owner pushing/popping, several thieves stealing: every pushed
+    /// item must be consumed exactly once.
+    #[test]
+    fn concurrent_steals_never_lose_or_duplicate() {
+        const ITEMS: usize = 10_000;
+        const THIEVES: usize = 3;
+        let d = Arc::new(Deque::new(256));
+        let seen: Arc<Vec<AtomicBool>> =
+            Arc::new((0..ITEMS).map(|_| AtomicBool::new(false)).collect());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mark = |seen: &[AtomicBool], v: usize| {
+            assert!(
+                !seen[v].swap(true, SeqCst),
+                "item {v} consumed twice"
+            );
+        };
+
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                let d = Arc::clone(&d);
+                let seen = Arc::clone(&seen);
+                let done = Arc::clone(&done);
+                s.spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success(v) => mark(&seen, v),
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(SeqCst) {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            // Owner: interleave pushes with occasional pops.
+            let mut next = 0;
+            while next < ITEMS {
+                for _ in 0..7 {
+                    if next == ITEMS {
+                        break;
+                    }
+                    if d.push(next).is_ok() {
+                        next += 1;
+                    } else if let Some(v) = d.pop() {
+                        mark(&seen, v);
+                    }
+                }
+                if let Some(v) = d.pop() {
+                    mark(&seen, v);
+                }
+            }
+            while let Some(v) = d.pop() {
+                mark(&seen, v);
+            }
+            done.store(true, SeqCst);
+        });
+
+        for (i, flag) in seen.iter().enumerate() {
+            assert!(flag.load(SeqCst), "item {i} lost");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the work-stealing scheduler: exactly-once execution
+//! under arbitrary widths/caps/nesting shapes, peak-concurrency bounds,
+//! and width-1 sequential ordering — the invariants every ported consumer
+//! (gpu-sim launches, distributed rounds, CPU baselines) leans on.
+
+use proptest::prelude::*;
+use scd_sched::Scheduler;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flat groups: every index runs exactly once, for any pool width,
+    /// cap, and task count.
+    #[test]
+    fn flat_group_exactly_once(threads in 1usize..5,
+                               cap in 1usize..6,
+                               n in 0usize..120) {
+        let sched = Scheduler::new(threads);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        sched.parallel_for_limited(n, cap, &|i| {
+            hits[i].fetch_add(1, SeqCst);
+        });
+        for h in &hits {
+            prop_assert_eq!(h.load(SeqCst), 1);
+        }
+    }
+
+    /// Two-level nesting: outer tasks spawn inner groups onto the same
+    /// pool; the full outer × inner product runs exactly once and the
+    /// peak thread count never exceeds the configured width (workers plus
+    /// the one external submitter).
+    #[test]
+    fn nested_groups_exactly_once_within_width(threads in 1usize..5,
+                                               outer in 1usize..7,
+                                               inner in 1usize..9) {
+        let sched = Scheduler::new(threads);
+        sched.reset_peak();
+        let hits: Vec<AtomicUsize> =
+            (0..outer * inner).map(|_| AtomicUsize::new(0)).collect();
+        sched.parallel_for(outer, &|o| {
+            sched.parallel_for(inner, &|i| {
+                hits[o * inner + i].fetch_add(1, SeqCst);
+            });
+        });
+        for h in &hits {
+            prop_assert_eq!(h.load(SeqCst), 1);
+        }
+        prop_assert!(sched.peak_parallelism() <= threads,
+                     "peak {} > configured {}", sched.peak_parallelism(), threads);
+    }
+
+    /// Scoped spawns interleaved with indexed groups all join.
+    #[test]
+    fn scope_and_parallel_for_compose(threads in 1usize..5,
+                                      tasks in 0usize..20,
+                                      inner in 1usize..6) {
+        let sched = Scheduler::new(threads);
+        let total = AtomicUsize::new(0);
+        sched.scope(|s| {
+            for _ in 0..tasks {
+                let total = &total;
+                let sched = &sched;
+                s.spawn(move || {
+                    sched.parallel_for(inner, &|_| {
+                        total.fetch_add(1, SeqCst);
+                    });
+                });
+            }
+        });
+        prop_assert_eq!(total.load(SeqCst), tasks * inner);
+    }
+
+    /// A width-1 scheduler is a plain sequential loop: indices observe
+    /// strict order, which is what `with_host_threads(1)` determinism
+    /// reduces to.
+    #[test]
+    fn width_one_is_sequential(n in 0usize..60) {
+        let sched = Scheduler::new(1);
+        let order = Mutex::new(Vec::new());
+        sched.parallel_for(n, &|i| {
+            order.lock().unwrap().push(i);
+        });
+        prop_assert_eq!(order.into_inner().unwrap(), (0..n).collect::<Vec<_>>());
+    }
+}

@@ -65,6 +65,7 @@ fn main() {
              (see the distributed_cluster example)",
             capacity as f64 / 1e9
         ),
+        Err(other) => unreachable!("unexpected error {other}"),
         Ok(()) => unreachable!("40 GB cannot fit a 12 GB device"),
     }
 }

@@ -16,6 +16,7 @@ CRATES=(
   scd-sparse
   scd-perf-model
   scd-events
+  scd-sched
   gpu-sim
   scd-wire
   scd-core
@@ -49,6 +50,9 @@ cargo test -q -p scd-wire
 
 echo "==> cargo test -q -p scd-events"
 cargo test -q -p scd-events
+
+echo "==> cargo test -q -p scd-sched"
+cargo test -q -p scd-sched
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -13,6 +13,9 @@
 //! * [`events`] — deterministic discrete-event engine (virtual clock,
 //!   totally ordered event queue, perf-model-timed channels) behind the
 //!   bounded-staleness distributed driver.
+//! * [`sched`] — the work-stealing host scheduler every subsystem's
+//!   threads come from: per-worker deques, nesting-aware task groups,
+//!   one process-wide pool sized to the machine.
 //! * [`gpu`] — the software GPU: SMs, thread blocks, SIMT lanes, block
 //!   barriers, f32 atomic adds, cycle accounting.
 //! * [`core`] — ridge regression (primal/dual), duality gap, sequential SCD,
@@ -45,4 +48,5 @@ pub use scd_datasets as datasets;
 pub use scd_distributed as distributed;
 pub use scd_events as events;
 pub use scd_perf_model as perf;
+pub use scd_sched as sched;
 pub use scd_sparse as sparse;
