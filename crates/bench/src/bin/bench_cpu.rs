@@ -1,0 +1,143 @@
+//! Wall-clock benchmark of the CPU backends, recorded to `BENCH_cpu.json`
+//! so the perf trajectory is tracked across PRs.
+//!
+//! Two engines run the same dual-form ridge problem at each thread count
+//! H ∈ {1, 2, 4, 8}:
+//!
+//! * `ascd`: [`AsyncCpuScd`] in atomic (A-SCD) mode — H worker tasks
+//!   draining one atomic cursor, every shared-vector write a CAS loop.
+//! * `syscd`: [`SyscdScd`] — shuffled static bucket partitioning,
+//!   per-worker replicas merged deterministically, zero shared-vector
+//!   atomics in the epoch loop.
+//!
+//! Both run on an explicit H-thread work-stealing scheduler, so the
+//! comparison isolates the algorithmic memory behaviour (atomics and
+//! cache-line ping-pong vs replicas and merges), not thread-pool shape.
+//! Reported per H: wall-clock epochs/second (best of `BENCH_REPS` reps,
+//! the least noisy estimator on a shared host) and wall-clock
+//! time-to-gap — epochs and seconds until the duality gap first drops
+//! below the target. SySCD solves the σ′ = W safe subproblem, so it
+//! trades per-epoch progress for atomic-free throughput; the headline
+//! claim is the throughput column, the time-to-gap columns keep the
+//! trade-off honest.
+//!
+//! `--smoke` shrinks everything (tiny dataset, one rep) for the tier-1
+//! gate; `BENCH_OUT` redirects the JSON.
+
+use scd_bench::opts::flag_present;
+use scd_core::{AsyncCpuMode, AsyncCpuScd, Form, RidgeProblem, Solver, SyscdScd};
+use scd_datasets::{scale_values, webspam_like};
+use scd_sched::Scheduler;
+use std::time::Instant;
+
+const H_SET: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    dataset: String,
+    problem: RidgeProblem,
+    epochs: usize,
+    reps: usize,
+    gap_target: f64,
+    gap_cap: usize,
+}
+
+fn config(smoke: bool) -> Config {
+    let env = |name: &str, default: usize| {
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let (rows, cols, nnz, seed) = if smoke { (150, 120, 10, 8) } else { (6000, 3000, 30, 7) };
+    let data = scale_values(&webspam_like(rows, cols, nnz, seed), 0.3);
+    Config {
+        dataset: format!("webspam_like({rows}, {cols}, {nnz}, {seed}) scale 0.3"),
+        problem: RidgeProblem::from_labelled(&data, 1e-3).unwrap(),
+        epochs: env("BENCH_EPOCHS", if smoke { 2 } else { 8 }),
+        reps: env("BENCH_REPS", if smoke { 1 } else { 3 }),
+        gap_target: if smoke { 2e-1 } else { 1e-2 },
+        gap_cap: if smoke { 50 } else { 2000 },
+    }
+}
+
+/// A fresh solver of the given kind at H threads, on its own H-thread
+/// scheduler.
+fn build(kind: &str, p: &RidgeProblem, h: usize) -> Box<dyn Solver> {
+    let sched = Scheduler::new(h);
+    match kind {
+        "syscd" => Box::new(SyscdScd::new(p, Form::Dual, h, 1).with_scheduler(sched)),
+        "ascd" => Box::new(
+            AsyncCpuScd::new(p, Form::Dual, AsyncCpuMode::Atomic, h, 1).with_scheduler(sched),
+        ),
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+/// Best-of-reps wall-clock seconds per epoch (one warm epoch per rep).
+fn seconds_per_epoch(kind: &str, cfg: &Config, h: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let mut solver = build(kind, &cfg.problem, h);
+        solver.epoch(&cfg.problem);
+        let start = Instant::now();
+        for _ in 0..cfg.epochs {
+            solver.epoch(&cfg.problem);
+        }
+        best = best.min(start.elapsed().as_secs_f64() / cfg.epochs as f64);
+    }
+    best
+}
+
+/// Wall-clock (epochs, seconds) until the duality gap first drops below
+/// the target; `gap_cap` bounds a run that never gets there.
+fn time_to_gap(kind: &str, cfg: &Config, h: usize) -> (usize, f64, bool) {
+    let mut solver = build(kind, &cfg.problem, h);
+    let start = Instant::now();
+    for epoch in 1..=cfg.gap_cap {
+        solver.epoch(&cfg.problem);
+        if solver.duality_gap(&cfg.problem) <= cfg.gap_target {
+            return (epoch, start.elapsed().as_secs_f64(), true);
+        }
+    }
+    (cfg.gap_cap, start.elapsed().as_secs_f64(), false)
+}
+
+fn main() {
+    let smoke = flag_present("smoke");
+    let cfg = config(smoke);
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "# CPU backends, syscd vs a-scd, dual form, {} epochs/config x {} reps, gap target {:.0e}, host cores {host}{}",
+        cfg.epochs,
+        cfg.reps,
+        cfg.gap_target,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for h in H_SET {
+        let syscd = 1.0 / seconds_per_epoch("syscd", &cfg, h);
+        let ascd = 1.0 / seconds_per_epoch("ascd", &cfg, h);
+        let ratio = syscd / ascd;
+        let (s_epochs, s_secs, s_hit) = time_to_gap("syscd", &cfg, h);
+        let (a_epochs, a_secs, a_hit) = time_to_gap("ascd", &cfg, h);
+        println!(
+            "# H={h}: syscd {syscd:.2} epochs/s, a-scd {ascd:.2} epochs/s ({ratio:.2}x); \
+             to gap: syscd {s_epochs} ep / {s_secs:.3}s{}, a-scd {a_epochs} ep / {a_secs:.3}s{}",
+            if s_hit { "" } else { " (cap)" },
+            if a_hit { "" } else { " (cap)" },
+        );
+        rows.push(format!(
+            "    {{\n      \"threads\": {h},\n      \"syscd_epochs_per_second\": {syscd:.4},\n      \"ascd_epochs_per_second\": {ascd:.4},\n      \"syscd_over_ascd_throughput\": {ratio:.3},\n      \"syscd_epochs_to_gap\": {s_epochs},\n      \"syscd_seconds_to_gap\": {s_secs:.6},\n      \"syscd_gap_reached\": {s_hit},\n      \"ascd_epochs_to_gap\": {a_epochs},\n      \"ascd_seconds_to_gap\": {a_secs:.6},\n      \"ascd_gap_reached\": {a_hit}\n    }}"
+        ));
+    }
+
+    let out = format!(
+        "{{\n  \"benchmark\": \"cpu_backends_syscd_vs_ascd\",\n  \"dataset\": \"{}\",\n  \"form\": \"dual\",\n  \"smoke\": {smoke},\n  \"epochs_timed\": {},\n  \"reps\": {},\n  \"gap_target\": {:e},\n  \"host_parallelism\": {host},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        cfg.dataset,
+        cfg.epochs,
+        cfg.reps,
+        cfg.gap_target,
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_cpu.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+}

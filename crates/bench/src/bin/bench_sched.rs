@@ -25,8 +25,8 @@ use scd_core::tpa::TpaScd;
 use scd_datasets::{scale_values, webspam_like};
 use scd_distributed::{partition_problem, RoundPool};
 use scd_sched::Scheduler;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 const WORKERS: usize = 3;
 const LANES: usize = 64;
@@ -103,6 +103,39 @@ fn shared_seconds_per_epoch(parts: &[RidgeProblem], h: usize, epochs: usize) -> 
     (per_epoch, sched.peak_parallelism())
 }
 
+/// How many threads the scheduler can *engage* at width `h`: run a wide
+/// flat group of rendezvous tasks that each park until `h` of them are
+/// on-core simultaneously, then read the peak. Unlike the free-running
+/// epochs above — whose short tasks can drain before parked workers
+/// reach a core on a loaded host, legitimately under-filling
+/// `shared_peak_parallelism` — this probe is insensitive to task
+/// granularity, so it separates "scheduler cannot subscribe H threads"
+/// (a bug) from "the bench's tasks were too short to need them" (not).
+fn engageable_parallelism(h: usize) -> usize {
+    let sched = Scheduler::new(h);
+    let tasks = 4 * h;
+    let expect = h.min(tasks);
+    sched.reset_peak();
+    let arrivals = Mutex::new(0usize);
+    let cv = Condvar::new();
+    sched.parallel_for(tasks, &|_| {
+        let mut arrived = arrivals.lock().unwrap();
+        *arrived += 1;
+        if *arrived >= expect {
+            cv.notify_all();
+        } else {
+            let (_guard, timeout) = cv
+                .wait_timeout_while(arrived, Duration::from_secs(10), |a| *a < expect)
+                .unwrap();
+            assert!(
+                !timeout.timed_out(),
+                "scheduler width {h} failed to engage {expect} tasks"
+            );
+        }
+    });
+    sched.peak_parallelism()
+}
+
 fn main() {
     let parts = partitions();
     let epochs: usize = std::env::var("BENCH_EPOCHS")
@@ -134,8 +167,9 @@ fn main() {
             peak = peak.max(p);
         }
         let speedup = fragmented / shared;
+        let engageable = engageable_parallelism(h);
         println!(
-            "# H={h}: fragmented {:.3} ms/epoch ({} host threads), shared {:.3} ms/epoch ({h} host threads, peak {peak}), speedup {speedup:.2}x",
+            "# H={h}: fragmented {:.3} ms/epoch ({} host threads), shared {:.3} ms/epoch ({h} host threads, peak {peak}, engageable {engageable}), speedup {speedup:.2}x",
             fragmented * 1e3,
             WORKERS + WORKERS * (h - 1),
             shared * 1e3,
@@ -144,8 +178,12 @@ fn main() {
             peak <= h.max(1),
             "shared scheduler exceeded its configured width: peak {peak} > {h}"
         );
+        assert_eq!(
+            engageable, h,
+            "scheduler must engage its full width when tasks are long enough"
+        );
         rows.push(format!(
-            "    {{\n      \"host_threads\": {h},\n      \"fragmented_threads_total\": {},\n      \"fragmented_seconds_per_epoch\": {fragmented:.6e},\n      \"shared_seconds_per_epoch\": {shared:.6e},\n      \"shared_peak_parallelism\": {peak},\n      \"speedup_shared_over_fragmented\": {speedup:.3}\n    }}",
+            "    {{\n      \"host_threads\": {h},\n      \"fragmented_threads_total\": {},\n      \"fragmented_seconds_per_epoch\": {fragmented:.6e},\n      \"shared_seconds_per_epoch\": {shared:.6e},\n      \"shared_peak_parallelism\": {peak},\n      \"engageable_parallelism\": {engageable},\n      \"speedup_shared_over_fragmented\": {speedup:.3}\n    }}",
             WORKERS + WORKERS * (h - 1)
         ));
     }

@@ -23,6 +23,12 @@ pub fn flag_value(name: &str) -> Option<String> {
     None
 }
 
+/// Whether the bare flag `--<name>` appears in argv (no value expected).
+pub fn flag_present(name: &str) -> bool {
+    let long = format!("--{name}");
+    std::env::args().skip(1).any(|arg| arg == long)
+}
+
 /// The `--wire {raw,fp16,topk:<k>,topk-ef:<k>}` selection, defaulting to
 /// [`WireFormat::Raw`]. Exits with the parse error on a malformed value —
 /// a study binary has no later chance to report it.
@@ -45,5 +51,6 @@ mod tests {
         // The test harness's argv has no --wire flag.
         assert_eq!(wire_flag(), WireFormat::Raw);
         assert_eq!(flag_value("wire"), None);
+        assert!(!flag_present("smoke"));
     }
 }

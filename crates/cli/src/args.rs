@@ -71,6 +71,14 @@ impl Args {
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError::UnexpectedPositional(tok.clone()))?
                 .to_string();
+            // `--help` is the one valueless flag: any subcommand accepts
+            // it and prints usage instead of running.
+            if key == "help" {
+                if options.insert(key.clone(), String::new()).is_some() {
+                    return Err(ArgError::Duplicate(key));
+                }
+                continue;
+            }
             let value = match tokens.peek() {
                 Some(v) if !v.starts_with("--") => tokens.next().expect("peeked"),
                 _ => return Err(ArgError::MissingValue(key)),
@@ -179,6 +187,20 @@ mod tests {
             Err(ArgError::BadValue { .. })
         ));
         assert!(matches!(a.require("data"), Err(ArgError::MissingRequired("data"))));
+    }
+
+    #[test]
+    fn help_is_a_valueless_flag() {
+        let a = parse("train --help").unwrap();
+        assert!(a.get("help").is_some());
+        // …even sandwiched between valued options.
+        let a = parse("train --epochs 3 --help --lambda 0.1").unwrap();
+        assert!(a.get("help").is_some());
+        assert_eq!(a.get("epochs"), Some("3"));
+        assert_eq!(
+            parse("train --help --help").unwrap_err(),
+            ArgError::Duplicate("help".into())
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use gpu_sim::{Gpu, GpuProfile};
 use scd_core::extensions::{ElasticNetCd, LogisticSdca, SdcaSvm};
 use scd_core::{
     AsyScd, AsyncCpuMode, AsyncSimScd, Form, RegularizationPath, RidgeProblem, SequentialScd,
-    Solver, TpaScd, TrainedModel,
+    Solver, SyscdScd, TpaScd, TrainedModel,
 };
 use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, DatasetStats};
 use scd_distributed::{
@@ -22,6 +22,10 @@ use std::sync::Arc;
 
 /// Top-level dispatch.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    if args.get("help").is_some() {
+        help(out);
+        return Ok(());
+    }
     match args.command.as_str() {
         "generate" => generate(args, out),
         "info" => info(args, out),
@@ -65,8 +69,15 @@ TRAIN OPTIONS:
   --lambda L        regularization                (default 0.001)
   --l1-ratio R      elastic-net mix rho           (default 0.5)
   --form F          primal|dual                   (default primal; ridge only)
-  --solver S        seq|a-scd|wild|asyscd|tpa-m4000|tpa-titanx (default seq)
-  --threads T       modeled threads for a-scd/wild (default 16)
+  --backend B       seq|a-scd|wild|asyscd|syscd|tpa-m4000|tpa-titanx (default seq;
+                    --solver is the legacy alias — pass one or the other)
+  --threads T       modeled threads for a-scd/wild; worker replicas for syscd
+                    (default 16)
+  --buckets B       syscd only: coordinates per bucket (default 16 = one cache
+                    line of f32 model state; the unit of work assignment)
+  --merge-every K   syscd only: buckets each worker processes between replica
+                    merges (default: auto, ~4 merges per worker per epoch;
+                    larger = fewer merges, more staleness)
   --host-threads T  host threads in the shared work-stealing scheduler
                     (0 = auto-size to this machine's cores; the scheduler is
                     process-wide, so the first train in a process fixes it)
@@ -185,6 +196,22 @@ fn parse_aggregation(args: &Args) -> Result<Aggregation, String> {
     }
 }
 
+/// The single-node backend registry, quoted in every unknown-value error.
+const BACKENDS: &str = "seq|a-scd|wild|asyscd|syscd|tpa-m4000|tpa-titanx";
+
+/// Resolve `--backend` (preferred) or its legacy alias `--solver` to
+/// `(flag name used, value)`, rejecting contradictory duplicates.
+fn backend_choice(args: &Args) -> Result<(&'static str, &str), String> {
+    match (args.get("backend"), args.get("solver")) {
+        (Some(b), Some(s)) if b != s => {
+            Err("--backend and --solver are aliases; pass only one".into())
+        }
+        (Some(b), _) => Ok(("backend", b)),
+        (None, Some(s)) => Ok(("solver", s)),
+        (None, None) => Ok(("backend", "seq")),
+    }
+}
+
 fn single_node_solver(
     args: &Args,
     problem: &RidgeProblem,
@@ -192,7 +219,8 @@ fn single_node_solver(
     seed: u64,
 ) -> Result<Box<dyn Solver>, String> {
     let threads = args.get_or("threads", 16usize, "integer").map_err(|e| e.to_string())?;
-    Ok(match args.get("solver").unwrap_or("seq") {
+    let (flag, backend) = backend_choice(args)?;
+    Ok(match backend {
         "seq" => Box::new(match form {
             Form::Primal => SequentialScd::primal(problem, seed),
             Form::Dual => SequentialScd::dual(problem, seed),
@@ -213,10 +241,31 @@ fn single_node_solver(
         )),
         "asyscd" => {
             if form != Form::Primal {
-                return Err("--solver asyscd supports only --form primal".into());
+                return Err(format!("--{flag} asyscd supports only --form primal"));
             }
             let step = args.get_or("step", 1.0f64, "number").map_err(|e| e.to_string())?;
             Box::new(AsyScd::new(problem, step, seed).map_err(|e| e.to_string())?)
+        }
+        "syscd" => {
+            let buckets = args
+                .get_or("buckets", scd_core::syscd::DEFAULT_BUCKET_SIZE, "integer")
+                .map_err(|e| e.to_string())?;
+            let merge_every: Option<usize> = match args.get("merge-every") {
+                Some(_) => Some(args.get_or("merge-every", 1usize, "integer").map_err(|e| e.to_string())?),
+                None => None,
+            };
+            if buckets == 0 {
+                return Err("--buckets must be >= 1".into());
+            }
+            if merge_every == Some(0) {
+                return Err("--merge-every must be >= 1".into());
+            }
+            let mut solver =
+                SyscdScd::new(problem, form, threads, seed).with_buckets(problem, buckets);
+            if let Some(k) = merge_every {
+                solver = solver.with_merge_every(k);
+            }
+            Box::new(solver)
         }
         "tpa-m4000" => Box::new(
             TpaScd::new(problem, form, Arc::new(Gpu::new(GpuProfile::quadro_m4000())), seed)
@@ -231,11 +280,7 @@ fn single_node_solver(
             )
             .map_err(|e| e.to_string())?,
         ),
-        other => {
-            return Err(format!(
-                "unknown --solver {other:?} (seq|a-scd|wild|asyscd|tpa-m4000|tpa-titanx)"
-            ))
-        }
+        other => return Err(format!("unknown --{flag} {other:?} (valid: {BACKENDS})")),
     })
 }
 
@@ -265,7 +310,8 @@ fn parse_fault(args: &Args) -> Result<FaultPlan, String> {
 
 fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
     let threads = args.get_or("threads", 16usize, "integer").map_err(|e| e.to_string())?;
-    Ok(match args.get("solver").unwrap_or("seq") {
+    let (flag, backend) = backend_choice(args)?;
+    Ok(match backend {
         "seq" => LocalSolverKind::Sequential,
         "a-scd" => LocalSolverKind::AsyncSim {
             mode: AsyncCpuMode::Atomic,
@@ -289,7 +335,7 @@ fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
         },
         other => {
             return Err(format!(
-                "--solver {other:?} cannot run distributed (seq|a-scd|wild|tpa-m4000|tpa-titanx)"
+                "--{flag} {other:?} cannot run distributed (seq|a-scd|wild|tpa-m4000|tpa-titanx)"
             ))
         }
     })
@@ -298,13 +344,23 @@ fn local_solver_kind(args: &Args) -> Result<LocalSolverKind, String> {
 /// `scd train`.
 pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     args.check_known(&[
-        "data", "features", "objective", "lambda", "l1-ratio", "form", "solver", "threads",
-        "host-threads", "step", "epochs", "eval-every", "target-gap", "workers", "aggregation",
-        "wire", "round-threads", "runtime", "staleness", "event-trace", "fault-drop",
-        "fault-delay", "fault-delay-factor", "fault-timeout", "fault-retries", "fault-seed",
-        "round-metrics", "save-model", "seed",
+        "data", "features", "objective", "lambda", "l1-ratio", "form", "backend", "solver",
+        "threads", "buckets", "merge-every", "host-threads", "step", "epochs", "eval-every",
+        "target-gap", "workers", "aggregation", "wire", "round-threads", "runtime", "staleness",
+        "event-trace", "fault-drop", "fault-delay", "fault-delay-factor", "fault-timeout",
+        "fault-retries", "fault-seed", "round-metrics", "save-model", "seed",
     ])
     .map_err(|e| e.to_string())?;
+    // The bucket/merge knobs parameterize only the syscd backend; reject
+    // them elsewhere so a typo'd invocation fails loudly.
+    let (backend_flag, backend) = backend_choice(args)?;
+    if backend != "syscd" {
+        for knob in ["buckets", "merge-every"] {
+            if args.get(knob).is_some() {
+                return Err(format!("--{knob} only applies to --{backend_flag} syscd"));
+            }
+        }
+    }
     // Size the process-wide host scheduler before anything can lazily
     // initialize it. 0 = leave it at the auto default.
     let host_threads = args
@@ -775,6 +831,68 @@ mod tests {
             assert!(out.contains("epoch     5"), "{obj}: {out}");
         }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_syscd_backend() {
+        let path = tmp("syscd");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 80 --cols 60 --nnz-per-row 6 --scale 0.3 --output {path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "train --data {path} --features 60 --backend syscd --threads 4 --buckets 8 \
+             --merge-every 2 --epochs 20 --eval-every 20"
+        ))
+        .unwrap();
+        assert!(out.contains("SySCD (4 threads)"), "{out}");
+        assert!(out.contains("epoch    20"), "{out}");
+        // The legacy alias spells the same backend.
+        let out = run_to_string(&format!(
+            "train --data {path} --features 60 --solver syscd --threads 2 --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("SySCD (2 threads)"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn backend_flag_errors() {
+        let path = tmp("backend_err");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 20 --cols 15 --nnz-per-row 3 --output {path}"
+        ))
+        .unwrap();
+        // Unknown values list the full registry.
+        let err = run_to_string(&format!("train --data {path} --backend warp9")).unwrap_err();
+        assert!(err.contains("unknown --backend"), "{err}");
+        assert!(
+            err.contains("seq|a-scd|wild|asyscd|syscd|tpa-m4000|tpa-titanx"),
+            "{err}"
+        );
+        // Contradictory alias use is rejected.
+        let err = run_to_string(&format!(
+            "train --data {path} --backend syscd --solver seq"
+        ))
+        .unwrap_err();
+        assert!(err.contains("aliases"), "{err}");
+        // syscd-only knobs are rejected on other backends.
+        let err = run_to_string(&format!("train --data {path} --buckets 8")).unwrap_err();
+        assert!(err.contains("--buckets only applies to --backend syscd"), "{err}");
+        let err = run_to_string(&format!(
+            "train --data {path} --solver wild --merge-every 2"
+        ))
+        .unwrap_err();
+        assert!(err.contains("--merge-every only applies to --solver syscd"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_help_documents_syscd_knobs() {
+        let out = run_to_string("train --help").unwrap();
+        for word in ["--backend", "syscd", "--buckets", "--merge-every"] {
+            assert!(out.contains(word), "train --help missing {word}");
+        }
     }
 
     #[test]

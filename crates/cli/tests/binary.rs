@@ -94,6 +94,57 @@ fn distributed_gpu_training_from_the_command_line() {
 }
 
 #[test]
+fn unknown_backend_lists_the_valid_set() {
+    let data = tmp("backend_data.svm");
+    let data_s = data.to_str().unwrap();
+    let out = scd(&[
+        "generate", "--kind", "webspam", "--rows", "40", "--cols", "30", "--nnz-per-row", "4",
+        "--output", data_s,
+    ]);
+    assert!(out.status.success());
+
+    let out = scd(&["train", "--data", data_s, "--backend", "hyperdrive"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown --backend \"hyperdrive\""), "{err}");
+    assert!(
+        err.contains("seq|a-scd|wild|asyscd|syscd|tpa-m4000|tpa-titanx"),
+        "error must list every valid backend: {err}"
+    );
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn syscd_backend_trains_and_help_documents_its_knobs() {
+    let out = scd(&["train", "--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for word in ["--backend", "--buckets", "--merge-every", "syscd"] {
+        assert!(text.contains(word), "train --help missing {word}: {text}");
+    }
+
+    let data = tmp("syscd_data.svm");
+    let data_s = data.to_str().unwrap();
+    let out = scd(&[
+        "generate", "--kind", "webspam", "--rows", "100", "--cols", "80", "--nnz-per-row", "8",
+        "--scale", "0.3", "--output", data_s,
+    ]);
+    assert!(out.status.success());
+
+    let out = scd(&[
+        "train", "--data", data_s, "--features", "80", "--backend", "syscd", "--threads", "4",
+        "--buckets", "16", "--merge-every", "1", "--host-threads", "2", "--epochs", "20",
+        "--eval-every", "20",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SySCD (4 threads)"), "{text}");
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
 fn host_threads_sizes_the_shared_scheduler() {
     // A fresh process, so --host-threads can claim the process-wide
     // scheduler; the distributed GPU run then schedules on 2 host threads.

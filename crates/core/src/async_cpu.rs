@@ -24,6 +24,7 @@ use crate::updates::{dual_delta, primal_delta};
 use gpu_sim::{DeviceBuffer, MemSemantics};
 use scd_perf_model::{AsyncCpuMode, CpuProfile};
 use scd_sched::Scheduler;
+use scd_sparse::kernels;
 use scd_sparse::perm::Permutation;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -125,11 +126,11 @@ impl AsyncCpuScd {
                         let col = problem.csc().col(c);
                         local_nnz += col.nnz();
                         let y = problem.labels();
-                        let mut dot = 0.0f64;
-                        for (&i, &v) in col.indices.iter().zip(col.values) {
-                            let i = i as usize;
-                            dot += (y[i] as f64 - self.shared.load(i) as f64) * v as f64;
-                        }
+                        // Same unrolled lanes as the sequential engine,
+                        // reading the shared vector through relaxed loads.
+                        let dot = kernels::dot_residual_gather(col.indices, col.values, y, |i| {
+                            self.shared.load(i)
+                        });
                         let beta_c = self.weights.load(c);
                         let delta = primal_delta(
                             dot,
@@ -147,10 +148,9 @@ impl AsyncCpuScd {
                     Form::Dual => {
                         let row = problem.csr().row(c);
                         local_nnz += row.nnz();
-                        let mut dot = 0.0f64;
-                        for (&i, &v) in row.indices.iter().zip(row.values) {
-                            dot += self.shared.load(i as usize) as f64 * v as f64;
-                        }
+                        let dot = kernels::dot_gather(row.indices, row.values, |i| {
+                            self.shared.load(i)
+                        });
                         let alpha_c = self.weights.load(c);
                         let delta = dual_delta(
                             dot,

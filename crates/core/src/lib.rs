@@ -11,6 +11,9 @@
 //! * [`async_cpu`] — real-thread A-SCD / PASSCoDe-Wild (§III-B).
 //! * [`async_sim`] — deterministic T-thread asynchrony simulation used for
 //!   reproducible figures.
+//! * [`syscd`] — SySCD-style system-aware parallel SCD: bucketized
+//!   coordinates, shuffled static partitioning, per-worker replicas with
+//!   deterministic merges.
 //! * [`asyscd`] — the AsySCD [15] baseline §III-B criticizes (Hessian
 //!   blow-up, step-size tuning, slower than Algorithm 1).
 //! * [`tpa`] — TPA-SCD kernels and solver (§III-C).
@@ -36,6 +39,7 @@ pub mod problem;
 pub mod recorder;
 pub mod seq;
 pub mod solver;
+pub mod syscd;
 pub mod tpa;
 pub mod updates;
 
@@ -51,6 +55,7 @@ pub use problem::{Form, ProblemError, RidgeProblem};
 pub use recorder::{ConvergenceRecorder, EpochPoint};
 pub use seq::SequentialScd;
 pub use solver::{EpochStats, Solver, TimeBreakdown};
+pub use syscd::SyscdScd;
 pub use tpa::{TpaScd, DEFAULT_LANES};
 
 pub use scd_perf_model::AsyncCpuMode;

@@ -12,6 +12,7 @@ use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
 use crate::updates::{dual_delta, primal_delta};
 use scd_perf_model::CpuProfile;
+use scd_sparse::kernels;
 use scd_sparse::perm::Permutation;
 
 /// Sequential SCD (single CPU thread).
@@ -152,12 +153,10 @@ impl SequentialScd {
                     let m = perm.apply(j);
                     let col = problem.csc().col(m);
                     nnz_touched += col.nnz();
-                    // ⟨y − w, a_m⟩
-                    let mut dot = 0.0f64;
-                    for (&i, &v) in col.indices.iter().zip(col.values) {
-                        let i = i as usize;
-                        dot += (y[i] as f64 - self.shared[i] as f64) * v as f64;
-                    }
+                    // ⟨y − w, a_m⟩ through the unrolled lanes — the same
+                    // kernel every CPU backend (syscd included) runs, so
+                    // their trajectories can be compared bit for bit.
+                    let dot = kernels::dot_residual(col.indices, col.values, y, &self.shared);
                     let delta = primal_delta(
                         dot,
                         self.weights[m] as f64,
@@ -174,7 +173,7 @@ impl SequentialScd {
                     let n = perm.apply(j);
                     let row = problem.csr().row(n);
                     nnz_touched += row.nnz();
-                    let dot = row.dot_dense(&self.shared);
+                    let dot = kernels::dot_dense(row.indices, row.values, &self.shared);
                     let delta = dual_delta(
                         dot,
                         problem.labels()[n] as f64,

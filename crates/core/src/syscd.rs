@@ -1,0 +1,582 @@
+//! SySCD-style system-aware parallel SCD on the host CPU.
+//!
+//! The paper's CPU baselines leave a lot on the table: A-SCD hammers one
+//! shared vector with CAS-loop atomic adds, and every thread's working
+//! set is the whole model. SySCD (Ioannou, Mendler-Dünner, Parnell —
+//! same group as this paper) restructures the algorithm around the
+//! memory hierarchy instead:
+//!
+//! * **Buckets.** Coordinates are grouped into cache-line-sized buckets
+//!   (default [`DEFAULT_BUCKET_SIZE`]); a bucket is the unit of work
+//!   assignment, so a worker streams a contiguous block of coordinates
+//!   (and, in the dual form, a small ELL block whose slot-major layout
+//!   keeps the bucket's rows in cache).
+//! * **Shuffled static partitioning.** Each epoch draws one random
+//!   permutation of the *buckets* and deals them round-robin to the
+//!   `workers` threads. Assignment is decided before any work runs — no
+//!   atomic cursor, no work stealing races — so the schedule is a pure
+//!   function of `(seed, epoch)`.
+//! * **Replicated shared vector.** Every worker updates a private
+//!   replica of `v`; after each worker has processed `merge_every`
+//!   buckets the replicas are reduced back into the global vector in
+//!   worker-id order: `v ← base + Σ_w (replica_w − base)`. A fixed
+//!   reduction order makes the merge — and therefore the whole epoch —
+//!   **bit-identical across scheduler widths** (the PR 2 / PR 5
+//!   determinism idiom). Deterministic replay is not a mode here; it is
+//!   the only behaviour.
+//!
+//! With `workers == 1` the engine degenerates exactly to Algorithm 1:
+//! one replica *is* the shared vector, no merges happen, and the epoch
+//! uses the flat coordinate permutation — bit-identical to
+//! [`SequentialScd`](crate::seq::SequentialScd) because both run the
+//! same unrolled kernels (property-tested in `tests/syscd_identity.rs`).
+//!
+//! Convergence-wise the replicas introduce bounded staleness: within a
+//! merge window workers do not see each other's updates. The window is
+//! `workers × merge_every × bucket_size` coordinates — the same knob as
+//! PASSCoDe's bounded-asynchrony analysis, and small enough by default
+//! that the trajectories track sequential SCD closely.
+
+use crate::problem::{Form, RidgeProblem};
+use crate::solver::{EpochStats, Solver, TimeBreakdown};
+use crate::updates::{dual_delta, primal_delta};
+use scd_perf_model::CpuProfile;
+use scd_sparse::kernels;
+use scd_sparse::perm::Permutation;
+use scd_sparse::EllMatrix;
+use std::sync::{Arc, Mutex};
+
+/// Default coordinates per bucket: 16 × 4-byte weights = one 64-byte
+/// cache line of model state per bucket.
+pub const DEFAULT_BUCKET_SIZE: usize = 16;
+
+/// Default merge windows per epoch when `--merge-every` is not set: the
+/// merge interval auto-sizes to `⌈buckets-per-worker / 4⌉` so an epoch
+/// pays ~4 merges regardless of problem size. Merging is two scheduler
+/// group launches plus a (W+1)-stream pass over the shared vector, so a
+/// per-bucket cadence would drown large problems in synchronization,
+/// while the σ′ = W safe subproblem keeps convergence essentially flat
+/// in the window size (see the module docs).
+pub const DEFAULT_MERGE_WINDOWS: usize = 4;
+
+/// Elements per claimable chunk of the parallel merge.
+const MERGE_CHUNK: usize = 4096;
+
+/// Only use a bucket's ELL block when padding stays below this ratio;
+/// beyond it the padded stream costs more than CSR's irregularity.
+const ELL_MAX_PADDING: f64 = 2.0;
+
+/// Per-worker mutable state, locked once per merge window.
+struct WorkerState {
+    /// Private replica of the shared vector.
+    replica: Vec<f32>,
+    /// `(coordinate, new weight)` staged this window; applied by the
+    /// merge step so the model vector has a single writer.
+    staged: Vec<(u32, f32)>,
+    /// Nonzeros streamed this epoch (cost-model input).
+    nnz: usize,
+}
+
+/// SySCD-style parallel SCD: bucketized coordinates, shuffled static
+/// partitioning, per-worker shared-vector replicas with deterministic
+/// worker-id-ordered merges.
+pub struct SyscdScd {
+    form: Form,
+    workers: usize,
+    bucket_size: usize,
+    /// Buckets per worker between merges; `None` auto-sizes to
+    /// ~[`DEFAULT_MERGE_WINDOWS`] merge windows per epoch.
+    merge_every: Option<usize>,
+    /// β (len M) or α (len N).
+    weights: Vec<f32>,
+    /// w = Aβ (len N) or w̄ = Aᵀα (len M), rebuilt from replicas at merge
+    /// boundaries.
+    shared: Vec<f32>,
+    /// Snapshot of `shared` at the current window's start.
+    base: Vec<f32>,
+    states: Vec<Mutex<WorkerState>>,
+    /// Dual form only: per-bucket ELL blocks (`None` where padding is too
+    /// skewed — those buckets stream CSR rows; the kernels are
+    /// bit-identical either way).
+    ell_blocks: Vec<Option<EllMatrix>>,
+    cpu: CpuProfile,
+    sched: Option<Arc<scd_sched::Scheduler>>,
+    seed: u64,
+    epoch_index: u64,
+}
+
+impl SyscdScd {
+    /// Build an engine with `workers` replicas for the given form.
+    pub fn new(problem: &RidgeProblem, form: Form, workers: usize, seed: u64) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let shared_len = problem.shared_len(form);
+        let mut engine = SyscdScd {
+            form,
+            workers,
+            bucket_size: DEFAULT_BUCKET_SIZE,
+            merge_every: None,
+            weights: vec![0.0; problem.coords(form)],
+            shared: vec![0.0; shared_len],
+            base: vec![0.0; shared_len],
+            states: (0..workers)
+                .map(|_| {
+                    Mutex::new(WorkerState {
+                        replica: vec![0.0; shared_len],
+                        staged: Vec::new(),
+                        nnz: 0,
+                    })
+                })
+                .collect(),
+            ell_blocks: Vec::new(),
+            cpu: CpuProfile::xeon_e5_2640(),
+            sched: None,
+            seed,
+            epoch_index: 0,
+        };
+        engine.build_ell_blocks(problem);
+        engine
+    }
+
+    /// Coordinates per bucket (≥ 1). Rebuilds the bucket ELL blocks.
+    pub fn with_buckets(mut self, problem: &RidgeProblem, bucket_size: usize) -> Self {
+        assert!(bucket_size >= 1, "bucket size must be >= 1");
+        self.bucket_size = bucket_size;
+        self.build_ell_blocks(problem);
+        self
+    }
+
+    /// Buckets each worker processes between merges (≥ 1), overriding
+    /// the auto-sized default of ~[`DEFAULT_MERGE_WINDOWS`] merges/epoch.
+    pub fn with_merge_every(mut self, merge_every: usize) -> Self {
+        assert!(merge_every >= 1, "merge interval must be >= 1");
+        self.merge_every = Some(merge_every);
+        self
+    }
+
+    /// Override the CPU profile used for simulated timing.
+    pub fn with_cpu(mut self, cpu: CpuProfile) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Run epochs on an explicit scheduler instead of the process-wide
+    /// one.
+    pub fn with_scheduler(mut self, sched: Arc<scd_sched::Scheduler>) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    fn n_buckets(&self, coords: usize) -> usize {
+        coords.div_ceil(self.bucket_size)
+    }
+
+    /// σ′ of the CoCoA+ safe subproblem each worker solves (see
+    /// [`Self::run_worker_window`]); the merge divides contributions by
+    /// the same factor.
+    fn sigma_prime(&self) -> f64 {
+        self.workers as f64
+    }
+
+    /// Dual form: cut the CSR matrix into per-bucket ELL blocks so a
+    /// worker's inner loop walks a dense slot-major tile instead of
+    /// striding the global row arrays.
+    fn build_ell_blocks(&mut self, problem: &RidgeProblem) {
+        self.ell_blocks.clear();
+        if self.form != Form::Dual {
+            return;
+        }
+        let coords = problem.coords(self.form);
+        let csr = problem.csr();
+        for b in 0..self.n_buckets(coords) {
+            let lo = b * self.bucket_size;
+            let hi = (lo + self.bucket_size).min(coords);
+            let rows: Vec<usize> = (lo..hi).collect();
+            let block = EllMatrix::from_csr(&csr.select_rows(&rows));
+            self.ell_blocks
+                .push((block.padding_ratio() <= ELL_MAX_PADDING).then_some(block));
+        }
+    }
+
+    /// The degenerate single-worker epoch: Algorithm 1 on the flat
+    /// coordinate permutation, updating `shared` in place — the code
+    /// path the bit-identity tests compare against `SequentialScd`.
+    fn run_epoch_sequential(&mut self, problem: &RidgeProblem, perm: &Permutation) -> usize {
+        let coords = problem.coords(self.form);
+        let n_lambda = problem.n_lambda();
+        let mut nnz = 0usize;
+        match self.form {
+            Form::Primal => {
+                let y = problem.labels();
+                for j in 0..coords {
+                    let m = perm.apply(j);
+                    let col = problem.csc().col(m);
+                    nnz += col.nnz();
+                    let dot = kernels::dot_residual(col.indices, col.values, y, &self.shared);
+                    let delta = primal_delta(
+                        dot,
+                        self.weights[m] as f64,
+                        problem.col_sq_norms()[m],
+                        n_lambda,
+                    ) as f32;
+                    self.weights[m] += delta;
+                    col.axpy_into(delta, &mut self.shared);
+                }
+            }
+            Form::Dual => {
+                let lambda = problem.lambda();
+                for j in 0..coords {
+                    let n = perm.apply(j);
+                    let row = problem.csr().row(n);
+                    nnz += row.nnz();
+                    let dot = kernels::dot_dense(row.indices, row.values, &self.shared);
+                    let delta = dual_delta(
+                        dot,
+                        problem.labels()[n] as f64,
+                        self.weights[n] as f64,
+                        problem.row_sq_norms()[n],
+                        lambda,
+                        n_lambda,
+                    ) as f32;
+                    self.weights[n] += delta;
+                    row.axpy_into(delta, &mut self.shared);
+                }
+            }
+        }
+        nnz
+    }
+
+    /// One worker's share of a merge window: process the buckets at
+    /// shuffled slots `w, w+W, w+2W, …` restricted to the window, on the
+    /// worker's private replica, staging weight updates for the merge.
+    // The coordinate loops index several parallel arrays (weights, matrix
+    // slices, squared norms) by the same coordinate id, so a range loop is
+    // the clearest spelling.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn run_worker_window(
+        &self,
+        problem: &RidgeProblem,
+        perm: &Permutation,
+        weights: &[f32],
+        base: &[f32],
+        state: &mut WorkerState,
+        w: usize,
+        window: usize,
+        merge_every: usize,
+        n_buckets: usize,
+    ) {
+        let coords = problem.coords(self.form);
+        let n_lambda = problem.n_lambda();
+        // CoCoA+ safe subproblem: every merge *adds* W workers' local
+        // contributions, each computed from the same base snapshot, so a
+        // worker must solve the σ′-scaled subproblem with σ′ = W — the
+        // γ = 1 adding bound the distributed driver applies per partition
+        // (σ′ = K). Concretely each coordinate delta divides by
+        // σ′·‖a‖² instead of ‖a‖², and the replica accumulates
+        // σ′ × the local update (`r = base + σ′·AΔ`) so the *next*
+        // coordinate in the window sees its own worker's contribution
+        // with the same σ′ coupling the denominator assumes. The merge
+        // then folds `(r_w − base)/σ′` — with σ′ = W, an average of the
+        // replica deltas. This is stable for any bucket size or merge
+        // interval (an inconsistent local solve — replica coupling 1,
+        // denominator σ′ — diverges at wide windows on overlapping data).
+        let sigma_prime = self.sigma_prime();
+        state.replica.copy_from_slice(base);
+        state.staged.clear();
+        for k in window * merge_every..(window + 1) * merge_every {
+            let slot = k * self.workers + w;
+            if slot >= n_buckets {
+                break;
+            }
+            let b = perm.apply(slot);
+            let lo = b * self.bucket_size;
+            let hi = (lo + self.bucket_size).min(coords);
+            match self.form {
+                Form::Primal => {
+                    let y = problem.labels();
+                    for m in lo..hi {
+                        let col = problem.csc().col(m);
+                        state.nnz += col.nnz();
+                        let dot =
+                            kernels::dot_residual(col.indices, col.values, y, &state.replica);
+                        let delta = primal_delta(
+                            dot,
+                            weights[m] as f64,
+                            sigma_prime * problem.col_sq_norms()[m],
+                            n_lambda,
+                        ) as f32;
+                        state.staged.push((m as u32, weights[m] + delta));
+                        col.axpy_into((sigma_prime * delta as f64) as f32, &mut state.replica);
+                    }
+                }
+                Form::Dual => {
+                    let lambda = problem.lambda();
+                    let ell = self.ell_blocks[b].as_ref();
+                    for n in lo..hi {
+                        let row = problem.csr().row(n);
+                        state.nnz += row.nnz();
+                        let dot = match ell {
+                            Some(block) => block.row_dot(n - lo, &state.replica),
+                            None => kernels::dot_dense(row.indices, row.values, &state.replica),
+                        };
+                        let delta = dual_delta(
+                            dot,
+                            problem.labels()[n] as f64,
+                            weights[n] as f64,
+                            sigma_prime * problem.row_sq_norms()[n],
+                            lambda,
+                            n_lambda,
+                        ) as f32;
+                        state.staged.push((n as u32, weights[n] + delta));
+                        let scaled = (sigma_prime * delta as f64) as f32;
+                        match ell {
+                            Some(block) => block.row_axpy(n - lo, scaled, &mut state.replica),
+                            None => row.axpy_into(scaled, &mut state.replica),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parallel epoch: shuffled static partitioning of buckets, replica
+    /// windows, deterministic merges. Returns `(nnz touched, merges)`.
+    fn run_epoch_parallel(
+        &mut self,
+        problem: &RidgeProblem,
+        perm: &Permutation,
+    ) -> (usize, usize) {
+        let coords = problem.coords(self.form);
+        let n_buckets = self.n_buckets(coords);
+        let per_worker = n_buckets.div_ceil(self.workers);
+        let merge_every = self
+            .merge_every
+            .unwrap_or_else(|| per_worker.div_ceil(DEFAULT_MERGE_WINDOWS))
+            .max(1);
+        let windows = per_worker.div_ceil(merge_every);
+        let sched = match &self.sched {
+            Some(s) => Arc::clone(s),
+            None => scd_sched::global(),
+        };
+
+        // Move the dense state into locals so the worker closure can
+        // borrow `self` shared while the master mutates them between
+        // windows.
+        let mut weights = std::mem::take(&mut self.weights);
+        let mut shared = std::mem::take(&mut self.shared);
+        let mut base = std::mem::take(&mut self.base);
+
+        for window in 0..windows {
+            base.copy_from_slice(&shared);
+            {
+                let weights = &weights;
+                let base = &base;
+                sched.parallel_for_limited(self.workers, self.workers, &|w| {
+                    let mut state = self.states[w].lock().unwrap();
+                    self.run_worker_window(
+                        problem, perm, weights, base, &mut state, w, window, merge_every,
+                        n_buckets,
+                    );
+                });
+            }
+            // Deterministic reduce: lock every replica, fold worker
+            // deltas in worker-id order (scaled by 1/σ′ to undo the
+            // safe-subproblem replica scaling), chunked over the pool.
+            // Each chunk owns a disjoint slice of `shared`, and each
+            // element's fold order is fixed by the replica list — the
+            // result does not depend on how chunks land on threads.
+            let guards: Vec<_> = self.states.iter().map(|s| s.lock().unwrap()).collect();
+            let replicas: Vec<&[f32]> = guards.iter().map(|g| g.replica.as_slice()).collect();
+            {
+                let chunk_slots: Vec<Mutex<&mut [f32]>> =
+                    shared.chunks_mut(MERGE_CHUNK).map(Mutex::new).collect();
+                let base = &base;
+                let replicas = &replicas;
+                let merge_scale = (1.0 / self.sigma_prime()) as f32;
+                sched.parallel_for_chunked(base.len(), MERGE_CHUNK, self.workers, &|range| {
+                    let mut out = chunk_slots[range.start / MERGE_CHUNK].lock().unwrap();
+                    let views: Vec<&[f32]> =
+                        replicas.iter().map(|r| &r[range.clone()]).collect();
+                    kernels::merge_replicas(&base[range], &views, merge_scale, &mut out);
+                });
+            }
+            // Weight updates: coordinates are partitioned across workers,
+            // so the staged writes are disjoint; worker order kept anyway.
+            for guard in &guards {
+                for &(c, value) in &guard.staged {
+                    weights[c as usize] = value;
+                }
+            }
+        }
+
+        let nnz = self
+            .states
+            .iter()
+            .map(|s| {
+                let mut g = s.lock().unwrap();
+                std::mem::take(&mut g.nnz)
+            })
+            .sum();
+        self.weights = weights;
+        self.shared = shared;
+        self.base = base;
+        (nnz, windows)
+    }
+
+    fn run_epoch(&mut self, problem: &RidgeProblem) -> (usize, usize, usize) {
+        let coords = problem.coords(self.form);
+        let epoch_seed = self.seed ^ (self.epoch_index.wrapping_mul(0x9E37));
+        self.epoch_index += 1;
+        if self.workers == 1 {
+            // Degenerate to Algorithm 1 exactly: flat coordinate
+            // permutation, in-place shared vector, zero merges.
+            let perm = Permutation::random(coords, epoch_seed);
+            let nnz = self.run_epoch_sequential(problem, &perm);
+            (coords, nnz, 0)
+        } else {
+            let perm = Permutation::random(self.n_buckets(coords), epoch_seed);
+            let (nnz, merges) = self.run_epoch_parallel(problem, &perm);
+            (coords, nnz, merges)
+        }
+    }
+}
+
+impl Solver for SyscdScd {
+    fn form(&self) -> Form {
+        self.form
+    }
+
+    fn name(&self) -> String {
+        format!("SySCD ({} threads)", self.workers)
+    }
+
+    fn epoch(&mut self, problem: &RidgeProblem) -> EpochStats {
+        let (coords, nnz, merges) = self.run_epoch(problem);
+        EpochStats {
+            updates: coords,
+            breakdown: TimeBreakdown {
+                host: self.cpu.syscd_epoch_seconds(
+                    self.workers,
+                    nnz,
+                    coords,
+                    merges,
+                    self.shared.len(),
+                ),
+                ..TimeBreakdown::default()
+            },
+        }
+    }
+
+    fn weights(&self) -> Vec<f32> {
+        self.weights.clone()
+    }
+
+    fn shared_vector(&self) -> Vec<f32> {
+        self.shared.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_datasets::{dense_gaussian, webspam_like};
+    use scd_sparse::dense;
+
+    fn problem() -> RidgeProblem {
+        RidgeProblem::from_labelled(&webspam_like(150, 120, 10, 8), 1e-3).unwrap()
+    }
+
+    #[test]
+    fn primal_converges_with_multiple_workers() {
+        let p = problem();
+        let mut s = SyscdScd::new(&p, Form::Primal, 4, 1);
+        // σ′ = W damps each update 4×, so the epoch budget is ~W× the
+        // sequential solver's; the swept rate reaches ~1e-5 by 300.
+        for _ in 0..300 {
+            s.epoch(&p);
+        }
+        let gap = s.duality_gap(&p);
+        assert!(gap < 1e-4, "gap {gap}");
+    }
+
+    #[test]
+    fn dual_converges_with_multiple_workers() {
+        let p = problem();
+        let mut s = SyscdScd::new(&p, Form::Dual, 4, 2);
+        for _ in 0..800 {
+            s.epoch(&p);
+        }
+        let gap = s.duality_gap(&p);
+        assert!(gap < 1e-3, "gap {gap}");
+    }
+
+    #[test]
+    fn matches_closed_form_on_dense_problem() {
+        let p = RidgeProblem::from_labelled(&dense_gaussian(30, 10, 3), 0.1).unwrap();
+        let mut s = SyscdScd::new(&p, Form::Primal, 3, 7);
+        for _ in 0..250 {
+            s.epoch(&p);
+        }
+        let exact = crate::exact::exact_primal(&p);
+        assert!(dense::max_abs_diff(&s.weights(), &exact) < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_run_to_run() {
+        let p = problem();
+        let run = |workers| {
+            let mut s = SyscdScd::new(&p, Form::Primal, workers, 5);
+            for _ in 0..4 {
+                s.epoch(&p);
+            }
+            (s.weights(), s.shared_vector())
+        };
+        assert_eq!(run(3), run(3));
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn shared_vector_tracks_weights_through_merges() {
+        // The merged shared vector may drift from Aβ only by f32 rounding
+        // accumulated across merges — not by lost updates.
+        let p = problem();
+        let mut s = SyscdScd::new(&p, Form::Primal, 4, 3);
+        for _ in 0..10 {
+            s.epoch(&p);
+        }
+        let true_shared = p.csc().matvec(&s.weights()).unwrap();
+        assert!(
+            dense::max_abs_diff(&s.shared_vector(), &true_shared) < 1e-3,
+            "merged shared vector must track Aβ"
+        );
+    }
+
+    #[test]
+    fn bucket_and_merge_knobs_still_converge() {
+        let p = problem();
+        let mut s = SyscdScd::new(&p, Form::Dual, 2, 9)
+            .with_buckets(&p, 4)
+            .with_merge_every(1);
+        for _ in 0..400 {
+            s.epoch(&p);
+        }
+        assert!(s.duality_gap(&p) < 1e-3);
+    }
+
+    #[test]
+    fn more_workers_cost_less_simulated_time() {
+        let p = problem();
+        let t1 = SyscdScd::new(&p, Form::Primal, 1, 1).epoch(&p).seconds();
+        let t8 = SyscdScd::new(&p, Form::Primal, 8, 1).epoch(&p).seconds();
+        assert!(
+            t1 / t8 > 4.0,
+            "8 workers should be ≥4x faster in the model, got {}",
+            t1 / t8
+        );
+    }
+
+    #[test]
+    fn name_reports_workers() {
+        let p = problem();
+        assert_eq!(SyscdScd::new(&p, Form::Primal, 4, 0).name(), "SySCD (4 threads)");
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic-replay guarantees of the SySCD backend, mirroring
+//! `crates/gpusim/tests/sched_identity.rs`:
+//!
+//! 1. With one worker the engine degenerates to Algorithm 1 exactly —
+//!    bit-identical weights and shared vector to [`SequentialScd`] for
+//!    any problem, form, seed, and epoch count, regardless of how wide
+//!    a scheduler is attached.
+//! 2. With any worker count the shuffled-static schedule plus the
+//!    worker-id-ordered merge make the trajectory a pure function of
+//!    `(seed, epoch)`: running the same configuration on schedulers of
+//!    different widths produces bit-identical state.
+
+use proptest::prelude::*;
+use scd_core::{Form, RidgeProblem, Solver, SequentialScd, SyscdScd};
+use scd_datasets::webspam_like;
+use scd_sched::Scheduler;
+
+fn problem(rows: usize, cols: usize, nnz: usize, seed: u64) -> RidgeProblem {
+    RidgeProblem::from_labelled(&webspam_like(rows, cols, nnz, seed), 1e-3).unwrap()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_worker_is_bitwise_sequential_scd(
+        rows in 10usize..60,
+        cols in 8usize..50,
+        data_seed in 0u64..1000,
+        solver_seed in 0u64..1000,
+        epochs in 1usize..5,
+        sched_width in 1usize..5,
+        dual in 0u64..2,
+    ) {
+        let nnz = (cols / 2).clamp(1, 8);
+        let p = problem(rows, cols, nnz, data_seed);
+        let form = if dual == 1 { Form::Dual } else { Form::Primal };
+
+        let mut reference = match form {
+            Form::Primal => SequentialScd::primal(&p, solver_seed),
+            Form::Dual => SequentialScd::dual(&p, solver_seed),
+        };
+        let mut syscd = SyscdScd::new(&p, form, 1, solver_seed)
+            .with_scheduler(Scheduler::new(sched_width));
+        for _ in 0..epochs {
+            reference.epoch(&p);
+            syscd.epoch(&p);
+        }
+        prop_assert_eq!(bits(&reference.weights()), bits(&syscd.weights()));
+        prop_assert_eq!(bits(&reference.shared_vector()), bits(&syscd.shared_vector()));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_scheduler_widths(
+        rows in 10usize..60,
+        cols in 8usize..50,
+        data_seed in 0u64..1000,
+        solver_seed in 0u64..1000,
+        workers in 2usize..6,
+        bucket in 1usize..9,
+        merge_every in 1usize..4,
+        epochs in 1usize..4,
+        wide in 2usize..5,
+        dual in 0u64..2,
+    ) {
+        let nnz = (cols / 2).clamp(1, 8);
+        let p = problem(rows, cols, nnz, data_seed);
+        let form = if dual == 1 { Form::Dual } else { Form::Primal };
+
+        let run = |width: usize| {
+            let mut s = SyscdScd::new(&p, form, workers, solver_seed)
+                .with_buckets(&p, bucket)
+                .with_merge_every(merge_every)
+                .with_scheduler(Scheduler::new(width));
+            for _ in 0..epochs {
+                s.epoch(&p);
+            }
+            (bits(&s.weights()), bits(&s.shared_vector()))
+        };
+
+        let narrow = run(1);
+        prop_assert_eq!(&narrow, &run(wide));
+        // And run-to-run on the same width (replay, not luck).
+        prop_assert_eq!(&narrow, &run(1));
+    }
+}

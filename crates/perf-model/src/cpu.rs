@@ -46,6 +46,10 @@ pub struct CpuProfile {
     pub atomic_contention: f64,
     /// Contention coefficient for the wild engine.
     pub wild_contention: f64,
+    /// Contention coefficient for the SySCD-style replicated engine: no
+    /// shared-vector atomics at all, only cache/bandwidth sharing, so the
+    /// curve is near-linear.
+    pub syscd_contention: f64,
     /// Effective single-thread streaming rate for dense vector bookkeeping
     /// (Δ-vector formation, master aggregation), bytes/s.
     pub host_stream_bytes_per_s: f64,
@@ -72,6 +76,10 @@ impl CpuProfile {
             // Calibrated so speedup(16) ≈ 4 (paper: "a much more significant
             // speed-up (4×)").
             wild_contention: 0.2,
+            // SySCD reports near-linear scaling once the shared vector is
+            // replicated per thread (≈12× at 16 threads on comparable
+            // Xeons): speedup(16) ≈ 12.3 at c = 0.02.
+            syscd_contention: 0.02,
             host_stream_bytes_per_s: 8.0e9,
         }
     }
@@ -107,6 +115,33 @@ impl CpuProfile {
         coords: usize,
     ) -> Seconds {
         self.sequential_epoch_seconds(nnz, coords) / self.async_speedup(mode, threads)
+    }
+
+    /// Throughput multiplier of the SySCD-style replicated engine at
+    /// `threads` threads — same Amdahl-style curve as [`Self::async_speedup`]
+    /// but with the near-linear `syscd_contention` coefficient, because
+    /// per-thread replicas remove the atomic write-back entirely.
+    pub fn syscd_speedup(&self, threads: usize) -> f64 {
+        assert!(threads >= 1, "syscd_speedup: need at least one thread");
+        let t = threads as f64;
+        t / (1.0 + self.syscd_contention * (t - 1.0))
+    }
+
+    /// Seconds for one epoch of the SySCD-style engine: the coordinate
+    /// sweep at near-linear thread scaling, plus the merge traffic —
+    /// every merge streams each of the `threads` replicas (read) and the
+    /// merged vector (write) through the host's memory system.
+    pub fn syscd_epoch_seconds(
+        &self,
+        threads: usize,
+        nnz: usize,
+        coords: usize,
+        merges: usize,
+        shared_len: usize,
+    ) -> Seconds {
+        let sweep = self.sequential_epoch_seconds(nnz, coords) / self.syscd_speedup(threads);
+        let merge_bytes = merges as f64 * (threads + 1) as f64 * shared_len as f64 * 4.0;
+        sweep + merge_bytes / self.host_stream_bytes_per_s
     }
 
     /// Host-side per-epoch bookkeeping for the distributed driver: forming
@@ -173,6 +208,33 @@ mod tests {
         let seq = p.sequential_epoch_seconds(1_000_000, 1_000);
         let wild = p.async_epoch_seconds(AsyncCpuMode::Wild, 16, 1_000_000, 1_000);
         assert!((seq / wild - p.async_speedup(AsyncCpuMode::Wild, 16)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn syscd_scales_near_linearly_and_beats_ascd() {
+        let p = xeon();
+        let s16 = p.syscd_speedup(16);
+        assert!(
+            (11.0..14.0).contains(&s16),
+            "syscd 16-thread speedup should be near-linear, got {s16}"
+        );
+        for t in 2..=16 {
+            assert!(
+                p.syscd_speedup(t) > p.async_speedup(AsyncCpuMode::Atomic, t),
+                "replicated engine must beat atomics at {t} threads"
+            );
+        }
+        assert!((p.syscd_speedup(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn syscd_epoch_charges_merge_traffic() {
+        let p = xeon();
+        let cheap = p.syscd_epoch_seconds(8, 1_000_000, 1_000, 1, 100_000);
+        let merged = p.syscd_epoch_seconds(8, 1_000_000, 1_000, 10, 100_000);
+        assert!(merged > cheap, "more merges must cost more time");
+        let sweep_only = p.sequential_epoch_seconds(1_000_000, 1_000) / p.syscd_speedup(8);
+        assert!(cheap > sweep_only, "merge traffic must be charged");
     }
 
     #[test]

@@ -179,6 +179,13 @@ impl Shared {
     /// the active/peak counters (a thread nested in the same scheduler is
     /// only counted once).
     fn drain(&self, group: &GroupCore) {
+        // Claim *before* counting: a token popped after its group's
+        // cursor is already dry — a stale token from a completed group —
+        // must not transiently inflate active/peak while an unrelated
+        // group is being measured.
+        let Some(mut index) = group.claim() else {
+            return;
+        };
         let first = ENTERED.with(|e| {
             let mut stack = e.borrow_mut();
             let first = !stack.contains(&self.addr());
@@ -189,8 +196,12 @@ impl Shared {
             let now = self.active.fetch_add(1, SeqCst) + 1;
             self.peak.fetch_max(now, SeqCst);
         }
-        while let Some(index) = group.claim() {
+        loop {
             group.run_index(index);
+            match group.claim() {
+                Some(next) => index = next,
+                None => break,
+            }
         }
         ENTERED.with(|e| {
             e.borrow_mut().pop();
@@ -350,6 +361,33 @@ impl Scheduler {
         if group.panicked() {
             panic!("scd-sched: a task in a parallel group panicked");
         }
+    }
+
+    /// Bucketed variant of [`Self::parallel_for_limited`]: the index
+    /// space `0..n` is carved into contiguous chunks of `chunk` elements
+    /// (the last may be short) and each *chunk* is one claimable task.
+    /// Claim traffic — and therefore contention on the group cursor —
+    /// drops by a factor of `chunk`, and consecutive elements stay on one
+    /// thread, which is what a cache-line-sized coordinate bucket wants.
+    ///
+    /// `f` receives the half-open element range of its chunk. Chunks are
+    /// claimed in order but may run concurrently; per-element work must
+    /// be independent across chunks (or deterministic by construction,
+    /// like the SySCD merge where each element folds worker replicas in
+    /// a fixed order).
+    pub fn parallel_for_chunked(
+        &self,
+        n: usize,
+        chunk: usize,
+        cap: usize,
+        f: &(dyn Fn(std::ops::Range<usize>) + Sync),
+    ) {
+        assert!(chunk >= 1, "chunk size must be >= 1");
+        let chunks = n.div_ceil(chunk);
+        self.parallel_for_limited(chunks, cap, &|ci| {
+            let start = ci * chunk;
+            f(start..(start + chunk).min(n));
+        });
     }
 
     /// Scoped task group: spawn heterogeneous closures that may borrow

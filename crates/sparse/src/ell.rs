@@ -12,7 +12,7 @@
 //! The `layout` ablation in `scd-bench` measures exactly this trade-off on
 //! the TPA-SCD dual kernel.
 
-use crate::CsrMatrix;
+use crate::{kernels, CsrMatrix};
 
 /// Sentinel column index marking a padding slot.
 pub const ELL_PAD: u32 = u32::MAX;
@@ -31,6 +31,11 @@ pub struct EllMatrix {
     values: Vec<f32>,
     /// True (stored) nonzeros, excluding padding.
     nnz: usize,
+    /// Stored entries per row. `from_csr` packs each row's entries into
+    /// its leading slots, so row `r`'s live slots are exactly
+    /// `0..row_nnz[r]` — what the strided row kernels iterate instead of
+    /// branching on [`ELL_PAD`].
+    row_nnz: Vec<u32>,
 }
 
 impl EllMatrix {
@@ -47,6 +52,7 @@ impl EllMatrix {
                 values[s * rows + r] = v;
             }
         }
+        let row_nnz = (0..rows).map(|r| csr.row(r).nnz() as u32).collect();
         EllMatrix {
             rows,
             cols: csr.cols(),
@@ -54,6 +60,7 @@ impl EllMatrix {
             indices,
             values,
             nnz: csr.nnz(),
+            row_nnz,
         }
     }
 
@@ -128,6 +135,61 @@ impl EllMatrix {
             }
         }
         out
+    }
+
+    /// Stored entries in row `r`, excluding padding.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_nnz[r] as usize
+    }
+
+    /// Unrolled inner product of row `r` with a dense vector — the
+    /// CPU-side ELL fast path (SySCD bucket kernels build a small ELL
+    /// block per bucket so consecutive rows share cache lines slot by
+    /// slot).
+    ///
+    /// Walks exactly the row's `row_nnz` leading slots at stride `rows`
+    /// and feeds the same products, in the same lane order and with the
+    /// same [`kernels::reduce_lanes`] tree, as [`kernels::dot_dense`] on
+    /// the CSR form of the row — so the two are **bit-identical**, and a
+    /// solver may pick either layout without perturbing its trajectory
+    /// (property-tested in `tests/proptests.rs`).
+    pub fn row_dot(&self, r: usize, dense: &[f32]) -> f64 {
+        let n = self.row_nnz[r] as usize;
+        let stride = self.rows;
+        let head = n - n % kernels::LANES;
+        let mut lanes = [0.0f64; kernels::LANES];
+        let mut s = 0;
+        while s < head {
+            let base = s * stride + r;
+            lanes[0] +=
+                dense[self.indices[base] as usize] as f64 * self.values[base] as f64;
+            let b1 = base + stride;
+            lanes[1] += dense[self.indices[b1] as usize] as f64 * self.values[b1] as f64;
+            let b2 = b1 + stride;
+            lanes[2] += dense[self.indices[b2] as usize] as f64 * self.values[b2] as f64;
+            let b3 = b2 + stride;
+            lanes[3] += dense[self.indices[b3] as usize] as f64 * self.values[b3] as f64;
+            s += kernels::LANES;
+        }
+        let mut tail = 0.0f64;
+        for s in head..n {
+            let b = s * stride + r;
+            tail += dense[self.indices[b] as usize] as f64 * self.values[b] as f64;
+        }
+        kernels::reduce_lanes(lanes, tail)
+    }
+
+    /// `dense[col] += scale · value` over row `r`'s stored entries —
+    /// bit-identical to the CSR axpy (same adds to the same distinct
+    /// targets, in the same order).
+    pub fn row_axpy(&self, r: usize, scale: f32, dense: &mut [f32]) {
+        let n = self.row_nnz[r] as usize;
+        let stride = self.rows;
+        for s in 0..n {
+            let b = s * stride + r;
+            dense[self.indices[b] as usize] += scale * self.values[b];
+        }
     }
 
     /// Bytes of device memory the layout occupies: 8 per slot (value +
@@ -213,6 +275,44 @@ mod tests {
         assert_eq!(ell.slot(0, 3), Some((0, 5.0)));
         assert_eq!(ell.slot(2, 0), Some((4, 3.0)));
         assert_eq!(ell.slot(2, 3), None);
+    }
+
+    #[test]
+    fn row_dot_bit_identical_to_csr_kernel() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr);
+        let x = [1.25f32, -2.0, 0.5, 3.0, 1.5];
+        for r in 0..csr.rows() {
+            let row = csr.row(r);
+            let via_csr = crate::kernels::dot_dense(row.indices, row.values, &x);
+            let via_ell = ell.row_dot(r, &x);
+            assert_eq!(via_csr.to_bits(), via_ell.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn row_axpy_bit_identical_to_csr() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr);
+        let mut a = [0.1f32; 5];
+        let mut b = a;
+        for r in 0..csr.rows() {
+            csr.row(r).axpy_into(-0.7, &mut a);
+            ell.row_axpy(r, -0.7, &mut b);
+        }
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn row_nnz_excludes_padding() {
+        let ell = EllMatrix::from_csr(&skewed());
+        assert_eq!(
+            (0..4).map(|r| ell.row_nnz(r)).collect::<Vec<_>>(),
+            vec![3, 1, 0, 2]
+        );
     }
 
     #[test]

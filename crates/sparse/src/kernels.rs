@@ -1,0 +1,274 @@
+//! SIMD-friendly CPU kernels for the hot sparse inner loops.
+//!
+//! Every CPU solver spends its time in two operations per coordinate: a
+//! sparse·dense inner product and a sparse axpy write-back. The scalar
+//! reference forms on [`crate::SparseVecView`] accumulate one product at a
+//! time, which serializes the floating-point adds on the accumulator's
+//! latency chain. The kernels here split the accumulation across
+//! [`LANES`] independent partial sums so the compiler can keep several
+//! FMAs in flight (and, with gathers unavailable for sparse indices,
+//! still saturate the load ports) — the same restructuring SySCD applies
+//! to its bucket kernels.
+//!
+//! # Accumulation contract
+//!
+//! All kernels accumulate in `f64`. Each product
+//! `dense[idx[k]] as f64 * val[k] as f64` is **exact** (a 24-bit × 24-bit
+//! significand product fits in f64's 53 bits), so scalar and unrolled
+//! forms differ only in summation order:
+//!
+//! * the scalar reference ([`crate::SparseVecView::dot_dense`]) adds
+//!   products left to right;
+//! * the unrolled kernels assign product `k` to lane `k % LANES`, add a
+//!   scalar tail for the last `nnz % LANES` products, and reduce with the
+//!   fixed tree `((l0 + l1) + (l2 + l3)) + tail`.
+//!
+//! The divergence between the two orders is bounded by standard
+//! summation-error analysis: `|unrolled − scalar| ≤ 2(n−1)·ε·Σ|vₖ·dₖ|`
+//! with `ε = f64::EPSILON` (a property test in `tests/proptests.rs`
+//! enforces it). Crucially the unrolled order is itself **deterministic**:
+//! any two call sites that stream the same products through the same
+//! kernel get bit-identical results, which is what the solver
+//! bit-identity tests (`syscd` vs sequential) rely on.
+//!
+//! The axpy kernel performs the same writes as the scalar loop — the
+//! target indices of one sparse vector are distinct, so unrolling cannot
+//! reorder dependent adds and the result is bit-identical to the
+//! reference, not merely close.
+
+/// Number of independent accumulator lanes in the unrolled kernels.
+pub const LANES: usize = 4;
+
+/// Reduce the lane partials with the fixed tree documented in the module
+/// header. Exposed so alternative layouts (ELL) can share it.
+#[inline(always)]
+pub fn reduce_lanes(lanes: [f64; LANES], tail: f64) -> f64 {
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// Unrolled `Σ load(idx[k]) · val[k]`, generic over how the dense operand
+/// is read so the atomic-buffer engines (A-SCD) share one implementation
+/// with the plain-slice engines.
+#[inline]
+pub fn dot_gather<F: Fn(usize) -> f32>(indices: &[u32], values: &[f32], load: F) -> f64 {
+    let n = indices.len();
+    let head = n - n % LANES;
+    let mut lanes = [0.0f64; LANES];
+    let mut k = 0;
+    while k < head {
+        lanes[0] += load(indices[k] as usize) as f64 * values[k] as f64;
+        lanes[1] += load(indices[k + 1] as usize) as f64 * values[k + 1] as f64;
+        lanes[2] += load(indices[k + 2] as usize) as f64 * values[k + 2] as f64;
+        lanes[3] += load(indices[k + 3] as usize) as f64 * values[k + 3] as f64;
+        k += LANES;
+    }
+    let mut tail = 0.0f64;
+    for k in head..n {
+        tail += load(indices[k] as usize) as f64 * values[k] as f64;
+    }
+    reduce_lanes(lanes, tail)
+}
+
+/// Unrolled sparse·dense inner product `Σ dense[idx[k]] · val[k]`.
+#[inline]
+pub fn dot_dense(indices: &[u32], values: &[f32], dense: &[f32]) -> f64 {
+    dot_gather(indices, values, |i| dense[i])
+}
+
+/// Unrolled residual inner product `Σ (y[idx[k]] − load(idx[k])) · val[k]`
+/// — the primal form's `⟨y − w, a_m⟩`, generic over the shared-vector
+/// read like [`dot_gather`].
+#[inline]
+pub fn dot_residual_gather<F: Fn(usize) -> f32>(
+    indices: &[u32],
+    values: &[f32],
+    y: &[f32],
+    load: F,
+) -> f64 {
+    let n = indices.len();
+    let head = n - n % LANES;
+    let mut lanes = [0.0f64; LANES];
+    let mut k = 0;
+    while k < head {
+        let (i0, i1) = (indices[k] as usize, indices[k + 1] as usize);
+        let (i2, i3) = (indices[k + 2] as usize, indices[k + 3] as usize);
+        lanes[0] += (y[i0] as f64 - load(i0) as f64) * values[k] as f64;
+        lanes[1] += (y[i1] as f64 - load(i1) as f64) * values[k + 1] as f64;
+        lanes[2] += (y[i2] as f64 - load(i2) as f64) * values[k + 2] as f64;
+        lanes[3] += (y[i3] as f64 - load(i3) as f64) * values[k + 3] as f64;
+        k += LANES;
+    }
+    let mut tail = 0.0f64;
+    for k in head..n {
+        let i = indices[k] as usize;
+        tail += (y[i] as f64 - load(i) as f64) * values[k] as f64;
+    }
+    reduce_lanes(lanes, tail)
+}
+
+/// Unrolled residual inner product over a plain dense slice.
+#[inline]
+pub fn dot_residual(indices: &[u32], values: &[f32], y: &[f32], dense: &[f32]) -> f64 {
+    dot_residual_gather(indices, values, y, |i| dense[i])
+}
+
+/// Unrolled `dense[idx[k]] += scale · val[k]`. Bit-identical to the
+/// scalar loop for any sparse vector with distinct indices (each target
+/// element receives exactly one add, so no reassociation occurs).
+#[inline]
+pub fn axpy(indices: &[u32], values: &[f32], scale: f32, dense: &mut [f32]) {
+    let n = indices.len();
+    let head = n - n % LANES;
+    let mut k = 0;
+    while k < head {
+        dense[indices[k] as usize] += scale * values[k];
+        dense[indices[k + 1] as usize] += scale * values[k + 1];
+        dense[indices[k + 2] as usize] += scale * values[k + 2];
+        dense[indices[k + 3] as usize] += scale * values[k + 3];
+        k += LANES;
+    }
+    for k in head..n {
+        dense[indices[k] as usize] += scale * values[k];
+    }
+}
+
+/// Merge per-worker replicas of a dense shared vector back into one:
+/// `out[i] = base[i] + scale · Σ_w (replicas[w][i] − base[i])`, all in
+/// `f32` with the per-element delta sum folded in slice order. With a
+/// fixed worker order the result is deterministic regardless of how many
+/// host threads computed the replicas — the SySCD merge step.
+///
+/// `scale` undoes the CoCoA+ safe-subproblem scaling: workers that grow
+/// their replica by `σ′ ×` the local update pass `scale = 1/σ′` so the
+/// merged vector carries the unscaled sum of local contributions. Pass
+/// `1.0` for a plain additive merge.
+///
+/// All slices must have equal length (`out` is typically a chunk of the
+/// shared vector, with `base`/`replicas` sliced to the same range).
+pub fn merge_replicas(base: &[f32], replicas: &[&[f32]], scale: f32, out: &mut [f32]) {
+    debug_assert!(replicas.iter().all(|r| r.len() == base.len()));
+    debug_assert_eq!(out.len(), base.len());
+    for (i, out_i) in out.iter_mut().enumerate() {
+        let mut delta = 0.0f32;
+        for r in replicas {
+            delta += r[i] - base[i];
+        }
+        *out_i = base[i] + scale * delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(n: usize, seed: u64) -> (Vec<u32>, Vec<f32>, Vec<f32>) {
+        // Deterministic pseudo-random sparse vector + dense companion.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut indices: Vec<u32> = (0..n as u32).filter(|_| next() % 3 != 0).collect();
+        if indices.is_empty() {
+            indices.push(0);
+        }
+        let values: Vec<f32> = indices
+            .iter()
+            .map(|_| (next() % 2000) as f32 / 997.0 - 1.0)
+            .collect();
+        let dense: Vec<f32> = (0..n).map(|_| (next() % 2000) as f32 / 991.0 - 1.0).collect();
+        (indices, values, dense)
+    }
+
+    fn scalar_dot(indices: &[u32], values: &[f32], dense: &[f32]) -> f64 {
+        indices
+            .iter()
+            .zip(values)
+            .map(|(&i, &v)| dense[i as usize] as f64 * v as f64)
+            .sum()
+    }
+
+    #[test]
+    fn dot_matches_scalar_within_reassociation_bound() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 64, 257] {
+            let (idx, val, dense) = view(n.max(1), 0xC0FFEE + n as u64);
+            let fast = dot_dense(&idx, &val, &dense);
+            let slow = scalar_dot(&idx, &val, &dense);
+            let abs_sum: f64 = idx
+                .iter()
+                .zip(&val)
+                .map(|(&i, &v)| (dense[i as usize] as f64 * v as f64).abs())
+                .sum();
+            let bound = 2.0 * idx.len() as f64 * f64::EPSILON * abs_sum + 1e-300;
+            assert!((fast - slow).abs() <= bound, "n={n}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn residual_dot_matches_definition() {
+        let (idx, val, dense) = view(37, 7);
+        let y: Vec<f32> = dense.iter().map(|v| v * 0.5 + 0.25).collect();
+        let fast = dot_residual(&idx, &val, &y, &dense);
+        let slow: f64 = idx
+            .iter()
+            .zip(&val)
+            .map(|(&i, &v)| (y[i as usize] as f64 - dense[i as usize] as f64) * v as f64)
+            .sum();
+        assert!((fast - slow).abs() < 1e-12 * slow.abs().max(1.0));
+    }
+
+    #[test]
+    fn gather_form_is_bit_identical_to_slice_form() {
+        let (idx, val, dense) = view(101, 42);
+        let a = dot_dense(&idx, &val, &dense);
+        let b = dot_gather(&idx, &val, |i| dense[i]);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_to_scalar_loop() {
+        let (idx, val, dense) = view(73, 9);
+        let mut fast = dense.clone();
+        let mut slow = dense;
+        axpy(&idx, &val, -0.3721, &mut fast);
+        for (&i, &v) in idx.iter().zip(&val) {
+            slow[i as usize] += -0.3721 * v;
+        }
+        assert_eq!(
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_folds_worker_deltas_in_order() {
+        let base = vec![1.0f32, -2.0, 0.5];
+        let r0 = vec![1.5f32, -2.0, 0.5]; // worker 0 added +0.5 to slot 0
+        let r1 = vec![1.0f32, -1.0, 0.25]; // worker 1 touched slots 1, 2
+        let mut out = vec![0.0f32; 3];
+        merge_replicas(&base, &[&r0, &r1], 1.0, &mut out);
+        assert_eq!(out, vec![1.5, -1.0, 0.25]);
+    }
+
+    #[test]
+    fn merge_scale_undoes_replica_scaling() {
+        // Workers stored base + 2× their contribution; scale = 1/2
+        // recovers the plain sum of contributions.
+        let base = vec![1.0f32, 0.0];
+        let r0 = vec![3.0f32, 0.0]; // contribution +1 to slot 0, stored ×2
+        let r1 = vec![1.0f32, 4.0]; // contribution +2 to slot 1, stored ×2
+        let mut out = vec![0.0f32; 2];
+        merge_replicas(&base, &[&r0, &r1], 0.5, &mut out);
+        assert_eq!(out, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn merge_with_no_replicas_copies_base() {
+        let base = vec![3.0f32, 4.0];
+        let mut out = vec![0.0f32; 2];
+        merge_replicas(&base, &[], 1.0, &mut out);
+        assert_eq!(out, base);
+    }
+}

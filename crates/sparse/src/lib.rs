@@ -22,6 +22,7 @@ pub mod dense;
 pub mod densemat;
 pub mod ell;
 pub mod io;
+pub mod kernels;
 pub mod perm;
 pub mod structure;
 
@@ -97,6 +98,16 @@ impl<'a> SparseVecView<'a> {
     /// Inner product with a dense vector, accumulated in `f64`.
     ///
     /// `dense` must be at least as long as the largest stored index.
+    ///
+    /// **Accumulation contract.** This is the *reference* reduction: every
+    /// product is formed exactly in `f64` (f32 × f32 is exact at 53-bit
+    /// precision) and added strictly left to right. Convergence metrics —
+    /// objectives, the duality gap, matvecs feeding them — go through this
+    /// method, so golden figure series are pinned to this exact order. The
+    /// solver hot loops use the unrolled kernels in [`mod@kernels`]
+    /// instead, which sum the same exact products in a different (but
+    /// equally deterministic) lane order; [`mod@kernels`] documents the
+    /// divergence bound between the two.
     #[inline]
     pub fn dot_dense(&self, dense: &[f32]) -> f64 {
         let mut acc = 0.0f64;
@@ -107,11 +118,14 @@ impl<'a> SparseVecView<'a> {
     }
 
     /// `dense[i] += scale * value_i` for every stored entry.
+    ///
+    /// Delegates to the unrolled [`kernels::axpy`]; because the stored
+    /// indices are distinct, the unrolled form performs the identical
+    /// sequence of independent adds and the result is bit-identical to a
+    /// scalar loop.
     #[inline]
     pub fn axpy_into(&self, scale: f32, dense: &mut [f32]) {
-        for (&i, &v) in self.indices.iter().zip(self.values) {
-            dense[i as usize] += scale * v;
-        }
+        kernels::axpy(self.indices, self.values, scale, dense);
     }
 }
 

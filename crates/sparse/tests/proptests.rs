@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use scd_sparse::perm::Permutation;
-use scd_sparse::{CooMatrix, SparseError};
+use scd_sparse::{kernels, CooMatrix, EllMatrix, SparseError};
 
 /// Strategy: a random small COO matrix with unique (row, col) slots.
 fn arb_coo() -> impl Strategy<Value = CooMatrix> {
@@ -113,6 +113,67 @@ proptest! {
         let shuffled = p.gather(&data);
         let restored = inv.gather(&shuffled);
         prop_assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn unrolled_dot_diverges_from_reference_within_reassociation_bound(coo in arb_coo()) {
+        // The kernels module's accumulation contract: unrolled lanes and the
+        // left-to-right reference sum the same *exact* f64 products, so the
+        // divergence is pure reassociation error, bounded by 2(n−1)·ε·Σ|pₖ|.
+        // This is what keeps the golden figure series (pinned to the
+        // reference order) stable while the solver hot loops use the lanes.
+        let csr = coo.to_csr();
+        let x: Vec<f32> = (0..csr.cols()).map(|i| (i as f32 * 0.37) - 1.5).collect();
+        for r in 0..csr.rows() {
+            let row = csr.row(r);
+            let reference = row.dot_dense(&x);
+            let unrolled = kernels::dot_dense(row.indices, row.values, &x);
+            let abs_sum: f64 = row.indices.iter().zip(row.values)
+                .map(|(&i, &v)| (x[i as usize] as f64 * v as f64).abs())
+                .sum();
+            let n = row.nnz() as f64;
+            let bound = 2.0 * n * f64::EPSILON * abs_sum;
+            prop_assert!(
+                (unrolled - reference).abs() <= bound,
+                "row {}: unrolled {} vs reference {} exceeds bound {}",
+                r, unrolled, reference, bound
+            );
+        }
+    }
+
+    #[test]
+    fn ell_row_kernels_bit_identical_to_csr(coo in arb_coo()) {
+        // Layout choice (CSR stream vs strided ELL block) must never perturb
+        // a solver trajectory: same products, same lane order, same
+        // reduction tree ⇒ identical bits.
+        let csr = coo.to_csr();
+        let ell = EllMatrix::from_csr(&csr);
+        let x: Vec<f32> = (0..csr.cols()).map(|i| ((i * 7 % 13) as f32) / 3.0 - 1.0).collect();
+        let mut dense_csr = vec![0.25f32; csr.cols()];
+        let mut dense_ell = dense_csr.clone();
+        for r in 0..csr.rows() {
+            let row = csr.row(r);
+            let a = kernels::dot_dense(row.indices, row.values, &x);
+            let b = ell.row_dot(r, &x);
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+            row.axpy_into(0.5, &mut dense_csr);
+            ell.row_axpy(r, 0.5, &mut dense_ell);
+        }
+        let bits_csr: Vec<u32> = dense_csr.iter().map(|v| v.to_bits()).collect();
+        let bits_ell: Vec<u32> = dense_ell.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits_csr, bits_ell);
+    }
+
+    #[test]
+    fn gather_dot_matches_slice_dot_bitwise(coo in arb_coo()) {
+        let csr = coo.to_csr();
+        let x: Vec<f32> = (0..csr.cols()).map(|i| (i as f32).sin()).collect();
+        for r in 0..csr.rows() {
+            let row = csr.row(r);
+            let a = kernels::dot_dense(row.indices, row.values, &x);
+            let b = kernels::dot_gather(row.indices, row.values, |i| x[i]);
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -54,6 +54,11 @@ cargo test -q -p scd-events
 echo "==> cargo test -q -p scd-sched"
 cargo test -q -p scd-sched
 
+echo "==> bench_cpu --smoke"
+# Smoke-run the CPU-backend benchmark so a perf-harness regression cannot
+# land silently; BENCH_OUT keeps it from clobbering the committed record.
+BENCH_OUT=$(mktemp) ./target/release/bench_cpu --smoke
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
