@@ -5,10 +5,10 @@
 
 use crate::args::Args;
 use gpu_sim::{Gpu, GpuProfile};
-use scd_core::extensions::{ElasticNetCd, LogisticSdca, SdcaSvm};
+use scd_core::extensions::ElasticNetCd;
 use scd_core::{
-    AsyScd, AsyncCpuMode, AsyncSimScd, Form, RegularizationPath, RidgeProblem, SequentialScd,
-    Solver, SyscdScd, TpaScd, TrainedModel,
+    AsyScd, AsyncCpuMode, AsyncSimScd, ConvergenceRecorder, Form, ObjectiveKind,
+    RegularizationPath, RidgeProblem, SequentialScd, Solver, SyscdScd, TpaScd, TrainedModel,
 };
 use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, DatasetStats};
 use scd_distributed::{
@@ -65,10 +65,12 @@ GENERATE OPTIONS:
 
 TRAIN OPTIONS:
   --features M      fix the feature-space width of the LIBSVM file
-  --objective O     ridge|svm|logistic|elastic-net (default ridge)
+  --objective O     ridge|logistic|svm|lasso|elastic-net (default ridge;
+                    all but elastic-net run on every backend and distributed)
   --lambda L        regularization                (default 0.001)
-  --l1-ratio R      elastic-net mix rho           (default 0.5)
-  --form F          primal|dual                   (default primal; ridge only)
+  --l1-ratio R      elastic-net mix rho           (default 0.5; elastic-net only)
+  --form F          primal|dual (default: the objective's natural form —
+                    primal for ridge/lasso, dual for logistic/svm)
   --backend B       seq|a-scd|wild|asyscd|syscd|tpa-m4000|tpa-titanx (default seq;
                     --solver is the legacy alias — pass one or the other)
   --threads T       modeled threads for a-scd/wild; worker replicas for syscd
@@ -168,11 +170,13 @@ pub fn info(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_form(args: &Args) -> Result<Form, String> {
-    match args.get("form").unwrap_or("primal") {
-        "primal" => Ok(Form::Primal),
-        "dual" => Ok(Form::Dual),
-        other => Err(format!("unknown --form {other:?} (primal|dual)")),
+/// `--form` if given; `None` lets the objective pick its natural form.
+fn parse_form(args: &Args) -> Result<Option<Form>, String> {
+    match args.get("form") {
+        None => Ok(None),
+        Some("primal") => Ok(Some(Form::Primal)),
+        Some("dual") => Ok(Some(Form::Dual)),
+        Some(other) => Err(format!("unknown --form {other:?} (primal|dual)")),
     }
 }
 
@@ -216,35 +220,37 @@ fn single_node_solver(
     args: &Args,
     problem: &RidgeProblem,
     form: Form,
+    objective: ObjectiveKind,
     seed: u64,
 ) -> Result<Box<dyn Solver>, String> {
     let threads = args.get_or("threads", 16usize, "integer").map_err(|e| e.to_string())?;
     let (flag, backend) = backend_choice(args)?;
     Ok(match backend {
-        "seq" => Box::new(match form {
-            Form::Primal => SequentialScd::primal(problem, seed),
-            Form::Dual => SequentialScd::dual(problem, seed),
-        }),
-        "a-scd" => Box::new(AsyncSimScd::new(
-            problem,
-            form,
-            AsyncCpuMode::Atomic,
-            threads,
-            seed,
-        )),
-        "wild" => Box::new(AsyncSimScd::new(
-            problem,
-            form,
-            AsyncCpuMode::Wild,
-            threads,
-            seed,
-        )),
+        "seq" => Box::new(
+            match form {
+                Form::Primal => SequentialScd::primal(problem, seed),
+                Form::Dual => SequentialScd::dual(problem, seed),
+            }
+            .with_objective(objective),
+        ),
+        "a-scd" => Box::new(
+            AsyncSimScd::new(problem, form, AsyncCpuMode::Atomic, threads, seed)
+                .with_objective(objective),
+        ),
+        "wild" => Box::new(
+            AsyncSimScd::new(problem, form, AsyncCpuMode::Wild, threads, seed)
+                .with_objective(objective),
+        ),
         "asyscd" => {
             if form != Form::Primal {
                 return Err(format!("--{flag} asyscd supports only --form primal"));
             }
             let step = args.get_or("step", 1.0f64, "number").map_err(|e| e.to_string())?;
-            Box::new(AsyScd::new(problem, step, seed).map_err(|e| e.to_string())?)
+            let solver = AsyScd::new(problem, step, seed)
+                .map_err(|e| e.to_string())?
+                .with_objective(problem, objective)
+                .map_err(|e| e.to_string())?;
+            Box::new(solver)
         }
         "syscd" => {
             let buckets = args
@@ -260,8 +266,9 @@ fn single_node_solver(
             if merge_every == Some(0) {
                 return Err("--merge-every must be >= 1".into());
             }
-            let mut solver =
-                SyscdScd::new(problem, form, threads, seed).with_buckets(problem, buckets);
+            let mut solver = SyscdScd::new(problem, form, threads, seed)
+                .with_buckets(problem, buckets)
+                .with_objective(objective);
             if let Some(k) = merge_every {
                 solver = solver.with_merge_every(k);
             }
@@ -269,7 +276,8 @@ fn single_node_solver(
         }
         "tpa-m4000" => Box::new(
             TpaScd::new(problem, form, Arc::new(Gpu::new(GpuProfile::quadro_m4000())), seed)
-                .map_err(|e| e.to_string())?,
+                .map_err(|e| e.to_string())?
+                .with_objective(objective),
         ),
         "tpa-titanx" => Box::new(
             TpaScd::new(
@@ -278,7 +286,8 @@ fn single_node_solver(
                 Arc::new(Gpu::new(GpuProfile::titan_x_maxwell())),
                 seed,
             )
-            .map_err(|e| e.to_string())?,
+            .map_err(|e| e.to_string())?
+            .with_objective(objective),
         ),
         other => return Err(format!("unknown --{flag} {other:?} (valid: {BACKENDS})")),
     })
@@ -379,192 +388,211 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let problem = RidgeProblem::from_labelled(&data, lambda).map_err(|e| e.to_string())?;
     writeln!(out, "data: {}", DatasetStats::of(&data)).map_err(|e| e.to_string())?;
 
-    match args.get("objective").unwrap_or("ridge") {
-        "ridge" => {
-            let form = parse_form(args)?;
-            let workers = args.get_or("workers", 1usize, "integer").map_err(|e| e.to_string())?;
-            // The distributed drivers stay concrete so their round metrics
-            // remain reachable after training.
-            let mut distributed: Option<DistributedScd> = None;
-            let mut event_driven: Option<AsyncScd> = None;
-            let mut single: Option<Box<dyn Solver>> = None;
-            if workers > 1 {
-                let round_threads = args
-                    .get_or("round-threads", 0usize, "integer")
-                    .map_err(|e| e.to_string())?;
-                let config = DistributedConfig::new(workers, form)
-                    .with_aggregation(parse_aggregation(args)?)
-                    .with_solver(local_solver_kind(args)?)
-                    .with_runtime(RoundRuntime::Concurrent {
-                        threads: round_threads,
-                    })
-                    .with_fault(parse_fault(args)?)
-                    .with_wire(parse_wire(args)?)
-                    .with_seed(seed);
-                // --staleness implies the event runtime; --runtime sync is
-                // the lock-step barrier driver.
-                let runtime = args.get("runtime").unwrap_or(if args.get("staleness").is_some() {
-                    "event"
-                } else {
-                    "sync"
-                });
-                match runtime {
-                    "sync" => {
-                        distributed =
-                            Some(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?);
-                    }
-                    "event" => {
-                        let tau = Staleness::parse(args.get("staleness").unwrap_or("0"))?;
-                        let mut asynch =
-                            AsyncScd::new(&problem, &config, tau).map_err(|e| e.to_string())?;
-                        if args.get("event-trace").is_some() {
-                            asynch.set_trace(true);
-                        }
-                        event_driven = Some(asynch);
-                    }
-                    other => return Err(format!("--runtime {other:?}: expected sync|event")),
-                }
-            } else {
-                single = Some(single_node_solver(args, &problem, form, seed)?);
-            }
-            let solver: &mut dyn Solver = if let Some(dist) = distributed.as_mut() {
-                dist
-            } else if let Some(asynch) = event_driven.as_mut() {
-                asynch
-            } else {
-                single.as_mut().expect("one branch populated").as_mut()
-            };
-            writeln!(out, "solver: {} ({} form)", solver.name(), form.label())
-                .map_err(|e| e.to_string())?;
-            let mut seconds = 0.0;
-            for epoch in 1..=epochs {
-                seconds += solver.epoch(&problem).seconds();
-                let gap = solver.duality_gap(&problem);
-                if epoch % eval_every == 0 || epoch == epochs || (!target_gap.is_nan() && gap <= target_gap) {
-                    writeln!(out, "epoch {epoch:>5}  gap {gap:>12.4e}  sim {seconds:>10.4}s")
-                        .map_err(|e| e.to_string())?;
-                }
-                if !target_gap.is_nan() && gap <= target_gap {
-                    writeln!(out, "target gap {target_gap:.1e} reached").map_err(|e| e.to_string())?;
-                    break;
-                }
-            }
-            if let Some(path) = args.get("save-model") {
-                let model = match form {
-                    Form::Primal => TrainedModel::from_primal(&problem, solver.weights()),
-                    Form::Dual => TrainedModel::from_dual(&problem, &solver.weights()),
-                };
-                let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-                model.save(file).map_err(|e| format!("cannot write {path}: {e}"))?;
-                writeln!(out, "model saved to {path} ({} weights)", model.features())
-                    .map_err(|e| e.to_string())?;
-            }
-            if let Some(path) = args.get("round-metrics") {
-                let (json, rounds, dropped) = if let Some(dist) = distributed.as_ref() {
-                    let dropped = dist.round_metrics().iter().map(|m| m.dropped_workers.len()).sum();
-                    (dist.metrics_json(), dist.round_metrics().len(), dropped)
-                } else if let Some(asynch) = event_driven.as_ref() {
-                    let dropped =
-                        asynch.round_metrics().iter().map(|m| m.dropped_workers.len()).sum();
-                    (asynch.metrics_json(), asynch.round_metrics().len(), dropped)
-                } else {
-                    return Err("--round-metrics needs --workers > 1".into());
-                };
-                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
-                let dropped: usize = dropped;
-                writeln!(
-                    out,
-                    "round metrics written to {path} ({rounds} rounds, {dropped} dropped rounds)"
-                )
-                .map_err(|e| e.to_string())?;
-            }
-            if let Some(path) = args.get("event-trace") {
-                let asynch = event_driven
-                    .as_ref()
-                    .ok_or("--event-trace needs --runtime event")?;
-                let mut trace = asynch.trace_lines().join("\n");
-                trace.push('\n');
-                std::fs::write(path, &trace).map_err(|e| format!("cannot write {path}: {e}"))?;
-                writeln!(
-                    out,
-                    "event trace written to {path} ({} events)",
-                    asynch.trace_lines().len()
-                )
-                .map_err(|e| e.to_string())?;
-            }
-            let wire_totals = distributed
-                .as_ref()
-                .map(|d| (d.wire(), d.wire_bytes_total()))
-                .or_else(|| event_driven.as_ref().map(|a| (a.wire(), a.wire_bytes_total())));
-            if let Some((wire, (raw, encoded))) = wire_totals {
-                if encoded > 0 {
-                    writeln!(
-                        out,
-                        "wire {}: {} B raw -> {} B encoded ({:.2}x)",
-                        wire,
-                        raw,
-                        encoded,
-                        raw as f64 / encoded as f64
-                    )
-                    .map_err(|e| e.to_string())?;
-                }
-            }
-            Ok(())
-        }
-        "svm" => {
-            let mut svm = SdcaSvm::new(&problem, seed);
-            for epoch in 1..=epochs {
-                svm.epoch(&problem);
-                if epoch % eval_every == 0 || epoch == epochs {
-                    writeln!(
-                        out,
-                        "epoch {epoch:>5}  gap {:>12.4e}  acc {:>6.2}%",
-                        svm.duality_gap(&problem),
-                        100.0 * svm.train_accuracy(&problem)
-                    )
-                    .map_err(|e| e.to_string())?;
-                }
-            }
-            Ok(())
-        }
-        "logistic" => {
-            let mut lr = LogisticSdca::new(&problem, seed);
-            for epoch in 1..=epochs {
-                lr.epoch(&problem);
-                if epoch % eval_every == 0 || epoch == epochs {
-                    writeln!(
-                        out,
-                        "epoch {epoch:>5}  gap {:>12.4e}  acc {:>6.2}%",
-                        lr.duality_gap(&problem),
-                        100.0 * lr.train_accuracy(&problem)
-                    )
-                    .map_err(|e| e.to_string())?;
-                }
-            }
-            Ok(())
-        }
-        "elastic-net" => {
-            let ratio = args.get_or("l1-ratio", 0.5f64, "number").map_err(|e| e.to_string())?;
-            let mut en = ElasticNetCd::new(&problem, ratio, seed);
-            for epoch in 1..=epochs {
-                en.epoch(&problem);
-                if epoch % eval_every == 0 || epoch == epochs {
-                    writeln!(
-                        out,
-                        "epoch {epoch:>5}  objective {:>12.6e}  zeros {}/{}",
-                        en.objective(&problem),
-                        en.zero_count(),
-                        problem.m()
-                    )
-                    .map_err(|e| e.to_string())?;
-                }
-            }
-            Ok(())
-        }
-        other => Err(format!(
-            "unknown --objective {other:?} (ridge|svm|logistic|elastic-net)"
-        )),
+    let objective_name = args.get("objective").unwrap_or("ridge");
+    if args.get("l1-ratio").is_some() && objective_name != "elastic-net" {
+        return Err("--l1-ratio only applies to --objective elastic-net".into());
     }
+    if objective_name == "elastic-net" {
+        // Elastic-net keeps its dedicated coordinate-descent engine: its
+        // compound prox doesn't fit the per-coordinate Objective contract.
+        let ratio = args.get_or("l1-ratio", 0.5f64, "number").map_err(|e| e.to_string())?;
+        let mut en = ElasticNetCd::new(&problem, ratio, seed);
+        for epoch in 1..=epochs {
+            en.epoch(&problem);
+            if epoch % eval_every == 0 || epoch == epochs {
+                writeln!(
+                    out,
+                    "epoch {epoch:>5}  objective {:>12.6e}  zeros {}/{}",
+                    en.objective(&problem),
+                    en.zero_count(),
+                    problem.m()
+                )
+                .map_err(|e| e.to_string())?;
+            }
+        }
+        return Ok(());
+    }
+    // Everything else runs through the Objective layer, on any backend.
+    let objective = ObjectiveKind::parse(objective_name).map_err(|_| {
+        format!("unknown --objective {objective_name:?} (ridge|logistic|svm|lasso|elastic-net)")
+    })?;
+    if objective != ObjectiveKind::Ridge && args.get("save-model").is_some() {
+        return Err(format!(
+            "--save-model supports only --objective ridge, not {}",
+            objective.label()
+        ));
+    }
+    let form = parse_form(args)?.unwrap_or_else(|| objective.default_form());
+    objective.validate(&problem, form).map_err(|e| e.to_string())?;
+    let workers = args.get_or("workers", 1usize, "integer").map_err(|e| e.to_string())?;
+    // The distributed drivers stay concrete so their round metrics
+    // remain reachable after training.
+    let mut distributed: Option<DistributedScd> = None;
+    let mut event_driven: Option<AsyncScd> = None;
+    let mut single: Option<Box<dyn Solver>> = None;
+    if workers > 1 {
+        let round_threads = args
+            .get_or("round-threads", 0usize, "integer")
+            .map_err(|e| e.to_string())?;
+        let config = DistributedConfig::new(workers, form)
+            .with_objective(objective)
+            .with_aggregation(parse_aggregation(args)?)
+            .with_solver(local_solver_kind(args)?)
+            .with_runtime(RoundRuntime::Concurrent {
+                threads: round_threads,
+            })
+            .with_fault(parse_fault(args)?)
+            .with_wire(parse_wire(args)?)
+            .with_seed(seed);
+        // --staleness implies the event runtime; --runtime sync is
+        // the lock-step barrier driver.
+        let runtime = args.get("runtime").unwrap_or(if args.get("staleness").is_some() {
+            "event"
+        } else {
+            "sync"
+        });
+        match runtime {
+            "sync" => {
+                distributed =
+                    Some(DistributedScd::new(&problem, &config).map_err(|e| e.to_string())?);
+            }
+            "event" => {
+                let tau = Staleness::parse(args.get("staleness").unwrap_or("0"))?;
+                let mut asynch =
+                    AsyncScd::new(&problem, &config, tau).map_err(|e| e.to_string())?;
+                if args.get("event-trace").is_some() {
+                    asynch.set_trace(true);
+                }
+                event_driven = Some(asynch);
+            }
+            other => return Err(format!("--runtime {other:?}: expected sync|event")),
+        }
+    } else {
+        single = Some(single_node_solver(args, &problem, form, objective, seed)?);
+    }
+    let solver: &mut dyn Solver = if let Some(dist) = distributed.as_mut() {
+        dist
+    } else if let Some(asynch) = event_driven.as_mut() {
+        asynch
+    } else {
+        single.as_mut().expect("one branch populated").as_mut()
+    };
+    writeln!(
+        out,
+        "solver: {} ({} form, {} objective)",
+        solver.name(),
+        form.label(),
+        objective.label()
+    )
+    .map_err(|e| e.to_string())?;
+    // Classification duals also report training accuracy, scored through
+    // the objective's optimality mapping α → β.
+    let classification = objective.as_objective().requires_binary_labels();
+    let accuracy = |weights: &[f32]| -> f64 {
+        let beta = objective.as_objective().induced_primal(&problem, weights);
+        let scores = problem.csr().matvec(&beta).expect("induced weights have length M");
+        let correct = scores
+            .iter()
+            .zip(problem.labels())
+            .filter(|&(&s, &y)| (s >= 0.0) == (y > 0.0))
+            .count();
+        correct as f64 / problem.n() as f64
+    };
+    let mut recorder = ConvergenceRecorder::new();
+    recorder.record_initial(solver.duality_gap(&problem));
+    for epoch in 1..=epochs {
+        let stats = solver.epoch(&problem);
+        let gap = solver.duality_gap(&problem);
+        recorder.record_epoch(stats.breakdown, gap, 0.0);
+        let seconds = recorder.total_seconds();
+        if epoch % eval_every == 0 || epoch == epochs || (!target_gap.is_nan() && gap <= target_gap) {
+            let mut line = format!("epoch {epoch:>5}  gap {gap:>12.4e}  sim {seconds:>10.4}s");
+            if classification {
+                let acc = 100.0 * accuracy(&solver.weights());
+                line.push_str(&format!("  acc {acc:>6.2}%"));
+            }
+            writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        }
+        if !target_gap.is_nan() && gap <= target_gap {
+            writeln!(out, "target gap {target_gap:.1e} reached").map_err(|e| e.to_string())?;
+            break;
+        }
+    }
+    // Rate-of-convergence report: a gap that hit exact 0 (or went
+    // non-finite) is called out by epoch rather than fed into the
+    // log-scale fit as log10(0) = −∞.
+    if let Some(epoch) = recorder.first_nonpositive_gap() {
+        writeln!(out, "gap reached 0 at epoch {epoch}").map_err(|e| e.to_string())?;
+    }
+    if let Some(rho) = recorder.linear_rate(0.0) {
+        writeln!(
+            out,
+            "convergence rate: gap shrinks {rho:.4}x per epoch (log-linear fit over {} epochs)",
+            recorder.epochs()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = args.get("save-model") {
+        let model = match form {
+            Form::Primal => TrainedModel::from_primal(&problem, solver.weights()),
+            Form::Dual => TrainedModel::from_dual(&problem, &solver.weights()),
+        };
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        model.save(file).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "model saved to {path} ({} weights)", model.features())
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = args.get("round-metrics") {
+        let (json, rounds, dropped) = if let Some(dist) = distributed.as_ref() {
+            let dropped = dist.round_metrics().iter().map(|m| m.dropped_workers.len()).sum();
+            (dist.metrics_json(), dist.round_metrics().len(), dropped)
+        } else if let Some(asynch) = event_driven.as_ref() {
+            let dropped =
+                asynch.round_metrics().iter().map(|m| m.dropped_workers.len()).sum();
+            (asynch.metrics_json(), asynch.round_metrics().len(), dropped)
+        } else {
+            return Err("--round-metrics needs --workers > 1".into());
+        };
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let dropped: usize = dropped;
+        writeln!(
+            out,
+            "round metrics written to {path} ({rounds} rounds, {dropped} dropped rounds)"
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = args.get("event-trace") {
+        let asynch = event_driven
+            .as_ref()
+            .ok_or("--event-trace needs --runtime event")?;
+        let mut trace = asynch.trace_lines().join("\n");
+        trace.push('\n');
+        std::fs::write(path, &trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(
+            out,
+            "event trace written to {path} ({} events)",
+            asynch.trace_lines().len()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    let wire_totals = distributed
+        .as_ref()
+        .map(|d| (d.wire(), d.wire_bytes_total()))
+        .or_else(|| event_driven.as_ref().map(|a| (a.wire(), a.wire_bytes_total())));
+    if let Some((wire, (raw, encoded))) = wire_totals {
+        if encoded > 0 {
+            writeln!(
+                out,
+                "wire {}: {} B raw -> {} B encoded ({:.2}x)",
+                wire,
+                raw,
+                encoded,
+                raw as f64 / encoded as f64
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
 }
 
 /// `scd sweep`: warm-started regularization path over a λ grid.
@@ -823,13 +851,33 @@ mod tests {
             "generate --kind criteo --rows 60 --fields 4 --cardinality 10 --output {path}"
         ))
         .unwrap();
-        for obj in ["svm", "logistic", "elastic-net"] {
+        for obj in ["svm", "logistic", "lasso", "elastic-net"] {
             let out = run_to_string(&format!(
                 "train --data {path} --features 40 --objective {obj} --lambda 0.01 --epochs 5 --eval-every 5"
             ))
             .unwrap();
             assert!(out.contains("epoch     5"), "{obj}: {out}");
+            if obj != "elastic-net" {
+                assert!(out.contains(&format!("{obj} objective")), "{obj}: {out}");
+                assert!(
+                    out.contains("convergence rate:") || out.contains("gap reached 0"),
+                    "{obj}: rate report missing: {out}"
+                );
+            }
         }
+        // The classification duals report training accuracy.
+        let out = run_to_string(&format!(
+            "train --data {path} --features 40 --objective svm --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("acc "), "{out}");
+        // Any objective runs distributed: the driver validates the pairing.
+        let out = run_to_string(&format!(
+            "train --data {path} --features 40 --objective logistic --workers 3 --epochs 5 --eval-every 5"
+        ))
+        .unwrap();
+        assert!(out.contains("K=3"), "{out}");
+        assert!(out.contains("logistic objective"), "{out}");
         std::fs::remove_file(path).ok();
     }
 

@@ -145,6 +145,82 @@ fn syscd_backend_trains_and_help_documents_its_knobs() {
 }
 
 #[test]
+fn objective_flag_errors_are_clean() {
+    // Every user-reachable misuse of --objective must come back as a
+    // one-line stderr message and a nonzero exit, never a panic.
+    let data = tmp("obj_err_data.svm");
+    let data_s = data.to_str().unwrap();
+    let out = scd(&[
+        "generate", "--kind", "criteo", "--rows", "60", "--fields", "4", "--cardinality", "10",
+        "--output", data_s,
+    ]);
+    assert!(out.status.success());
+
+    let out = scd(&["train", "--data", data_s, "--objective", "mystery"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown --objective \"mystery\""), "{err}");
+    assert!(err.contains("ridge|logistic|svm|lasso|elastic-net"), "{err}");
+
+    let out = scd(&["train", "--data", data_s, "--objective", "svm", "--form", "primal"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("objective svm does not support the primal form"), "{err}");
+
+    let out = scd(&["train", "--data", data_s, "--l1-ratio", "0.5"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--l1-ratio only applies to --objective elastic-net"), "{err}");
+
+    let model = tmp("obj_err_model.txt");
+    let out = scd(&[
+        "train", "--data", data_s, "--objective", "lasso", "--save-model",
+        model.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--save-model supports only --objective ridge, not lasso"), "{err}");
+
+    let out = scd(&["train", "--data", data_s, "--backend", "asyscd", "--objective", "svm", "--form", "dual"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("asyscd supports only --form primal"), "{err}");
+
+    let out = scd(&["train", "--data", data_s, "--backend", "asyscd", "--objective", "svm", "--form", "primal"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("objective svm does not support the primal form"), "{err}");
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn svm_objective_trains_distributed_and_reports_rate() {
+    let data = tmp("obj_svm_data.svm");
+    let data_s = data.to_str().unwrap();
+    let out = scd(&[
+        "generate", "--kind", "criteo", "--rows", "160", "--fields", "5", "--cardinality", "16",
+        "--output", data_s,
+    ]);
+    assert!(out.status.success());
+
+    let out = scd(&[
+        "train", "--data", data_s, "--features", "80", "--objective", "svm", "--workers", "4",
+        "--aggregation", "adaptive", "--wire", "topk-ef:64", "--epochs", "10", "--eval-every", "5",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("svm objective"), "{text}");
+    assert!(text.contains("acc "), "classification runs must report accuracy: {text}");
+    assert!(
+        text.contains("convergence rate:") || text.contains("gap reached 0 at epoch"),
+        "rate report missing: {text}"
+    );
+
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
 fn host_threads_sizes_the_shared_scheduler() {
     // A fresh process, so --host-threads can claim the process-wide
     // scheduler; the distributed GPU run then schedules on 2 host threads.

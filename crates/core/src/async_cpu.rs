@@ -18,9 +18,9 @@
 //! that hold for *any* interleaving. Simulated epoch time comes from the
 //! calibrated CPU model, never from host wall-clock.
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
-use crate::updates::{dual_delta, primal_delta};
 use gpu_sim::{DeviceBuffer, MemSemantics};
 use scd_perf_model::{AsyncCpuMode, CpuProfile};
 use scd_sched::Scheduler;
@@ -42,6 +42,8 @@ pub struct AsyncCpuScd {
     threads: usize,
     weights: AtomicF32Vec,
     shared: AtomicF32Vec,
+    /// Scalar update rule + gap oracle (ridge by default).
+    objective: ObjectiveKind,
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
@@ -69,6 +71,7 @@ impl AsyncCpuScd {
             threads,
             weights: AtomicF32Vec::zeroed(problem.coords(form)),
             shared: AtomicF32Vec::zeroed(problem.shared_len(form)),
+            objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
@@ -86,6 +89,22 @@ impl AsyncCpuScd {
     /// one (tests use this to pin real parallelism).
     pub fn with_scheduler(mut self, sched: Arc<Scheduler>) -> Self {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Swap the scalar update rule for a non-ridge objective; the racy
+    /// write-back machinery is objective-agnostic.
+    ///
+    /// # Panics
+    /// Panics if the objective has no coordinate update for this form.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        assert!(
+            objective.supports(self.form),
+            "objective {} does not support the {} form",
+            objective.label(),
+            self.form.label()
+        );
+        self.objective = objective;
         self
     }
 
@@ -132,10 +151,12 @@ impl AsyncCpuScd {
                             self.shared.load(i)
                         });
                         let beta_c = self.weights.load(c);
-                        let delta = primal_delta(
+                        let delta = self.objective.primal_delta(
                             dot,
                             beta_c as f64,
                             problem.col_sq_norms()[c],
+                            problem.n(),
+                            lambda,
                             n_lambda,
                         ) as f32;
                         // Single owner per coordinate within an epoch:
@@ -152,7 +173,7 @@ impl AsyncCpuScd {
                             self.shared.load(i)
                         });
                         let alpha_c = self.weights.load(c);
-                        let delta = dual_delta(
+                        let delta = self.objective.dual_delta(
                             dot,
                             problem.labels()[c] as f64,
                             alpha_c as f64,
@@ -178,6 +199,10 @@ impl AsyncCpuScd {
 impl Solver for AsyncCpuScd {
     fn form(&self) -> Form {
         self.form
+    }
+
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
     }
 
     fn name(&self) -> String {

@@ -45,9 +45,9 @@
 //! With T = 1 (or a zero window) and a zero collision rate the engine
 //! reduces bit-for-bit to Algorithm 1.
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
-use crate::updates::{dual_delta, primal_delta};
 use scd_perf_model::{AsyncCpuMode, CpuProfile};
 use scd_sparse::perm::{Permutation, SplitMix64};
 use std::collections::VecDeque;
@@ -95,6 +95,8 @@ pub struct AsyncSimScd {
     shared: Vec<f32>,
     /// In-flight touch count per shared-vector element.
     touch: Vec<u32>,
+    /// Scalar update rule + gap oracle (ridge by default).
+    objective: ObjectiveKind,
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
@@ -120,6 +122,7 @@ impl AsyncSimScd {
             weights: vec![0.0; problem.coords(form)],
             shared: vec![0.0; problem.shared_len(form)],
             touch: vec![0; problem.shared_len(form)],
+            objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
@@ -168,6 +171,22 @@ impl AsyncSimScd {
         self
     }
 
+    /// Swap the scalar update rule for a non-ridge objective; the delayed
+    /// write-back / collision machinery is objective-agnostic.
+    ///
+    /// # Panics
+    /// Panics if the objective has no coordinate update for this form.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        assert!(
+            objective.supports(self.form),
+            "objective {} does not support the {} form",
+            objective.label(),
+            self.form.label()
+        );
+        self.objective = objective;
+        self
+    }
+
     /// Overwrite the shared vector (distributed broadcast step).
     pub fn set_shared(&mut self, shared: &[f32]) {
         assert_eq!(shared.len(), self.shared.len(), "shared length mismatch");
@@ -193,17 +212,19 @@ impl AsyncSimScd {
                     let i = i as usize;
                     dot += (y[i] as f64 - self.shared[i] as f64) * v as f64;
                 }
-                primal_delta(
+                self.objective.primal_delta(
                     dot,
                     self.weights[coord] as f64,
                     self.quadratic_scale * problem.col_sq_norms()[coord],
+                    problem.n(),
+                    problem.lambda(),
                     n_lambda,
                 ) as f32
             }
             Form::Dual => {
                 let row = problem.csr().row(coord);
                 let dot = row.dot_dense(&self.shared);
-                dual_delta(
+                self.objective.dual_delta(
                     dot,
                     problem.labels()[coord] as f64,
                     self.weights[coord] as f64,
@@ -290,6 +311,10 @@ impl AsyncSimScd {
 impl Solver for AsyncSimScd {
     fn form(&self) -> Form {
         self.form
+    }
+
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
     }
 
     fn name(&self) -> String {

@@ -29,6 +29,7 @@
 //! "slower than sequential SCD" conclusion (see the `asyscd` bench group
 //! and the ablation binary).
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
 use scd_perf_model::CpuProfile;
@@ -48,6 +49,14 @@ pub enum AsyScdError {
         /// The configured cap.
         cap_bytes: usize,
     },
+    /// AsySCD's Hessian-based primal iteration only generalizes to
+    /// objectives with a (possibly prox-composed) quadratic primal —
+    /// ridge and lasso. The classification duals have no primal
+    /// coordinate form to run it on.
+    UnsupportedObjective {
+        /// The rejected objective's label.
+        objective: &'static str,
+    },
 }
 
 impl std::fmt::Display for AsyScdError {
@@ -61,6 +70,10 @@ impl std::fmt::Display for AsyScdError {
                 f,
                 "AsySCD needs a dense {features}x{features} Hessian \
                  ({required_bytes} B) exceeding the {cap_bytes} B cap"
+            ),
+            AsyScdError::UnsupportedObjective { objective } => write!(
+                f,
+                "AsySCD supports only the ridge and lasso objectives, not {objective}"
             ),
         }
     }
@@ -83,6 +96,10 @@ pub struct AsyScd {
     beta: Vec<f32>,
     step: f64,
     m: usize,
+    /// Ridge (H = AᵀA + NλI, plain gradient step) or lasso (H = AᵀA,
+    /// prox-gradient step); the classification duals are rejected at
+    /// construction.
+    objective: ObjectiveKind,
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
@@ -125,10 +142,44 @@ impl AsyScd {
             beta: vec![0.0; m],
             step,
             m,
+            objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
         })
+    }
+
+    /// Retarget the engine at a non-ridge objective. Only ridge and lasso
+    /// are representable (the Hessian-row iteration is primal); lasso
+    /// drops the NλI diagonal (its regularizer is the ℓ1 prox, not a
+    /// quadratic) and switches the step to a prox-gradient step. Call
+    /// before the first epoch — the Hessian diagonal is rebuilt here.
+    pub fn with_objective(
+        mut self,
+        problem: &RidgeProblem,
+        objective: ObjectiveKind,
+    ) -> Result<Self, AsyScdError> {
+        assert_eq!(self.epoch_index, 0, "set the objective before training");
+        match objective {
+            ObjectiveKind::Ridge => {
+                if self.objective == ObjectiveKind::Lasso {
+                    self.hessian.add_diagonal(problem.n_lambda());
+                }
+            }
+            ObjectiveKind::Lasso => {
+                if self.objective == ObjectiveKind::Ridge {
+                    // Undo `new`'s ridge diagonal: lasso's H is plain AᵀA.
+                    self.hessian.add_diagonal(-problem.n_lambda());
+                }
+            }
+            ObjectiveKind::Logistic | ObjectiveKind::Svm => {
+                return Err(AsyScdError::UnsupportedObjective {
+                    objective: objective.label(),
+                });
+            }
+        }
+        self.objective = objective;
+        Ok(self)
     }
 
     /// Bytes consumed by the dense Hessian — the paper's memory complaint,
@@ -154,8 +205,15 @@ impl Solver for AsyScd {
         Form::Primal
     }
 
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
+    }
+
     fn name(&self) -> String {
-        format!("AsySCD (step {})", self.step)
+        match self.objective {
+            ObjectiveKind::Ridge => format!("AsySCD (step {})", self.step),
+            other => format!("AsySCD (step {}, {})", self.step, other.label()),
+        }
     }
 
     fn epoch(&mut self, problem: &RidgeProblem) -> EpochStats {
@@ -163,14 +221,36 @@ impl Solver for AsyScd {
         assert_eq!(problem.m(), m, "problem changed under the solver");
         let perm = Permutation::random(m, self.seed ^ (self.epoch_index.wrapping_mul(0x9E37)));
         self.epoch_index += 1;
+        let n_lambda = problem.n_lambda();
         for j in 0..m {
             let c = perm.apply(j);
             let h_cc = self.hessian.get(c, c);
-            if h_cc == 0.0 {
-                continue;
-            }
-            // Scaled gradient step (η = 1 ⇒ exact coordinate Newton).
-            let delta = -self.step * self.gradient[c] / h_cc;
+            let delta = match self.objective {
+                ObjectiveKind::Lasso => {
+                    let beta_c = self.beta[c] as f64;
+                    if h_cc == 0.0 {
+                        // Empty column: the ℓ1 prox pins the weight at 0.
+                        -self.step * beta_c
+                    } else {
+                        // Prox-gradient step on the N-scaled objective
+                        // (1/2)βᵀHβ − yᵀAβ + Nλ‖β‖₁, H = AᵀA: the 1-d
+                        // coordinate minimizer is the soft threshold.
+                        let target = crate::extensions::elastic_net::soft_threshold(
+                            h_cc * beta_c - self.gradient[c],
+                            n_lambda,
+                        ) / h_cc;
+                        self.step * (target - beta_c)
+                    }
+                }
+                // Ridge: scaled gradient step (η = 1 ⇒ exact coordinate
+                // Newton). `with_objective` rejects everything else.
+                _ => {
+                    if h_cc == 0.0 {
+                        continue;
+                    }
+                    -self.step * self.gradient[c] / h_cc
+                }
+            };
             self.beta[c] += delta as f32;
             // Dense gradient refresh through H's row — the O(M) cost.
             for (g, &h) in self.gradient.iter_mut().zip(self.hessian.row(c)) {
@@ -294,6 +374,7 @@ mod tests {
                 assert_eq!(required_bytes, 80 * 80 * 8);
                 assert_eq!(cap_bytes, 1024);
             }
+            other => panic!("expected HessianTooLarge, got {other:?}"),
         }
         assert!(err.to_string().contains("Hessian"));
     }
@@ -305,6 +386,47 @@ mod tests {
         assert_eq!(s.hessian_bytes(), 6 * 6 * 8);
         assert_eq!(s.step(), 1.0);
         assert!(s.name().contains("AsySCD"));
+    }
+
+    #[test]
+    fn lasso_objective_converges_and_sparsifies() {
+        use crate::objective::ObjectiveKind;
+        let p = problem();
+        let mut s = AsyScd::new(&p, 1.0, 6)
+            .unwrap()
+            .with_objective(&p, ObjectiveKind::Lasso)
+            .unwrap();
+        let g0 = s.duality_gap(&p);
+        for _ in 0..80 {
+            s.epoch(&p);
+        }
+        let gap = s.duality_gap(&p);
+        assert!(gap < g0 * 1e-2, "lasso gap {g0} -> {gap}");
+        assert!(s.name().contains("lasso"));
+        // Cross-check against the sequential trait path: same optimum.
+        let mut seq = SequentialScd::primal(&p, 6).with_objective(ObjectiveKind::Lasso);
+        for _ in 0..200 {
+            seq.epoch(&p);
+        }
+        assert!(
+            dense::max_abs_diff(&s.weights(), &seq.weights()) < 1e-3,
+            "AsySCD-lasso and sequential lasso must agree"
+        );
+    }
+
+    #[test]
+    fn dual_objectives_are_rejected() {
+        use crate::objective::ObjectiveKind;
+        let p = problem();
+        let err = AsyScd::new(&p, 1.0, 1)
+            .unwrap()
+            .with_objective(&p, ObjectiveKind::Svm)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AsyScdError::UnsupportedObjective { objective: "svm" }
+        ));
+        assert!(err.to_string().contains("svm"));
     }
 
     #[test]

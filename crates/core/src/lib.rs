@@ -7,6 +7,8 @@
 //! Layout:
 //! * [`problem`] — primal/dual objectives, duality gap (§II).
 //! * [`updates`] — the scalar coordinate update rules (Eqs. 2 and 4).
+//! * [`objective`] — the pluggable objective layer (ridge, logistic,
+//!   hinge/SVM, lasso) every engine dispatches through.
 //! * [`seq`] — Algorithm 1, the single-thread baseline.
 //! * [`async_cpu`] — real-thread A-SCD / PASSCoDe-Wild (§III-B).
 //! * [`async_sim`] — deterministic T-thread asynchrony simulation used for
@@ -34,6 +36,7 @@ pub mod exact;
 pub mod extensions;
 pub mod minibatch;
 pub mod model;
+pub mod objective;
 pub mod path;
 pub mod problem;
 pub mod recorder;
@@ -50,6 +53,10 @@ pub use async_sim::AsyncSimScd;
 pub use exact::{exact_dual, exact_primal};
 pub use minibatch::MiniBatchSdca;
 pub use model::{ModelError, TrainedModel};
+pub use objective::{
+    LassoObjective, LogisticObjective, Objective, ObjectiveError, ObjectiveKind, RidgeObjective,
+    SvmObjective,
+};
 pub use path::{PathPoint, RegularizationPath};
 pub use problem::{Form, ProblemError, RidgeProblem};
 pub use recorder::{ConvergenceRecorder, EpochPoint};

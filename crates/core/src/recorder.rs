@@ -115,6 +115,19 @@ impl ConvergenceRecorder {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// First epoch whose recorded gap is not a positive finite number —
+    /// the iterate hit (numerical) zero, or the gap oracle produced a
+    /// NaN/∞. Such points carry no log-scale information:
+    /// [`Self::linear_rate`] drops them from the fit, and callers should
+    /// report the epoch instead of feeding `log10(0) = −∞` into a
+    /// regression.
+    pub fn first_nonpositive_gap(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| !(p.gap.is_finite() && p.gap > 0.0))
+            .map(|p| p.epoch)
+    }
+
     /// Least-squares estimate of the linear convergence rate ρ from
     /// gap(t) ≈ C·ρᵗ, fit on log₁₀(gap) over the recorded epochs (dropping
     /// non-positive gaps and the noise floor below `floor`). Returns `None`
@@ -246,6 +259,27 @@ mod tests {
         }
         let est = r.linear_rate(1e-8).unwrap();
         assert!((est - 0.5).abs() < 0.01, "estimated {est}");
+    }
+
+    #[test]
+    fn zero_gap_is_reported_not_fit() {
+        // A gap that hits exactly 0 (tiny problems converge to the float
+        // floor) must surface through first_nonpositive_gap, and the rate
+        // fit must survive it — log10(0) = −∞ would otherwise poison the
+        // least-squares sums into NaN.
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(1.0);
+        r.record_epoch(bd(1.0), 0.1, 0.0);
+        r.record_epoch(bd(1.0), 0.01, 0.0);
+        r.record_epoch(bd(1.0), 0.0, 0.0);
+        assert_eq!(r.first_nonpositive_gap(), Some(3));
+        let est = r.linear_rate(0.0).unwrap();
+        assert!(est.is_finite(), "zero gap poisoned the fit: {est}");
+        assert!((est - 0.1).abs() < 1e-9, "estimated {est}");
+        // NaN gaps are likewise reported, not fit.
+        let mut r = ConvergenceRecorder::new();
+        r.record_initial(f64::NAN);
+        assert_eq!(r.first_nonpositive_gap(), Some(0));
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! model and shared-vector state, sparse columns/rows streamed once per
 //! inner product and once per write-back.
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
-use crate::updates::{dual_delta, primal_delta};
 use scd_perf_model::CpuProfile;
 use scd_sparse::kernels;
 use scd_sparse::perm::Permutation;
@@ -35,6 +35,8 @@ pub struct SequentialScd {
     /// The permutation currently being consumed (capped calls span several
     /// `epoch()` invocations).
     current_perm: Option<Permutation>,
+    /// Scalar update rule + gap oracle (ridge by default).
+    objective: ObjectiveKind,
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
@@ -62,6 +64,7 @@ impl SequentialScd {
             max_updates_per_call: None,
             cursor: 0,
             current_perm: None,
+            objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
@@ -92,6 +95,24 @@ impl SequentialScd {
     /// Override the CPU profile used for simulated timing.
     pub fn with_cpu(mut self, cpu: CpuProfile) -> Self {
         self.cpu = cpu;
+        self
+    }
+
+    /// Swap the scalar update rule (and gap oracle) for a non-ridge
+    /// objective. The default, [`ObjectiveKind::Ridge`], is bit-identical
+    /// to the pre-trait engine.
+    ///
+    /// # Panics
+    /// Panics if the objective has no coordinate update for this solver's
+    /// form (e.g. lasso on a dual solver).
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        assert!(
+            objective.supports(self.form),
+            "objective {} does not support the {} form",
+            objective.label(),
+            self.form.label()
+        );
+        self.objective = objective;
         self
     }
 
@@ -157,10 +178,12 @@ impl SequentialScd {
                     // kernel every CPU backend (syscd included) runs, so
                     // their trajectories can be compared bit for bit.
                     let dot = kernels::dot_residual(col.indices, col.values, y, &self.shared);
-                    let delta = primal_delta(
+                    let delta = self.objective.primal_delta(
                         dot,
                         self.weights[m] as f64,
                         self.quadratic_scale * problem.col_sq_norms()[m],
+                        problem.n(),
+                        problem.lambda(),
                         n_lambda,
                     ) as f32;
                     self.weights[m] += delta;
@@ -174,7 +197,7 @@ impl SequentialScd {
                     let row = problem.csr().row(n);
                     nnz_touched += row.nnz();
                     let dot = kernels::dot_dense(row.indices, row.values, &self.shared);
-                    let delta = dual_delta(
+                    let delta = self.objective.dual_delta(
                         dot,
                         problem.labels()[n] as f64,
                         self.weights[n] as f64,
@@ -196,8 +219,15 @@ impl Solver for SequentialScd {
         self.form
     }
 
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
+    }
+
     fn name(&self) -> String {
-        "SCD (1 thread)".to_string()
+        match self.objective {
+            ObjectiveKind::Ridge => "SCD (1 thread)".to_string(),
+            other => format!("SCD (1 thread, {})", other.label()),
+        }
     }
 
     fn epoch(&mut self, problem: &RidgeProblem) -> EpochStats {

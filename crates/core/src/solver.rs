@@ -1,5 +1,6 @@
 //! The common solver interface shared by every SCD engine.
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use scd_perf_model::Seconds;
 
@@ -62,15 +63,24 @@ impl EpochStats {
     }
 }
 
-/// A stochastic coordinate descent engine for ridge regression.
+/// A stochastic coordinate descent engine.
 ///
 /// One `epoch()` call performs one permuted pass over all coordinates of
 /// the solver's [`Form`] (Algorithm 1's inner loop; Algorithm 2's grid
 /// launch). Implementations keep the model weights and shared vector as
-/// state and report per-epoch simulated cost.
+/// state and report per-epoch simulated cost. The scalar update rule and
+/// the gap oracle come from the engine's [`ObjectiveKind`]; the default
+/// (ridge) reproduces the paper's Eqs. 2/4 bit-identically.
 pub trait Solver {
     /// Which formulation this engine optimizes.
     fn form(&self) -> Form;
+
+    /// The objective this engine's coordinate updates minimize. Defaults
+    /// to ridge — the paper's objective and every engine's historical
+    /// behaviour.
+    fn objective(&self) -> ObjectiveKind {
+        ObjectiveKind::Ridge
+    }
 
     /// Human-readable engine name (figure legends).
     fn name(&self) -> String;
@@ -90,8 +100,11 @@ pub trait Solver {
 
     /// The duality gap of the current iterate, recomputed honestly from the
     /// weights alone (never from the possibly-inconsistent shared vector).
+    /// Routed through the engine's objective; for ridge this is exactly
+    /// [`RidgeProblem::duality_gap`], bit-identical to the pre-trait code.
     fn duality_gap(&self, problem: &RidgeProblem) -> f64 {
-        problem.duality_gap(self.form(), &self.weights())
+        self.objective()
+            .duality_gap(problem, self.form(), &self.weights())
     }
 }
 

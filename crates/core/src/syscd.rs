@@ -37,9 +37,9 @@
 //! PASSCoDe's bounded-asynchrony analysis, and small enough by default
 //! that the trajectories track sequential SCD closely.
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
-use crate::updates::{dual_delta, primal_delta};
 use scd_perf_model::CpuProfile;
 use scd_sparse::kernels;
 use scd_sparse::perm::Permutation;
@@ -99,6 +99,8 @@ pub struct SyscdScd {
     /// skewed — those buckets stream CSR rows; the kernels are
     /// bit-identical either way).
     ell_blocks: Vec<Option<EllMatrix>>,
+    /// Scalar update rule + gap oracle (ridge by default).
+    objective: ObjectiveKind,
     cpu: CpuProfile,
     sched: Option<Arc<scd_sched::Scheduler>>,
     seed: u64,
@@ -128,6 +130,7 @@ impl SyscdScd {
                 })
                 .collect(),
             ell_blocks: Vec::new(),
+            objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
             sched: None,
             seed,
@@ -163,6 +166,24 @@ impl SyscdScd {
     /// one.
     pub fn with_scheduler(mut self, sched: Arc<scd_sched::Scheduler>) -> Self {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Swap the scalar update rule for a non-ridge objective. The
+    /// bucket/replica/merge machinery is objective-agnostic: the σ′ = W
+    /// safe subproblem reaches the objective through the σ′-scaled
+    /// squared-norm argument.
+    ///
+    /// # Panics
+    /// Panics if the objective has no coordinate update for this form.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        assert!(
+            objective.supports(self.form),
+            "objective {} does not support the {} form",
+            objective.label(),
+            self.form.label()
+        );
+        self.objective = objective;
         self
     }
 
@@ -212,10 +233,12 @@ impl SyscdScd {
                     let col = problem.csc().col(m);
                     nnz += col.nnz();
                     let dot = kernels::dot_residual(col.indices, col.values, y, &self.shared);
-                    let delta = primal_delta(
+                    let delta = self.objective.primal_delta(
                         dot,
                         self.weights[m] as f64,
                         problem.col_sq_norms()[m],
+                        problem.n(),
+                        problem.lambda(),
                         n_lambda,
                     ) as f32;
                     self.weights[m] += delta;
@@ -229,7 +252,7 @@ impl SyscdScd {
                     let row = problem.csr().row(n);
                     nnz += row.nnz();
                     let dot = kernels::dot_dense(row.indices, row.values, &self.shared);
-                    let delta = dual_delta(
+                    let delta = self.objective.dual_delta(
                         dot,
                         problem.labels()[n] as f64,
                         self.weights[n] as f64,
@@ -298,10 +321,12 @@ impl SyscdScd {
                         state.nnz += col.nnz();
                         let dot =
                             kernels::dot_residual(col.indices, col.values, y, &state.replica);
-                        let delta = primal_delta(
+                        let delta = self.objective.primal_delta(
                             dot,
                             weights[m] as f64,
                             sigma_prime * problem.col_sq_norms()[m],
+                            problem.n(),
+                            problem.lambda(),
                             n_lambda,
                         ) as f32;
                         state.staged.push((m as u32, weights[m] + delta));
@@ -318,7 +343,7 @@ impl SyscdScd {
                             Some(block) => block.row_dot(n - lo, &state.replica),
                             None => kernels::dot_dense(row.indices, row.values, &state.replica),
                         };
-                        let delta = dual_delta(
+                        let delta = self.objective.dual_delta(
                             dot,
                             problem.labels()[n] as f64,
                             weights[n] as f64,
@@ -443,6 +468,10 @@ impl SyscdScd {
 impl Solver for SyscdScd {
     fn form(&self) -> Form {
         self.form
+    }
+
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
     }
 
     fn name(&self) -> String {

@@ -18,9 +18,9 @@
 //! operation and does not move"); per-epoch host work is only the
 //! permutation draw and the kernel launch.
 
+use crate::objective::ObjectiveKind;
 use crate::problem::{Form, RidgeProblem};
 use crate::solver::{EpochStats, Solver, TimeBreakdown};
-use crate::updates::{dual_delta, primal_delta};
 use gpu_sim::{BlockCtx, DeviceBuffer, Gpu, GpuError, Kernel, MemSemantics};
 use scd_perf_model::CpuProfile;
 use scd_sparse::perm::Permutation;
@@ -46,8 +46,11 @@ struct PrimalKernel<'a> {
     perm: &'a Permutation,
     beta: &'a DeviceBuffer,
     w: &'a DeviceBuffer,
+    n: usize,
+    lambda: f64,
     n_lambda: f64,
     quad_scale: f64,
+    objective: ObjectiveKind,
     sem: MemSemantics,
 }
 
@@ -72,12 +75,15 @@ impl Kernel for PrimalKernel<'_> {
         // Phase 2: shared-memory tree reduction.
         let dot = ctx.tree_reduce() as f64;
 
-        // Phase 3: lane 0 computes the exact coordinate update (Eq. 2).
+        // Phase 3: lane 0 computes the exact coordinate update (Eq. 2 for
+        // ridge; the objective's prox step otherwise).
         let beta_m = ctx.read(self.beta, m);
-        let delta = primal_delta(
+        let delta = self.objective.primal_delta(
             dot,
             beta_m as f64,
             self.quad_scale * self.col_sq_norms[m],
+            self.n,
+            self.lambda,
             self.n_lambda,
         ) as f32;
         ctx.write(self.beta, m, beta_m + delta);
@@ -102,6 +108,7 @@ struct DualKernel<'a> {
     lambda: f64,
     n_lambda: f64,
     quad_scale: f64,
+    objective: ObjectiveKind,
     sem: MemSemantics,
 }
 
@@ -121,7 +128,7 @@ impl Kernel for DualKernel<'_> {
         let dot = ctx.tree_reduce() as f64;
 
         let alpha_n = ctx.read(self.alpha, n);
-        let delta = dual_delta(
+        let delta = self.objective.dual_delta(
             dot,
             self.y[n] as f64,
             alpha_n as f64,
@@ -151,6 +158,7 @@ struct DualEllKernel<'a> {
     lambda: f64,
     n_lambda: f64,
     quad_scale: f64,
+    objective: ObjectiveKind,
     sem: MemSemantics,
 }
 
@@ -172,7 +180,7 @@ impl Kernel for DualEllKernel<'_> {
         let dot = ctx.tree_reduce() as f64;
 
         let alpha_n = ctx.read(self.alpha, n);
-        let delta = dual_delta(
+        let delta = self.objective.dual_delta(
             dot,
             self.y[n] as f64,
             alpha_n as f64,
@@ -201,6 +209,9 @@ pub struct TpaScd {
     quadratic_scale: f64,
     /// ELLPACK copy of the matrix for the dual kernel (None = CSR layout).
     ell: Option<EllMatrix>,
+    /// Scalar update rule + gap oracle (ridge by default); dispatched by
+    /// lane 0 after the tree reduction.
+    objective: ObjectiveKind,
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
@@ -248,6 +259,7 @@ impl TpaScd {
             sem: MemSemantics::Atomic,
             quadratic_scale: 1.0,
             ell: None,
+            objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
@@ -280,6 +292,23 @@ impl TpaScd {
     pub fn with_quadratic_scale(mut self, sigma_prime: f64) -> Self {
         assert!(sigma_prime >= 1.0, "sigma' must be >= 1 for safety");
         self.quadratic_scale = sigma_prime;
+        self
+    }
+
+    /// Swap the lane-0 scalar update for a non-ridge objective. The block
+    /// structure — lane-strided dots, tree reduction, atomic rank-one
+    /// write-back — is objective-agnostic.
+    ///
+    /// # Panics
+    /// Panics if the objective has no coordinate update for this form.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        assert!(
+            objective.supports(self.form),
+            "objective {} does not support the {} form",
+            objective.label(),
+            self.form.label()
+        );
+        self.objective = objective;
         self
     }
 
@@ -355,6 +384,10 @@ impl Solver for TpaScd {
         self.form
     }
 
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
+    }
+
     fn name(&self) -> String {
         format!("TPA-SCD ({})", self.gpu.profile().name)
     }
@@ -372,8 +405,11 @@ impl Solver for TpaScd {
                     perm: &perm,
                     beta: &self.weights,
                     w: &self.shared,
+                    n: problem.n(),
+                    lambda: problem.lambda(),
                     n_lambda: problem.n_lambda(),
                     quad_scale: self.quadratic_scale,
+                    objective: self.objective,
                     sem: self.sem,
                 };
                 self.gpu.launch(&kernel, coords, self.lanes)
@@ -390,6 +426,7 @@ impl Solver for TpaScd {
                         lambda: problem.lambda(),
                         n_lambda: problem.n_lambda(),
                         quad_scale: self.quadratic_scale,
+                        objective: self.objective,
                         sem: self.sem,
                     };
                     self.gpu.launch(&kernel, coords, self.lanes)
@@ -405,6 +442,7 @@ impl Solver for TpaScd {
                         lambda: problem.lambda(),
                         n_lambda: problem.n_lambda(),
                         quad_scale: self.quadratic_scale,
+                        objective: self.objective,
                         sem: self.sem,
                     };
                     self.gpu.launch(&kernel, coords, self.lanes)

@@ -14,6 +14,9 @@
 //!   categorical field), heavily skewed feature frequencies, ±1 labels.
 //! * [`dense_gaussian`] — a small dense design matrix for unit tests and
 //!   closed-form cross-checks.
+//! * [`dense_random`] — a dense design matrix with ±1 labels, valid for
+//!   every objective (ridge, logistic, SVM, lasso); the shared fixture of
+//!   the cross-objective convergence tests.
 //!
 //! All generators are deterministic in their seed. Real datasets in LIBSVM
 //! format can be loaded instead via [`scd_sparse::io::read_libsvm`].
@@ -200,6 +203,41 @@ pub fn dense_gaussian(n: usize, m: usize, seed: u64) -> LabelledData {
     LabelledData { matrix, labels }
 }
 
+/// Generate a dense random *classification* problem: A ~ N(0,1)^{n×m},
+/// labels y = sign(Aβ* + 0.3·noise) ∈ {−1, +1} with β* ~ N(0,1). The
+/// ±1 labels make it valid for every objective (ridge treats them as a
+/// regression target, SVM/logistic as classes), so it is the shared
+/// fixture for the cross-objective convergence tests.
+///
+/// # Panics
+/// Panics if any dimension is zero or `n < 2` (both classes must be
+/// representable).
+pub fn dense_random(n: usize, m: usize, seed: u64) -> LabelledData {
+    assert!(n >= 2 && m > 0, "dense_random needs n ≥ 2 and m ≥ 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let truth: Vec<f64> = (0..m).map(|_| normal(&mut rng)).collect();
+    let mut matrix = CooMatrix::with_capacity(n, m, n * m);
+    let mut labels = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut response = 0.0f64;
+        for (col, &t) in truth.iter().enumerate() {
+            let v = normal(&mut rng) as f32;
+            matrix.push(row, col, v).expect("in range");
+            response += v as f64 * t;
+        }
+        let noisy = response + 0.3 * normal(&mut rng);
+        labels.push(if noisy >= 0.0 { 1.0 } else { -1.0 });
+    }
+    // Guarantee both classes so classification duals are never degenerate:
+    // flip the last rows if one class is missing.
+    if labels.iter().all(|&y| y == 1.0) {
+        labels[n - 1] = -1.0;
+    } else if labels.iter().all(|&y| y == -1.0) {
+        labels[n - 1] = 1.0;
+    }
+    LabelledData { matrix, labels }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +329,18 @@ mod tests {
         assert_eq!(d.labels.len(), 10);
         // Labels are real-valued responses, not ±1.
         assert!(d.labels.iter().any(|&y| y != 1.0 && y != -1.0));
+    }
+
+    #[test]
+    fn dense_random_has_binary_labels_and_both_classes() {
+        let d = dense_random(40, 8, 13);
+        assert_eq!(d.matrix.nnz(), 320);
+        assert!(d.labels.iter().all(|&y| y == 1.0 || y == -1.0));
+        assert!(d.labels.iter().any(|&y| y == 1.0));
+        assert!(d.labels.iter().any(|&y| y == -1.0));
+        let e = dense_random(40, 8, 13);
+        assert_eq!(d.labels, e.labels);
+        assert_eq!(d.matrix.to_dense(), e.matrix.to_dense());
     }
 
     #[test]

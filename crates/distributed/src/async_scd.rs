@@ -50,7 +50,9 @@ use crate::fault::{FaultPlan, RoundFate};
 use crate::metrics::RoundMetrics;
 use crate::worker::{Worker, WorkerRound};
 use gpu_sim::GpuError;
-use scd_core::{EpochStats, Form, RidgeProblem, Solver, TimeBreakdown, WorkerScalars};
+use scd_core::{
+    EpochStats, Form, ObjectiveKind, RidgeProblem, Solver, TimeBreakdown, WorkerScalars,
+};
 use scd_events::{ActorId, Engine};
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sparse::dense;
@@ -158,6 +160,7 @@ impl EpochAccum {
 /// The bounded-staleness asynchronous driver (implements [`Solver`]).
 pub struct AsyncScd {
     form: Form,
+    objective: ObjectiveKind,
     aggregation: Aggregation,
     workers: Vec<Worker>,
     /// The master's authoritative shared vector.
@@ -206,6 +209,7 @@ impl AsyncScd {
         let k = workers.len();
         Ok(AsyncScd {
             form: config.form,
+            objective: config.objective,
             aggregation: config.aggregation,
             workers,
             shared: vec![0.0; full.shared_len(config.form)],
@@ -380,6 +384,7 @@ impl AsyncScd {
             choose_gamma(
                 self.aggregation,
                 self.form,
+                self.objective,
                 full,
                 &self.shared,
                 &delta,
@@ -454,6 +459,7 @@ impl AsyncScd {
             let gamma = choose_gamma(
                 self.aggregation,
                 self.form,
+                self.objective,
                 full,
                 &self.shared,
                 &decoded,
@@ -510,6 +516,10 @@ impl AsyncScd {
 impl Solver for AsyncScd {
     fn form(&self) -> Form {
         self.form
+    }
+
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
     }
 
     fn name(&self) -> String {

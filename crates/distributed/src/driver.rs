@@ -33,8 +33,8 @@ use std::cell::UnsafeCell;
 use gpu_sim::{Gpu, GpuError, GpuProfile};
 use scd_core::{
     async_sim::scaled_staleness, optimal_gamma_dual, optimal_gamma_primal, AsyncCpuMode,
-    AsyncSimScd, EpochStats, Form, RidgeProblem, SequentialScd, Solver, TimeBreakdown, TpaScd,
-    WorkerScalars,
+    AsyncSimScd, EpochStats, Form, ObjectiveKind, RidgeProblem, SequentialScd, Solver,
+    TimeBreakdown, TpaScd, WorkerScalars,
 };
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sched::Scheduler;
@@ -123,6 +123,9 @@ pub struct DistributedConfig {
     pub workers: usize,
     /// Which formulation to solve (decides the partitioning axis).
     pub form: Form,
+    /// The training objective every worker's local engine optimizes
+    /// (ridge by default — the paper's setting).
+    pub objective: ObjectiveKind,
     /// Aggregation rule.
     pub aggregation: Aggregation,
     /// Coordinate-assignment strategy; `None` (the default) derives the
@@ -169,6 +172,7 @@ impl DistributedConfig {
         DistributedConfig {
             workers,
             form,
+            objective: ObjectiveKind::Ridge,
             aggregation: Aggregation::Averaging,
             strategy: None,
             solver: LocalSolverKind::Sequential,
@@ -224,6 +228,14 @@ impl DistributedConfig {
     /// Select the aggregation rule.
     pub fn with_aggregation(mut self, aggregation: Aggregation) -> Self {
         self.aggregation = aggregation;
+        self
+    }
+
+    /// Select the training objective every worker optimizes locally.
+    /// Validity against the form and labels is checked when the cluster
+    /// is stood up.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -299,6 +311,11 @@ pub(crate) fn build_workers(
     full: &RidgeProblem,
     config: &DistributedConfig,
 ) -> Result<Vec<Worker>, GpuError> {
+    // Objective × form × labels validity is checked once, on the full
+    // problem, before any partition is cut (partitions inherit labels).
+    if let Err(err) = config.objective.validate(full, config.form) {
+        panic!("{err}");
+    }
     let partitions = partition_problem(
         full,
         config.form,
@@ -328,7 +345,8 @@ pub(crate) fn build_workers(
                     Form::Dual => SequentialScd::dual(&part.problem, worker_seed),
                 }
                 .with_cpu(worker_cpu.clone())
-                .with_quadratic_scale(sigma_prime);
+                .with_quadratic_scale(sigma_prime)
+                .with_objective(config.objective);
                 if let Some(cap) = config.local_updates_per_round {
                     s = s.with_updates_per_call(cap);
                 }
@@ -350,7 +368,10 @@ pub(crate) fn build_workers(
                     };
                     s = s.with_staleness(scaled_staleness(*threads, coords, reference));
                 }
-                Box::new(s.with_quadratic_scale(sigma_prime))
+                Box::new(
+                    s.with_quadratic_scale(sigma_prime)
+                        .with_objective(config.objective),
+                )
             }
             LocalSolverKind::Tpa {
                 profile,
@@ -367,7 +388,8 @@ pub(crate) fn build_workers(
                 let s = TpaScd::new(&part.problem, config.form, Arc::new(gpu), worker_seed)?
                     .with_lanes(*lanes)
                     .with_cpu(worker_cpu.clone())
-                    .with_quadratic_scale(sigma_prime);
+                    .with_quadratic_scale(sigma_prime)
+                    .with_objective(config.objective);
                 Box::new(s)
             }
         };
@@ -384,21 +406,86 @@ pub(crate) fn build_workers(
     Ok(workers)
 }
 
+/// Golden-section line search for γ on the margin-loss duals (SVM,
+/// logistic), where Eq. 7's ridge quadratic does not apply: minimize the
+/// primal value of the induced iterate β(γ) = (w̄ + γΔw̄)/(Nλ) over
+/// γ ∈ [0, 1] using the objective's per-example loss oracle. Two matvecs
+/// up front; each probe is O(N) scalar work.
+fn margin_gamma_search(
+    objective: ObjectiveKind,
+    full: &RidgeProblem,
+    shared: &[f32],
+    delta: &[f32],
+) -> f64 {
+    let n = full.n() as f64;
+    let n_lambda = full.n_lambda();
+    let t0 = full.csr().matvec(shared).expect("shared has length M");
+    let t1 = full.csr().matvec(delta).expect("delta has length M");
+    // margin_i(γ) = y_i·(t0_i + γ·t1_i)/(Nλ), precomputed as m0 + γ·m1.
+    let (m0, m1): (Vec<f64>, Vec<f64>) = t0
+        .iter()
+        .zip(&t1)
+        .zip(full.labels())
+        .map(|((&a, &b), &y)| (y as f64 * a as f64 / n_lambda, y as f64 * b as f64 / n_lambda))
+        .unzip();
+    // ‖w̄ + γΔw̄‖²/(2λN²) — the regularizer of the induced iterate.
+    let s1: f64 = shared
+        .iter()
+        .zip(delta)
+        .map(|(&w, &d)| w as f64 * d as f64)
+        .sum();
+    let s2: f64 = delta.iter().map(|&d| (d as f64) * (d as f64)).sum();
+    let reg_scale = 1.0 / (2.0 * full.lambda() * n * n);
+    let obj = objective.as_objective();
+    let primal_of = |g: f64| {
+        let loss: f64 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(&a, &b)| obj.margin_loss(a + g * b))
+            .sum::<f64>()
+            / n;
+        loss + (2.0 * g * s1 + g * g * s2) * reg_scale
+    };
+    golden_min(primal_of, 0.0, 1.0)
+}
+
 /// The master's γ rule over the `k_eff` surviving workers. Free function
 /// shared verbatim by the synchronous and bounded-staleness drivers, so
 /// τ=0 async runs make bit-identical choices.
+///
+/// Whatever the rule computes, the returned γ is clamped to a positive
+/// finite value: a degenerate round (all-zero aggregate delta, a line
+/// search wandering to γ ≤ 0, a 0/0 in the closed forms) falls back to
+/// the always-safe averaging step 1/K′ instead of poisoning the shared
+/// vector with a NaN or dragging it backwards.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the reduce step's full state
 pub(crate) fn choose_gamma(
     aggregation: Aggregation,
     form: Form,
+    objective: ObjectiveKind,
     full: &RidgeProblem,
     shared: &[f32],
     delta: &[f32],
     reduced: &WorkerScalars,
     k_eff: usize,
 ) -> f64 {
-    match aggregation {
-        Aggregation::Averaging => 1.0 / k_eff as f64,
+    let safe = 1.0 / k_eff as f64;
+    let gamma = match aggregation {
+        Aggregation::Averaging => safe,
         Aggregation::Adding | Aggregation::CocoaPlus => 1.0,
+        // The Eq. 7 closed forms and the quadratic line search are
+        // ridge-specific; the margin duals get a value-oracle search,
+        // lasso the conservative averaging step.
+        Aggregation::Adaptive | Aggregation::LineSearch
+            if objective != ObjectiveKind::Ridge =>
+        {
+            match objective {
+                ObjectiveKind::Svm | ObjectiveKind::Logistic => {
+                    margin_gamma_search(objective, full, shared, delta)
+                }
+                _ => safe,
+            }
+        }
         Aggregation::LineSearch => match form {
             Form::Primal => {
                 // φ(γ) = (1/2N)‖w+γΔw−y‖² + λ(γ⟨β,Δβ⟩ + γ²‖Δβ‖²/2) + const.
@@ -466,6 +553,11 @@ pub(crate) fn choose_gamma(
                 full.lambda(),
             ),
         },
+    };
+    if gamma.is_finite() && gamma > 0.0 {
+        gamma
+    } else {
+        safe
     }
 }
 
@@ -473,6 +565,7 @@ pub(crate) fn choose_gamma(
 /// drives single-node and distributed runs).
 pub struct DistributedScd {
     form: Form,
+    objective: ObjectiveKind,
     aggregation: Aggregation,
     workers: Vec<Worker>,
     /// The master's aggregated shared vector w⁽ᵗ⁾ / w̄⁽ᵗ⁾.
@@ -513,6 +606,7 @@ impl DistributedScd {
             });
         Ok(DistributedScd {
             form: config.form,
+            objective: config.objective,
             aggregation: config.aggregation,
             workers,
             shared: vec![0.0; full.shared_len(config.form)],
@@ -637,6 +731,10 @@ impl Solver for DistributedScd {
         self.form
     }
 
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
+    }
+
     fn name(&self) -> String {
         format!(
             "Distributed {} (K={}, {})",
@@ -746,6 +844,7 @@ impl Solver for DistributedScd {
             choose_gamma(
                 self.aggregation,
                 self.form,
+                self.objective,
                 full,
                 &self.shared,
                 &delta,

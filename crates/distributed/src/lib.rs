@@ -117,6 +117,67 @@ mod tests {
     }
 
     #[test]
+    fn zero_delta_round_clamps_gamma_positive() {
+        // Regression: a round whose surviving workers produced an all-zero
+        // delta left the γ rules with a flat (or purely linear) objective —
+        // the dual line search wandered to the −4 boundary and poisoned the
+        // shared vector with a negative step. Every rule must now come back
+        // finite and positive.
+        use crate::driver::choose_gamma;
+        use scd_core::{ObjectiveKind, WorkerScalars};
+        let full = full_problem();
+        let reduced = WorkerScalars {
+            x_dot_dx: 0.0,
+            dx_sq: 0.0,
+            dx_dot_y: -1.0,
+        };
+        for aggregation in [
+            Aggregation::Averaging,
+            Aggregation::Adding,
+            Aggregation::Adaptive,
+            Aggregation::CocoaPlus,
+            Aggregation::LineSearch,
+        ] {
+            for form in [Form::Primal, Form::Dual] {
+                // The shared vector lives in example space (length N) for
+                // the primal and feature space (length M) for the dual.
+                let zeros = match form {
+                    Form::Primal => vec![0.0f32; full.n()],
+                    Form::Dual => vec![0.0f32; full.m()],
+                };
+                let gamma = choose_gamma(
+                    aggregation,
+                    form,
+                    ObjectiveKind::Ridge,
+                    &full,
+                    &zeros,
+                    &zeros,
+                    &reduced,
+                    3,
+                );
+                assert!(
+                    gamma.is_finite() && gamma > 0.0,
+                    "{aggregation:?}/{form:?} gave γ = {gamma}"
+                );
+            }
+        }
+        // The dual line search specifically lands on the −4 boundary here;
+        // the clamp must replace it with the safe averaging step 1/K′.
+        let zeros = vec![0.0f32; full.m()];
+        let gamma = choose_gamma(
+            Aggregation::LineSearch,
+            Form::Dual,
+            ObjectiveKind::Ridge,
+            &full,
+            &zeros,
+            &zeros,
+            &reduced,
+            3,
+        );
+        assert_eq!(gamma, 1.0 / 3.0);
+    }
+
+    #[test]
     fn more_workers_converge_slower_per_epoch() {
         // Fig. 3: "an approximately linear slow-down in convergence speed as
         // a function of epochs."

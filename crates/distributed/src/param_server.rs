@@ -34,7 +34,9 @@
 //! engine re-times the schedule, it does not reorder the updates.
 
 use crate::partition::{partition_problem, PartitionStrategy};
-use scd_core::{EpochStats, Form, RidgeProblem, SequentialScd, Solver, TimeBreakdown};
+use scd_core::{
+    EpochStats, Form, ObjectiveKind, RidgeProblem, SequentialScd, Solver, TimeBreakdown,
+};
 use scd_events::{Engine, FifoLink};
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sparse::dense;
@@ -48,6 +50,8 @@ pub struct ParamServerConfig {
     pub workers: usize,
     /// Formulation (decides the partition axis, as in the sync driver).
     pub form: Form,
+    /// The training objective every worker optimizes (ridge by default).
+    pub objective: ObjectiveKind,
     /// Snapshot age in pushes: 0 = every pull sees the latest server state
     /// (sequential-equivalent at K=1), larger = deeper pipeline.
     pub staleness: usize,
@@ -71,6 +75,7 @@ impl ParamServerConfig {
         ParamServerConfig {
             workers,
             form,
+            objective: ObjectiveKind::Ridge,
             staleness: workers, // one in-flight push per worker
             chunk: 64,
             strategy: PartitionStrategy::Random(0xC0C0A),
@@ -79,6 +84,12 @@ impl ParamServerConfig {
             seed: 1,
             wire: WireFormat::Raw,
         }
+    }
+
+    /// Select the training objective every worker optimizes locally.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Set the snapshot age in pushes.
@@ -130,6 +141,7 @@ struct PsWorker {
 /// The asynchronous parameter-server trainer (implements [`Solver`]).
 pub struct ParamServerScd {
     form: Form,
+    objective: ObjectiveKind,
     workers: Vec<PsWorker>,
     /// The server's authoritative shared vector.
     server: Vec<f32>,
@@ -152,6 +164,9 @@ pub struct ParamServerScd {
 impl ParamServerScd {
     /// Partition the problem and stand up the server and workers.
     pub fn new(full: &RidgeProblem, config: &ParamServerConfig) -> Self {
+        if let Err(err) = config.objective.validate(full, config.form) {
+            panic!("{err}");
+        }
         let partitions = partition_problem(full, config.form, config.workers, config.strategy);
         let workers = partitions
             .into_iter()
@@ -163,6 +178,7 @@ impl ParamServerScd {
                     Form::Dual => SequentialScd::dual(&part.problem, worker_seed),
                 }
                 .with_cpu(config.cpu.clone())
+                .with_objective(config.objective)
                 .with_updates_per_call(config.chunk);
                 PsWorker {
                     solver,
@@ -174,6 +190,7 @@ impl ParamServerScd {
             .collect();
         ParamServerScd {
             form: config.form,
+            objective: config.objective,
             workers,
             server: vec![0.0; full.shared_len(config.form)],
             history: VecDeque::new(),
@@ -228,6 +245,10 @@ impl ParamServerScd {
 impl Solver for ParamServerScd {
     fn form(&self) -> Form {
         self.form
+    }
+
+    fn objective(&self) -> ObjectiveKind {
+        self.objective
     }
 
     fn name(&self) -> String {

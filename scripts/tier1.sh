@@ -39,8 +39,12 @@ for manifest in crates/*/Cargo.toml; do
   fi
 done
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace matters: the root manifest carries the tpa-scd facade
+# package, so a bare `cargo build` covers only it and its deps — leaving
+# ./target/release/scd and the bench binaries stale for the smoke steps
+# below.
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
 
 echo "==> cargo test -q"
 cargo test -q
@@ -58,6 +62,22 @@ echo "==> bench_cpu --smoke"
 # Smoke-run the CPU-backend benchmark so a perf-harness regression cannot
 # land silently; BENCH_OUT keeps it from clobbering the committed record.
 BENCH_OUT=$(mktemp) ./target/release/bench_cpu --smoke
+
+echo "==> objective smoke matrix"
+# One epoch of every objective on every engine class: catches an
+# objective x backend pairing that compiles but panics at dispatch.
+OBJ_DATA=$(mktemp)
+./target/release/scd generate --kind criteo --rows 120 --fields 4 \
+  --cardinality 16 --output "$OBJ_DATA" > /dev/null
+for obj in ridge logistic svm lasso; do
+  for backend in seq syscd tpa-m4000; do
+    echo "    scd train --objective $obj --backend $backend"
+    ./target/release/scd train --data "$OBJ_DATA" --features 64 \
+      --objective "$obj" --backend "$backend" --epochs 1 --eval-every 1 \
+      > /dev/null
+  done
+done
+rm -f "$OBJ_DATA"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
