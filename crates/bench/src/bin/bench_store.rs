@@ -1,0 +1,245 @@
+//! Shard-streamed vs in-memory training, recorded to `BENCH_store.json`.
+//!
+//! Measures what `scd-store` buys on a criteo-shaped dataset:
+//!
+//! * **Generation**: `criteo_like` materializes COO + CSR + problem in
+//!   RAM; `write_criteo` streams row-at-a-time into chunk files and never
+//!   holds more than one chunk buffered. Both run in a child process so
+//!   each reports its own `VmHWM` (RSS high-water is per-process and
+//!   monotonic — two measurements cannot share a process).
+//! * **Training** at K ∈ {1, 2, 4}: epoch wall-clock and RSS of the
+//!   distributed driver fed from shards (`DistributedScd::from_store`)
+//!   vs from memory, plus the simulated network seconds the shard
+//!   upload legs cost (real chunk bytes through the 10 GbE model).
+//!   The duality gaps of the two paths are compared bit-for-bit — the
+//!   storage invariant the whole subsystem rests on.
+//!
+//! `--smoke` shrinks everything for the tier-1 gate; `BENCH_OUT`
+//! redirects the JSON.
+
+use scd_bench::opts::{flag_present, flag_value};
+use scd_core::{Form, RidgeProblem, Solver};
+use scd_datasets::{criteo_like, CriteoSpec};
+use scd_distributed::{DistributedConfig, DistributedScd, PartitionStrategy};
+use scd_store::{rss_high_water_bytes, write_criteo, ShardedDataset};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+const K_SET: [usize; 3] = [1, 2, 4];
+
+struct Spec {
+    rows: usize,
+    fields: usize,
+    cardinality: usize,
+    seed: u64,
+    chunk_rows: usize,
+    epochs: usize,
+    lambda: f64,
+}
+
+fn spec(smoke: bool) -> Spec {
+    let (rows, fields, cardinality, chunk_rows, epochs) = if smoke {
+        (1500, 5, 20, 128, 2)
+    } else {
+        (40_000, 10, 100, 4096, 4)
+    };
+    Spec { rows, fields, cardinality, seed: 7, chunk_rows, epochs, lambda: 1e-3 }
+}
+
+fn emit(key: &str, value: impl std::fmt::Display) {
+    println!("{key}={value}");
+}
+
+fn rss() -> u64 {
+    rss_high_water_bytes().unwrap_or(0)
+}
+
+fn in_memory_problem(s: &Spec) -> RidgeProblem {
+    let data = criteo_like(s.rows, s.fields, s.cardinality, s.seed);
+    RidgeProblem::from_labelled(&data, s.lambda).expect("valid synthetic problem")
+}
+
+fn config(workers: usize) -> DistributedConfig {
+    DistributedConfig::new(workers, Form::Dual)
+        .with_strategy(PartitionStrategy::Contiguous)
+        .with_seed(3)
+}
+
+/// Train `epochs` epochs, returning (seconds/epoch, final-gap bits).
+fn run_epochs(dist: &mut DistributedScd, problem: &RidgeProblem, epochs: usize) -> (f64, u64) {
+    let start = Instant::now();
+    for _ in 0..epochs {
+        dist.epoch(problem);
+    }
+    let secs = start.elapsed().as_secs_f64() / epochs as f64;
+    (secs, dist.duality_gap(problem).to_bits())
+}
+
+/// Child-process entry: one measurement per process so VmHWM is honest.
+fn child(mode: &str, s: &Spec) {
+    match mode {
+        "gen-inmem" => {
+            let start = Instant::now();
+            let problem = in_memory_problem(s);
+            emit("seconds", start.elapsed().as_secs_f64());
+            emit("nnz", problem.csr().nnz());
+            emit("rss_bytes", rss());
+        }
+        "gen-shard" => {
+            let dir = flag_value("dir").expect("--dir");
+            let start = Instant::now();
+            let summary = write_criteo(
+                Path::new(&dir),
+                &CriteoSpec::new(s.rows, s.fields, s.cardinality, s.seed),
+                s.chunk_rows,
+            )
+            .expect("streaming generation");
+            emit("seconds", start.elapsed().as_secs_f64());
+            emit("nnz", summary.nnz);
+            emit("disk_bytes", summary.disk_bytes);
+            emit("writer_high_water_bytes", summary.buffered_high_water);
+            emit("rss_bytes", rss());
+        }
+        "train-inmem" => {
+            let workers: usize = flag_value("workers").expect("--workers").parse().unwrap();
+            let problem = in_memory_problem(s);
+            let mut dist = DistributedScd::new(&problem, &config(workers)).expect("cluster");
+            let (secs, gap_bits) = run_epochs(&mut dist, &problem, s.epochs);
+            emit("seconds_per_epoch", secs);
+            emit("gap_bits", gap_bits);
+            emit("rss_bytes", rss());
+        }
+        "train-shard" => {
+            let dir = flag_value("dir").expect("--dir");
+            let workers: usize = flag_value("workers").expect("--workers").parse().unwrap();
+            let store = ShardedDataset::open(Path::new(&dir)).expect("shards present");
+            let (csr, labels) = store.load_all().expect("shards readable");
+            let problem = RidgeProblem::new(csr, labels, s.lambda).expect("valid problem");
+            let mut dist =
+                DistributedScd::from_store(&problem, &store, &config(workers)).expect("cluster");
+            emit("setup_network_seconds", dist.setup_cost().network_seconds);
+            let (secs, gap_bits) = run_epochs(&mut dist, &problem, s.epochs);
+            emit("seconds_per_epoch", secs);
+            emit("gap_bits", gap_bits);
+            emit("rss_bytes", rss());
+        }
+        other => {
+            eprintln!("unknown --child mode {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Re-exec this binary for one child measurement; parse its key=value
+/// stdout.
+fn measure(mode: &str, smoke: bool, extra: &[(&str, String)]) -> BTreeMap<String, String> {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--child").arg(mode);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    for (k, v) in extra {
+        cmd.arg(format!("--{k}")).arg(v);
+    }
+    let out = cmd.output().expect("child runs");
+    assert!(
+        out.status.success(),
+        "child {mode} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("utf-8 child output")
+        .lines()
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn get<T: std::str::FromStr>(m: &BTreeMap<String, String>, key: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    m.get(key).unwrap_or_else(|| panic!("child missing {key}")).parse().unwrap()
+}
+
+fn main() {
+    let smoke = flag_present("smoke");
+    let s = spec(smoke);
+    if let Some(mode) = flag_value("child") {
+        child(&mode, &s);
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("bench_store_shards_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_string_lossy().into_owned();
+    println!(
+        "# store: shard-streamed vs in-memory, criteo_like({}, {}, {}, {}), chunk_rows {}, {} epochs{}",
+        s.rows, s.fields, s.cardinality, s.seed, s.chunk_rows, s.epochs,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Generation: same rows, two memory profiles.
+    let inmem = measure("gen-inmem", smoke, &[]);
+    let shard = measure("gen-shard", smoke, &[("dir", dir_s.clone())]);
+    assert_eq!(
+        get::<u64>(&inmem, "nnz"),
+        get::<u64>(&shard, "nnz"),
+        "generators disagree on nnz"
+    );
+    let gen_inmem_rss: u64 = get(&inmem, "rss_bytes");
+    let gen_shard_rss: u64 = get(&shard, "rss_bytes");
+    let disk_bytes: u64 = get(&shard, "disk_bytes");
+    let writer_hw: u64 = get(&shard, "writer_high_water_bytes");
+    println!(
+        "# gen: in-memory RSS {:.1} MB vs shard-stream RSS {:.1} MB ({} B on disk, {} B buffered)",
+        gen_inmem_rss as f64 / 1e6,
+        gen_shard_rss as f64 / 1e6,
+        disk_bytes,
+        writer_hw
+    );
+
+    // Training at each cluster size, both sources.
+    let mut rows = Vec::new();
+    for k in K_SET {
+        let kv = [("workers", k.to_string())];
+        let mem = measure("train-inmem", smoke, &kv);
+        let sto = measure(
+            "train-shard",
+            smoke,
+            &[("workers", k.to_string()), ("dir", dir_s.clone())],
+        );
+        let mem_secs: f64 = get(&mem, "seconds_per_epoch");
+        let sto_secs: f64 = get(&sto, "seconds_per_epoch");
+        let identical = get::<u64>(&mem, "gap_bits") == get::<u64>(&sto, "gap_bits");
+        let setup_net: f64 = get(&sto, "setup_network_seconds");
+        assert!(identical, "K={k}: shard training diverged from in-memory");
+        println!(
+            "# K={k}: in-memory {mem_secs:.4} s/epoch, shard {sto_secs:.4} s/epoch, \
+             setup net {setup_net:.3e} sim-s, gap bit-identical: {identical}"
+        );
+        rows.push(format!(
+            "    {{\n      \"workers\": {k},\n      \"in_memory_seconds_per_epoch\": {mem_secs:.6},\n      \"shard_seconds_per_epoch\": {sto_secs:.6},\n      \"in_memory_train_rss_bytes\": {},\n      \"shard_train_rss_bytes\": {},\n      \"shard_setup_network_seconds\": {setup_net:.9},\n      \"gap_bit_identical\": {identical}\n    }}",
+            get::<u64>(&mem, "rss_bytes"),
+            get::<u64>(&sto, "rss_bytes"),
+        ));
+    }
+
+    let out = format!(
+        "{{\n  \"benchmark\": \"store_sharded_vs_in_memory\",\n  \"dataset\": \"criteo_like({}, {}, {}, {})\",\n  \"chunk_rows\": {},\n  \"smoke\": {smoke},\n  \"epochs_timed\": {},\n  \"generation\": {{\n    \"in_memory_rss_bytes\": {gen_inmem_rss},\n    \"shard_stream_rss_bytes\": {gen_shard_rss},\n    \"shard_disk_bytes\": {disk_bytes},\n    \"writer_buffer_high_water_bytes\": {writer_hw},\n    \"in_memory_seconds\": {:.6},\n    \"shard_stream_seconds\": {:.6}\n  }},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        s.rows,
+        s.fields,
+        s.cardinality,
+        s.seed,
+        s.chunk_rows,
+        s.epochs,
+        get::<f64>(&inmem, "seconds"),
+        get::<f64>(&shard, "seconds"),
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_store.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

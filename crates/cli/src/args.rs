@@ -3,11 +3,15 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed arguments: positional subcommand plus `--key value` options.
+/// Parsed arguments: positional subcommand, an optional positional action
+/// (`scd shard gen ...`), plus `--key value` options.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Args {
     /// The first positional token (subcommand).
     pub command: String,
+    /// The optional second positional token. Only the `shard` subcommand
+    /// accepts one; every other command rejects it at dispatch.
+    pub action: Option<String>,
     options: BTreeMap<String, String>,
 }
 
@@ -66,11 +70,18 @@ impl Args {
             return Err(ArgError::MissingCommand);
         }
         let mut options = BTreeMap::new();
+        let mut action = None;
         while let Some(tok) = tokens.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError::UnexpectedPositional(tok.clone()))?
-                .to_string();
+            let Some(stripped) = tok.strip_prefix("--") else {
+                // At most one extra positional (the action); whether the
+                // subcommand accepts it is decided at dispatch.
+                if action.is_none() && options.is_empty() {
+                    action = Some(tok);
+                    continue;
+                }
+                return Err(ArgError::UnexpectedPositional(tok.clone()));
+            };
+            let key = stripped.to_string();
             // `--help` is the one valueless flag: any subcommand accepts
             // it and prints usage instead of running.
             if key == "help" {
@@ -87,7 +98,19 @@ impl Args {
                 return Err(ArgError::Duplicate(key));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            action,
+            options,
+        })
+    }
+
+    /// Reject the positional action for subcommands that take none.
+    pub fn reject_action(&self) -> Result<(), ArgError> {
+        match &self.action {
+            Some(a) => Err(ArgError::UnexpectedPositional(a.clone())),
+            None => Ok(()),
+        }
     }
 
     /// A string option, if present.
@@ -153,10 +176,32 @@ mod tests {
 
     #[test]
     fn rejects_positional_noise() {
+        // One extra positional parses as the action — commands that take
+        // none reject it at dispatch.
+        let a = parse("train oops").unwrap();
+        assert_eq!(a.action.as_deref(), Some("oops"));
         assert!(matches!(
-            parse("train oops").unwrap_err(),
+            a.reject_action().unwrap_err(),
             ArgError::UnexpectedPositional(_)
         ));
+        // A second positional, or one after options, fails at parse.
+        assert!(matches!(
+            parse("shard gen extra").unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+        assert!(matches!(
+            parse("train --lambda 1 oops").unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+    }
+
+    #[test]
+    fn action_positional_parses() {
+        let a = parse("shard gen --rows 100").unwrap();
+        assert_eq!(a.command, "shard");
+        assert_eq!(a.action.as_deref(), Some("gen"));
+        assert_eq!(a.get("rows"), Some("100"));
+        assert!(parse("info --data x").unwrap().reject_action().is_ok());
     }
 
     #[test]

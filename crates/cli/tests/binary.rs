@@ -220,6 +220,145 @@ fn svm_objective_trains_distributed_and_reports_rate() {
     std::fs::remove_file(&data).ok();
 }
 
+/// The `final gap {:.17e}` line from a train run.
+fn final_gap(out: &Output) -> String {
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.starts_with("final gap"))
+        .expect("final gap line")
+        .to_string()
+}
+
+/// stderr must be exactly one `error:` line — no panic, no backtrace.
+fn assert_one_line_error(out: &Output, needle: &str) {
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.lines().count(), 1, "expected a one-line error, got: {err}");
+    assert!(err.starts_with("error:"), "{err}");
+    assert!(err.contains(needle), "missing {needle:?}: {err}");
+}
+
+#[test]
+fn shard_workflow_trains_bit_identically_to_in_memory() {
+    let dir = tmp("shard_wf_dir");
+    let file = tmp("shard_wf.svm");
+    let (dir_s, file_s) = (dir.to_str().unwrap(), file.to_str().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+
+    let out = scd(&[
+        "shard", "gen", "--out", dir_s, "--kind", "criteo", "--rows", "160", "--fields", "5",
+        "--cardinality", "16", "--seed", "11", "--chunk-rows", "24",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("sharded criteo: rows=160 cols=80"), "{text}");
+
+    // The writer streamed: the dataset on disk is at least 4x anything it
+    // ever held buffered (chunked generation, not materialize-then-write).
+    let field = |t: &str, k: &str| -> u64 {
+        t.lines()
+            .find(|l| l.starts_with(k))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {k}: {t}"))
+    };
+    let disk = field(&text, "on-disk bytes:");
+    let high_water = field(&text, "writer high-water bytes:");
+    assert!(
+        disk >= 4 * high_water,
+        "disk {disk} < 4x writer high-water {high_water}"
+    );
+
+    let out = scd(&["shard", "inspect", "--data", dir_s, "--verify", "yes"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("checksums verified"), "{text}");
+
+    // Same rows as LIBSVM text for the in-memory path.
+    let out = scd(&[
+        "generate", "--kind", "criteo", "--rows", "160", "--fields", "5", "--cardinality", "16",
+        "--seed", "11", "--output", file_s,
+    ]);
+    assert!(out.status.success());
+
+    // Bit-identity, single node and the paper's K=4 cluster.
+    for workers in ["1", "4"] {
+        let mut mem_args = vec![
+            "train", "--data", file_s, "--features", "80", "--form", "dual", "--workers",
+            workers, "--epochs", "4", "--eval-every", "4",
+        ];
+        if workers != "1" {
+            mem_args.extend(["--partition", "contiguous"]);
+        }
+        let mem = final_gap(&scd(&mem_args));
+        let store = final_gap(&scd(&[
+            "train", "--data", dir_s, "--form", "dual", "--workers", workers, "--epochs", "4",
+            "--eval-every", "4",
+        ]));
+        assert_eq!(mem, store, "K={workers} shard training diverged from in-memory");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn store_misuse_exits_with_clean_one_line_errors() {
+    let dir = tmp("shard_err_dir");
+    let dir_s = dir.to_str().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let out = scd(&[
+        "shard", "gen", "--out", dir_s, "--kind", "criteo", "--rows", "80", "--fields", "4",
+        "--cardinality", "10", "--chunk-rows", "32",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Generator flags never combine with a shard directory.
+    assert_one_line_error(&scd(&["train", "--data", dir_s, "--fields", "4"]), "unknown option");
+    assert_one_line_error(
+        &scd(&["train", "--data", dir_s, "--features", "40"]),
+        "not shard directories",
+    );
+    // Nonexistent and invalid paths.
+    assert_one_line_error(&scd(&["train", "--data", "/nonexistent/shards"]), "cannot open");
+    let empty = tmp("shard_empty_dir");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert_one_line_error(
+        &scd(&["train", "--data", empty.to_str().unwrap()]),
+        "index.scds",
+    );
+    assert_one_line_error(
+        &scd(&["shard", "inspect", "--data", "/nonexistent/shards"]),
+        "cannot open shard directory",
+    );
+
+    // A flipped payload byte is caught by checksums, as a clean error,
+    // from both inspect --verify and train.
+    let chunk = dir.join("chunk-00001.scdc");
+    let mut bytes = std::fs::read(&chunk).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&chunk, &bytes).unwrap();
+    assert_one_line_error(
+        &scd(&["shard", "inspect", "--data", dir_s, "--verify", "yes"]),
+        "checksum mismatch",
+    );
+    assert_one_line_error(
+        &scd(&["train", "--data", dir_s, "--form", "dual"]),
+        "checksum mismatch",
+    );
+    // Truncation is caught already at open.
+    let len = std::fs::metadata(&chunk).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&chunk).unwrap();
+    f.set_len(len - 9).unwrap();
+    drop(f);
+    assert_one_line_error(&scd(&["shard", "inspect", "--data", dir_s]), "truncated");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
 #[test]
 fn host_threads_sizes_the_shared_scheduler() {
     // A fresh process, so --host-threads can claim the process-wide

@@ -21,9 +21,11 @@
 //! All generators are deterministic in their seed. Real datasets in LIBSVM
 //! format can be loaded instead via [`scd_sparse::io::read_libsvm`].
 
+pub mod rowgen;
 pub mod split;
 pub mod stats;
 
+pub use rowgen::{CriteoSpec, WebspamStreamSpec, ZipfTable};
 pub use split::train_test_split;
 pub use stats::DatasetStats;
 
@@ -40,28 +42,12 @@ fn normal(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Precomputed cumulative weights for Zipf-like sampling: P(i) ∝ 1/(i+1)^s.
-struct ZipfSampler {
-    cumulative: Vec<f64>,
-}
-
-impl ZipfSampler {
-    fn new(n: usize, exponent: f64) -> Self {
-        assert!(n > 0, "ZipfSampler needs a non-empty domain");
-        let mut cumulative = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += 1.0 / ((i + 1) as f64).powf(exponent);
-            cumulative.push(acc);
-        }
-        ZipfSampler { cumulative }
-    }
-
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let total = *self.cumulative.last().unwrap();
-        let u: f64 = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c <= u)
-    }
+/// Draw from a [`ZipfTable`] with a sequential RNG. Routes through the
+/// same [`ZipfTable::locate`] interval arithmetic as the hash-derived
+/// generators in [`rowgen`], and consumes exactly one `gen_range` call —
+/// preserving the frozen byte stream of [`webspam_like`].
+fn zipf_sample(zipf: &ZipfTable, rng: &mut StdRng) -> usize {
+    zipf.locate(rng.gen_range(0.0..zipf.total()))
 }
 
 /// Generate a webspam-shaped problem: `n` examples, `m` features
@@ -97,7 +83,7 @@ pub fn webspam_like_custom(
 ) -> LabelledData {
     assert!(n > 0 && m > 0 && avg_nnz_per_row > 0, "empty dataset requested");
     let mut rng = StdRng::seed_from_u64(seed);
-    let zipf = ZipfSampler::new(m, zipf_exponent);
+    let zipf = ZipfTable::new(m, zipf_exponent);
 
     // Sparse ground truth over the popular features.
     let truth_support = (m / 10).max(1);
@@ -116,7 +102,7 @@ pub fn webspam_like_custom(
         let row_nnz = ((avg_nnz_per_row as f64 * len_factor) as usize).clamp(1, m);
         cols_scratch.clear();
         for _ in 0..row_nnz {
-            cols_scratch.push(zipf.sample(&mut rng));
+            cols_scratch.push(zipf_sample(&zipf, &mut rng));
         }
         cols_scratch.sort_unstable();
         cols_scratch.dedup();
@@ -140,26 +126,25 @@ pub fn webspam_like_custom(
 /// Field-value frequencies follow Zipf(1.05), reproducing criteo's heavy
 /// head/tail skew. Labels are ±1 from a dense-on-support ground truth.
 ///
+/// Rows come from the hash-derived [`CriteoSpec`] — the identical routine
+/// the out-of-core streaming writer in `scd-store` uses, so a shard
+/// directory written with the same parameters loads back **bit-identical**
+/// to this in-memory dataset.
+///
 /// # Panics
 /// Panics if any dimension is zero.
 pub fn criteo_like(n: usize, fields: usize, cardinality: usize, seed: u64) -> LabelledData {
-    assert!(n > 0 && fields > 0 && cardinality > 0, "empty dataset requested");
-    let m = fields * cardinality;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let zipf = ZipfSampler::new(cardinality, 1.05);
-    let truth: Vec<f64> = (0..m).map(|_| 0.3 * normal(&mut rng)).collect();
-
+    let spec = CriteoSpec::new(n, fields, cardinality, seed);
+    let m = spec.cols();
     let mut matrix = CooMatrix::with_capacity(n, m, n * fields);
     let mut labels = Vec::with_capacity(n);
+    let mut indices = Vec::with_capacity(fields);
+    let mut values = Vec::with_capacity(fields);
     for row in 0..n {
-        let mut response = 0.0f64;
-        for field in 0..fields {
-            let c = field * cardinality + zipf.sample(&mut rng);
-            matrix.push(row, c, 1.0).expect("indices in range by construction");
-            response += truth[c];
+        labels.push(spec.row(row, &mut indices, &mut values));
+        for (&c, &v) in indices.iter().zip(&values) {
+            matrix.push(row, c as usize, v).expect("indices in range by construction");
         }
-        let noisy = response + 0.2 * normal(&mut rng);
-        labels.push(if noisy >= 0.0 { 1.0 } else { -1.0 });
     }
     LabelledData { matrix, labels }
 }
@@ -369,11 +354,11 @@ mod tests {
 
     #[test]
     fn zipf_head_is_heaviest() {
-        let z = ZipfSampler::new(100, 1.1);
+        let z = ZipfTable::new(100, 1.1);
         let mut rng = StdRng::seed_from_u64(55);
         let mut counts = [0usize; 100];
         for _ in 0..20_000 {
-            counts[z.sample(&mut rng)] += 1;
+            counts[zipf_sample(&z, &mut rng)] += 1;
         }
         assert!(counts[0] > counts[10]);
         assert!(counts[0] > counts[99] * 5);

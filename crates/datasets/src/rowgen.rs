@@ -1,0 +1,402 @@
+//! Row-addressable generation: the shared core of the in-memory
+//! [`crate::criteo_like`] generator and the out-of-core streaming writer
+//! in `scd-store`.
+//!
+//! The sequential-RNG generators ([`crate::webspam_like`]) draw a single
+//! stream, so producing row `r` requires producing rows `0..r` first, and
+//! the ground-truth model costs O(m) memory. A criteo-scale stream cannot
+//! afford either. Here every random quantity is *hash-derived* from
+//! `(seed, purpose-tag, row, column)` via splitmix64, so
+//!
+//! * any row can be generated independently, in any order, in O(nnz)
+//!   memory — the property the bounded-RSS streaming writer needs; and
+//! * the in-memory path and the streaming path call the exact same
+//!   [`CriteoSpec::row`], making shard files **bit-identical** to the
+//!   in-memory dataset on the same seed.
+//!
+//! [`ZipfTable`] is shared with the sequential generators: its
+//! [`ZipfTable::locate`] serves both the legacy `StdRng` path (preserving
+//! `webspam_like`'s frozen byte stream) and the hash path.
+
+/// The Zipf exponent of [`CriteoSpec`] field-value frequencies (criteo's
+/// heavy head/tail skew; also the constant `criteo_like` always used).
+pub const CRITEO_ZIPF_EXPONENT: f64 = 1.05;
+
+/// The Zipf exponent of [`WebspamStreamSpec`] feature popularity.
+pub const WEBSPAM_ZIPF_EXPONENT: f64 = 1.1;
+
+// Purpose tags keeping the hash streams of distinct quantities disjoint.
+const TAG_CRITEO_TRUTH: u64 = 0x43_52_49_54_52_55_54_48; // "CRITRUTH"
+const TAG_CRITEO_COL: u64 = 0x43_52_49_54_43_4F_4C_53; // "CRITCOLS"
+const TAG_CRITEO_NOISE: u64 = 0x43_52_49_54_4E_4F_49_53; // "CRITNOIS"
+const TAG_WEB_TRUTH: u64 = 0x57_45_42_53_54_52_55_54; // "WEBSTRUT"
+const TAG_WEB_LEN: u64 = 0x57_45_42_53_4C_45_4E_53; // "WEBSLENS"
+const TAG_WEB_COL: u64 = 0x57_45_42_53_43_4F_4C_53; // "WEBSCOLS"
+const TAG_WEB_VAL: u64 = 0x57_45_42_53_56_41_4C_53; // "WEBSVALS"
+const TAG_WEB_NOISE: u64 = 0x57_45_42_53_4E_4F_49_53; // "WEBSNOIS"
+
+/// SplitMix64: the finalizer used for all hash-derived randomness. Full
+/// 64-bit avalanche, so consecutive inputs give statistically independent
+/// outputs.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash `(seed, tag, a, b)` to one well-mixed u64: a three-round
+/// splitmix64 chain absorbing each input between rounds.
+fn mix(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    let mut x = splitmix64(seed ^ tag);
+    x = splitmix64(x ^ a);
+    splitmix64(x ^ b)
+}
+
+/// Map a hash to f64 in `[0, 1)` (53 uniform mantissa bits).
+fn unit_co(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Map a hash to f64 in `(0, 1]` — safe as a logarithm argument.
+fn unit_oc(h: u64) -> f64 {
+    ((h >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard normal deviate derived from `(seed, tag, a, b)` via
+/// Box–Muller over two independent hashes.
+pub fn hash_normal(seed: u64, tag: u64, a: u64, b: u64) -> f64 {
+    let u1 = unit_oc(mix(seed, tag, a, b.wrapping_mul(2)));
+    let u2 = unit_co(mix(seed, tag, a, b.wrapping_mul(2) ^ 1));
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Precomputed cumulative weights for Zipf-like sampling: P(i) ∝ 1/(i+1)^s.
+/// O(domain) memory — domains here are per-field cardinalities or feature
+/// counts of scaled-down problems, not the full dataset.
+pub struct ZipfTable {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Table over `{0, .., n-1}` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfTable needs a non-empty domain");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        ZipfTable { cumulative }
+    }
+
+    /// Sum of all weights (the upper bound of [`ZipfTable::locate`]'s
+    /// domain).
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty by construction")
+    }
+
+    /// The index whose cumulative-weight interval contains `u ∈ [0,
+    /// total)`. Both the sequential-RNG path (`locate(rng.gen_range(0.0..
+    /// total))`) and the hash path route through here, so the two agree on
+    /// the interval arithmetic by construction.
+    pub fn locate(&self, u: f64) -> usize {
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+
+    /// Sample from a uniform deviate `unit ∈ [0, 1)`.
+    pub fn sample_unit(&self, unit: f64) -> usize {
+        self.locate(unit * self.total())
+    }
+}
+
+/// A criteo-shaped dataset, described (not materialized): `rows` examples
+/// over `fields` categorical fields of `cardinality` values each, all
+/// stored values exactly 1.0, Zipf(1.05) value popularity, ±1 labels from
+/// a hash-derived ground truth. [`CriteoSpec::row`] produces any row
+/// independently — the contract that makes streaming-to-disk and
+/// in-memory generation bit-identical.
+pub struct CriteoSpec {
+    /// Number of examples N.
+    pub rows: usize,
+    /// Categorical fields per example (= nnz per row).
+    pub fields: usize,
+    /// Values per field; the feature space is `fields × cardinality` wide.
+    pub cardinality: usize,
+    /// Generator seed.
+    pub seed: u64,
+    zipf: ZipfTable,
+}
+
+impl CriteoSpec {
+    /// Describe a dataset; precomputes only the per-field Zipf table.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(rows: usize, fields: usize, cardinality: usize, seed: u64) -> Self {
+        assert!(
+            rows > 0 && fields > 0 && cardinality > 0,
+            "empty dataset requested"
+        );
+        CriteoSpec {
+            rows,
+            fields,
+            cardinality,
+            seed,
+            zipf: ZipfTable::new(cardinality, CRITEO_ZIPF_EXPONENT),
+        }
+    }
+
+    /// Feature-space width M = fields × cardinality.
+    pub fn cols(&self) -> usize {
+        self.fields * self.cardinality
+    }
+
+    /// Ground-truth model weight of feature `c` (hash-derived: no O(M)
+    /// weight vector is ever materialized).
+    pub fn truth(&self, c: usize) -> f64 {
+        0.3 * hash_normal(self.seed, TAG_CRITEO_TRUTH, c as u64, 0)
+    }
+
+    /// Generate row `r` into `indices`/`values` (cleared first; indices
+    /// strictly increasing, one per field; values all 1.0) and return its
+    /// ±1 label.
+    pub fn row(&self, r: usize, indices: &mut Vec<u32>, values: &mut Vec<f32>) -> f32 {
+        indices.clear();
+        values.clear();
+        let mut response = 0.0f64;
+        for field in 0..self.fields {
+            let u = unit_co(mix(self.seed, TAG_CRITEO_COL, r as u64, field as u64));
+            let c = field * self.cardinality + self.zipf.sample_unit(u);
+            indices.push(c as u32);
+            values.push(1.0);
+            response += self.truth(c);
+        }
+        let noisy = response + 0.2 * hash_normal(self.seed, TAG_CRITEO_NOISE, r as u64, 0);
+        if noisy >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// A webspam-shaped dataset for streaming: `rows` examples, `cols`
+/// features, Zipf(1.1) feature popularity, positive |N(0,1)|+0.1 values,
+/// ±1 labels from a sparse ground truth over the head features. Same
+/// *statistics* as [`crate::webspam_like`] but hash-derived per row — its
+/// byte stream intentionally differs from the sequential generator, whose
+/// output is frozen by golden files.
+pub struct WebspamStreamSpec {
+    /// Number of examples N.
+    pub rows: usize,
+    /// Number of features M.
+    pub cols: usize,
+    /// Average nonzeros per example (actual rows vary ×[0.5, 2)).
+    pub avg_nnz_per_row: usize,
+    /// Generator seed.
+    pub seed: u64,
+    zipf: ZipfTable,
+    truth_support: usize,
+}
+
+impl WebspamStreamSpec {
+    /// Describe a dataset; precomputes only the feature Zipf table.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(rows: usize, cols: usize, avg_nnz_per_row: usize, seed: u64) -> Self {
+        assert!(
+            rows > 0 && cols > 0 && avg_nnz_per_row > 0,
+            "empty dataset requested"
+        );
+        WebspamStreamSpec {
+            rows,
+            cols,
+            avg_nnz_per_row,
+            seed,
+            zipf: ZipfTable::new(cols, WEBSPAM_ZIPF_EXPONENT),
+            truth_support: (cols / 10).max(1),
+        }
+    }
+
+    /// Ground-truth weight of feature `c`: nonzero only on the popular
+    /// head (first tenth of the feature space).
+    pub fn truth(&self, c: usize) -> f64 {
+        if c < self.truth_support {
+            hash_normal(self.seed, TAG_WEB_TRUTH, c as u64, 0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Generate row `r` (cleared into `indices`/`values`; indices strictly
+    /// increasing after dedup) and return its ±1 label. Values are keyed
+    /// on `(row, column)` so deduplication cannot shift them.
+    pub fn row(&self, r: usize, indices: &mut Vec<u32>, values: &mut Vec<f32>) -> f32 {
+        indices.clear();
+        values.clear();
+        let len_factor = 0.5 + unit_co(mix(self.seed, TAG_WEB_LEN, r as u64, 0)) * 1.5;
+        let row_nnz =
+            ((self.avg_nnz_per_row as f64 * len_factor) as usize).clamp(1, self.cols);
+        for k in 0..row_nnz {
+            let u = unit_co(mix(self.seed, TAG_WEB_COL, r as u64, k as u64));
+            indices.push(self.zipf.sample_unit(u) as u32);
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        let mut response = 0.0f64;
+        for &c in indices.iter() {
+            let v = (hash_normal(self.seed, TAG_WEB_VAL, r as u64, c as u64).abs() + 0.1) as f32;
+            values.push(v);
+            response += v as f64 * self.truth(c as usize);
+        }
+        let noisy = response + 0.1 * hash_normal(self.seed, TAG_WEB_NOISE, r as u64, 0);
+        if noisy >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_values() {
+        // First three outputs of a splitmix64 stream seeded with 0
+        // (reference values from the canonical C implementation).
+        assert_eq!(splitmix64(0), 0xE220A8397B1DCDAF);
+        assert_eq!(splitmix64(0x9E3779B97F4A7C15), 0x6E789E6AA1B965F4);
+        assert_eq!(
+            splitmix64(0x9E3779B97F4A7C15u64.wrapping_mul(2)),
+            0x06C45D188009454F
+        );
+    }
+
+    #[test]
+    fn units_stay_in_range() {
+        for i in 0..10_000u64 {
+            let h = splitmix64(i);
+            let co = unit_co(h);
+            let oc = unit_oc(h);
+            assert!((0.0..1.0).contains(&co), "{co}");
+            assert!(co < 1.0);
+            assert!(oc > 0.0 && oc <= 1.0, "{oc}");
+        }
+    }
+
+    #[test]
+    fn hash_normal_moments_sane() {
+        let draws: Vec<f64> = (0..20_000)
+            .map(|i| hash_normal(42, 7, i, 0))
+            .collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var =
+            draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn hash_streams_with_distinct_tags_differ() {
+        let a: Vec<u64> = (0..100).map(|i| mix(1, TAG_CRITEO_COL, i, 0)).collect();
+        let b: Vec<u64> = (0..100).map(|i| mix(1, TAG_CRITEO_NOISE, i, 0)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_table_locate_covers_domain() {
+        let z = ZipfTable::new(100, 1.1);
+        assert_eq!(z.locate(0.0), 0);
+        // Just below total lands on the last index.
+        assert_eq!(z.locate(z.total() * (1.0 - 1e-12)), 99);
+        // sample_unit's head is heaviest.
+        let mut counts = [0usize; 100];
+        for i in 0..20_000u64 {
+            counts[z.sample_unit(unit_co(splitmix64(i)))] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn criteo_rows_are_order_independent() {
+        let spec = CriteoSpec::new(50, 4, 16, 9);
+        let (mut i1, mut v1) = (Vec::new(), Vec::new());
+        let (mut i2, mut v2) = (Vec::new(), Vec::new());
+        // Generate row 30 twice: cold, and after generating other rows.
+        let y1 = spec.row(30, &mut i1, &mut v1);
+        for r in 0..50 {
+            spec.row(r, &mut i2, &mut v2);
+        }
+        let y2 = spec.row(30, &mut i2, &mut v2);
+        assert_eq!(y1, y2);
+        assert_eq!(i1, i2);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn criteo_row_shape() {
+        let spec = CriteoSpec::new(10, 6, 32, 3);
+        assert_eq!(spec.cols(), 192);
+        let (mut idx, mut val) = (Vec::new(), Vec::new());
+        for r in 0..10 {
+            let y = spec.row(r, &mut idx, &mut val);
+            assert!(y == 1.0 || y == -1.0);
+            assert_eq!(idx.len(), 6, "one feature per field");
+            assert!(val.iter().all(|&v| v == 1.0));
+            for (field, &c) in idx.iter().enumerate() {
+                assert_eq!(c as usize / 32, field, "field order");
+            }
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        }
+    }
+
+    #[test]
+    fn webspam_stream_row_shape() {
+        let spec = WebspamStreamSpec::new(100, 500, 12, 5);
+        let (mut idx, mut val) = (Vec::new(), Vec::new());
+        let mut total_nnz = 0usize;
+        let mut pos = 0usize;
+        for r in 0..100 {
+            let y = spec.row(r, &mut idx, &mut val);
+            assert!(y == 1.0 || y == -1.0);
+            if y == 1.0 {
+                pos += 1;
+            }
+            assert_eq!(idx.len(), val.len());
+            assert!(!idx.is_empty());
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+            assert!(idx.iter().all(|&c| (c as usize) < 500));
+            assert!(val.iter().all(|&v| v > 0.0), "positive values");
+            total_nnz += idx.len();
+        }
+        // Mean nnz near requested (dedup trims a little).
+        let per_row = total_nnz as f64 / 100.0;
+        assert!((7.0..18.0).contains(&per_row), "got {per_row}");
+        // Both classes present.
+        assert!(pos > 0 && pos < 100, "pos {pos}");
+    }
+
+    #[test]
+    fn webspam_stream_rows_are_order_independent() {
+        let spec = WebspamStreamSpec::new(40, 300, 8, 77);
+        let (mut i1, mut v1) = (Vec::new(), Vec::new());
+        let (mut i2, mut v2) = (Vec::new(), Vec::new());
+        let y1 = spec.row(17, &mut i1, &mut v1);
+        for r in (0..40).rev() {
+            spec.row(r, &mut i2, &mut v2);
+        }
+        let y2 = spec.row(17, &mut i2, &mut v2);
+        assert_eq!((y1, &i1, &v1), (y2, &i2, &v2));
+    }
+}

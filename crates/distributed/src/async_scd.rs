@@ -205,7 +205,9 @@ impl AsyncScd {
         staleness: Staleness,
     ) -> Result<Self, GpuError> {
         assert!(config.workers >= 1, "need at least one worker");
-        let workers = build_workers(full, config)?;
+        let workers = build_workers(full, config, &crate::source::PartitionSource::Memory)
+            .map_err(crate::driver::BuildError::expect_gpu)?
+            .workers;
         let k = workers.len();
         Ok(AsyncScd {
             form: config.form,

@@ -26,11 +26,15 @@
 use crate::fault::{FaultPlan, RoundFate};
 use crate::local::LocalSolver;
 use crate::metrics::RoundMetrics;
-use crate::partition::{partition_problem, PartitionStrategy};
+use crate::partition::{partition_problem, LocalPartition, PartitionStrategy};
 use crate::runtime::{RoundPool, RoundRuntime};
+use crate::source::{
+    check_store_shape, memory_partition_bytes, store_partitions, PartitionSource, SetupCost,
+};
 use crate::worker::{Worker, WorkerRound};
 use std::cell::UnsafeCell;
 use gpu_sim::{Gpu, GpuError, GpuProfile};
+use scd_store::{ShardedDataset, StoreError};
 use scd_core::{
     async_sim::scaled_staleness, optimal_gamma_dual, optimal_gamma_primal, AsyncCpuMode,
     AsyncSimScd, EpochStats, Form, ObjectiveKind, RidgeProblem, SequentialScd, Solver,
@@ -303,25 +307,103 @@ impl DistributedConfig {
     }
 }
 
-/// Partition `full` per `config` and construct the K workers — the
-/// shared setup of [`DistributedScd`] and the bounded-staleness
-/// [`crate::AsyncScd`], factored out so both drivers stand on identical
-/// partitions, seeds, and per-worker cost profiles.
+/// What cluster setup failed on: worker construction, a store read, or a
+/// configuration the data source cannot serve.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A worker's simulated GPU could not be stood up.
+    Gpu(GpuError),
+    /// A partition could not be loaded from the sharded store.
+    Store(StoreError),
+    /// The requested configuration is invalid for the data source.
+    Config(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Gpu(e) => write!(f, "{e}"),
+            BuildError::Store(e) => write!(f, "{e}"),
+            BuildError::Config(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl BuildError {
+    /// Unwrap the GPU error of a memory-sourced build (the only kind a
+    /// memory source can raise).
+    pub(crate) fn expect_gpu(self) -> GpuError {
+        match self {
+            BuildError::Gpu(e) => e,
+            other => unreachable!("memory source raised a non-GPU error: {other}"),
+        }
+    }
+}
+
+/// The K constructed workers plus what distributing their partitions cost.
+pub(crate) struct BuiltWorkers {
+    pub workers: Vec<Worker>,
+    pub setup: SetupCost,
+}
+
+/// Partition `full` per `config` from the given data source and construct
+/// the K workers — the shared setup of [`DistributedScd`] and the
+/// bounded-staleness [`crate::AsyncScd`], factored out so all drivers
+/// stand on identical partitions, seeds, and per-worker cost profiles.
 pub(crate) fn build_workers(
     full: &RidgeProblem,
     config: &DistributedConfig,
-) -> Result<Vec<Worker>, GpuError> {
+    source: &PartitionSource<'_>,
+) -> Result<BuiltWorkers, BuildError> {
     // Objective × form × labels validity is checked once, on the full
     // problem, before any partition is cut (partitions inherit labels).
     if let Err(err) = config.objective.validate(full, config.form) {
         panic!("{err}");
     }
-    let partitions = partition_problem(
-        full,
-        config.form,
-        config.workers,
-        config.partition_strategy(),
+    let partitions: Vec<(LocalPartition, u64)> = match source {
+        PartitionSource::Memory => partition_problem(
+            full,
+            config.form,
+            config.workers,
+            config.partition_strategy(),
+        )
+        .into_iter()
+        .map(|p| {
+            let bytes = memory_partition_bytes(&p);
+            (p, bytes)
+        })
+        .collect(),
+        PartitionSource::Store(store) => {
+            check_store_shape(store, full, config.form).map_err(BuildError::Config)?;
+            if config.partition_strategy() != PartitionStrategy::Contiguous {
+                return Err(BuildError::Config(
+                    "store-backed training requires the contiguous partition strategy \
+                     (shards are row-major)"
+                        .into(),
+                ));
+            }
+            store_partitions(store, full, config.workers).map_err(BuildError::Store)?
+        }
+    };
+    let (partitions, bytes_per_worker): (Vec<_>, Vec<u64>) = partitions.into_iter().unzip();
+    let is_gpu = matches!(config.solver, LocalSolverKind::Tpa { .. });
+    let setup = SetupCost::price(
+        bytes_per_worker,
+        &config.network,
+        is_gpu.then_some(&config.pcie),
     );
+    let workers = construct_workers(config, partitions).map_err(BuildError::Gpu)?;
+    Ok(BuiltWorkers { workers, setup })
+}
+
+/// Turn partitions into workers: per-worker seeds, straggler profiles,
+/// and local solver engines.
+fn construct_workers(
+    config: &DistributedConfig,
+    partitions: Vec<LocalPartition>,
+) -> Result<Vec<Worker>, GpuError> {
     // CoCoA+ makes adding safe by scaling the local quadratic term.
     let sigma_prime = if config.aggregation == Aggregation::CocoaPlus {
         config.workers as f64
@@ -568,6 +650,8 @@ pub struct DistributedScd {
     objective: ObjectiveKind,
     aggregation: Aggregation,
     workers: Vec<Worker>,
+    /// One-time data-distribution cost of standing the cluster up.
+    setup: SetupCost,
     /// The master's aggregated shared vector w⁽ᵗ⁾ / w̄⁽ᵗ⁾.
     shared: Vec<f32>,
     weights_total: usize,
@@ -591,9 +675,33 @@ pub struct DistributedScd {
 }
 
 impl DistributedScd {
-    /// Partition the problem and stand up the cluster.
+    /// Partition the in-memory problem and stand up the cluster.
     pub fn new(full: &RidgeProblem, config: &DistributedConfig) -> Result<Self, GpuError> {
-        let workers = build_workers(full, config)?;
+        Self::from_source(full, config, &PartitionSource::Memory)
+            .map_err(BuildError::expect_gpu)
+    }
+
+    /// Stand up the cluster with each worker's partition loaded from an
+    /// on-disk sharded dataset: worker k maps only the chunks overlapping
+    /// its contiguous row range, and the setup cost charges the *actual*
+    /// chunk-file bytes it moved. Requires the dual form and the
+    /// contiguous partition strategy (shards are row-major), and a store
+    /// whose shape matches `full`.
+    pub fn from_store(
+        full: &RidgeProblem,
+        store: &ShardedDataset,
+        config: &DistributedConfig,
+    ) -> Result<Self, BuildError> {
+        Self::from_source(full, config, &PartitionSource::Store(store))
+    }
+
+    /// Stand up the cluster from an explicit data source.
+    pub fn from_source(
+        full: &RidgeProblem,
+        config: &DistributedConfig,
+        source: &PartitionSource<'_>,
+    ) -> Result<Self, BuildError> {
+        let BuiltWorkers { workers, setup } = build_workers(full, config, source)?;
         // A one-thread pool would run the same inline loop with extra
         // hand-offs; only stand the pool up when it can overlap rounds.
         let pool = config
@@ -609,6 +717,7 @@ impl DistributedScd {
             objective: config.objective,
             aggregation: config.aggregation,
             workers,
+            setup,
             shared: vec![0.0; full.shared_len(config.form)],
             weights_total: full.coords(config.form),
             cpu: config.cpu.clone(),
@@ -628,6 +737,16 @@ impl DistributedScd {
     /// Number of workers K.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The one-time data-distribution cost paid before the first round:
+    /// per-worker partition bytes plus the network (and, for GPU workers,
+    /// PCIe) time to move them. Store-backed clusters charge the actual
+    /// on-disk chunk bytes; in-memory clusters charge a size estimate.
+    /// Kept separate from [`Solver::epoch`] stats, which model steady
+    /// state.
+    pub fn setup_cost(&self) -> &SetupCost {
+        &self.setup
     }
 
     /// The aggregation parameter chosen in the most recent epoch (Fig. 5's

@@ -41,10 +41,14 @@ pub mod metrics;
 pub mod param_server;
 pub mod partition;
 pub mod runtime;
+pub mod source;
 pub mod worker;
 
 pub use async_scd::{AsyncScd, Staleness};
-pub use driver::{Aggregation, DistributedConfig, DistributedScd, LocalSolverKind};
+pub use driver::{
+    Aggregation, BuildError, DistributedConfig, DistributedScd, LocalSolverKind,
+};
+pub use source::{PartitionSource, SetupCost};
 pub use fault::{FaultPlan, RoundFate};
 pub use metrics::RoundMetrics;
 pub use param_server::{ParamServerConfig, ParamServerScd};

@@ -1,0 +1,170 @@
+//! Where workers get their training data, and what distributing it costs.
+//!
+//! The epoch loop models steady-state training; this module models the
+//! *setup* leg the paper's cluster pays before the first round — moving
+//! each worker's partition to it over the network, and (for GPU workers)
+//! across PCIe into device memory. An in-memory partition can only charge
+//! a size *estimate*; a [`ShardedDataset`] partition charges the exact
+//! chunk-file bytes that exist on disk.
+
+use crate::partition::{partition_coords, LocalPartition, PartitionStrategy};
+use scd_core::{Form, RidgeProblem};
+use scd_perf_model::LinkProfile;
+use scd_store::{ShardedDataset, StoreError};
+
+/// Where the K worker partitions come from.
+pub enum PartitionSource<'a> {
+    /// Cut partitions from a fully materialized in-memory problem (the
+    /// historical path; any form, any strategy).
+    Memory,
+    /// Load each worker's rows from an on-disk sharded dataset. Dual form
+    /// and [`PartitionStrategy::Contiguous`] only: shards are row-major
+    /// and contiguous ranges are the partitions that map whole chunks.
+    Store(&'a ShardedDataset),
+}
+
+/// What standing the cluster up cost: the one-time data-distribution leg,
+/// kept separate from per-epoch stats so steady-state numbers (and every
+/// golden file derived from them) are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupCost {
+    /// Bytes each worker's partition occupies in transit. For a store
+    /// source these are the *actual* on-disk chunk bytes the worker maps;
+    /// for a memory source, the in-memory CSR + label size estimate.
+    pub bytes_per_worker: Vec<u64>,
+    /// Master → workers over the cluster network: sequential unicast
+    /// sends, so the legs sum.
+    pub network_seconds: f64,
+    /// Host → device on each worker (GPU workers only): workers load
+    /// concurrently, so the slowest leg bounds the wall-clock.
+    pub pcie_seconds: f64,
+}
+
+impl SetupCost {
+    /// A zero-cost setup (used when no workers move data, e.g. K=0 in
+    /// degenerate tests).
+    pub fn zero() -> Self {
+        SetupCost {
+            bytes_per_worker: Vec::new(),
+            network_seconds: 0.0,
+            pcie_seconds: 0.0,
+        }
+    }
+
+    /// Total bytes distributed across all workers.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_worker.iter().sum()
+    }
+
+    /// Charge the network and (optionally) PCIe legs for the recorded
+    /// per-worker byte counts.
+    pub(crate) fn price(
+        bytes_per_worker: Vec<u64>,
+        network: &LinkProfile,
+        pcie: Option<&LinkProfile>,
+    ) -> Self {
+        let network_seconds = bytes_per_worker
+            .iter()
+            .map(|&b| network.transfer_seconds(b as usize))
+            .sum();
+        let pcie_seconds = pcie
+            .map(|link| {
+                bytes_per_worker
+                    .iter()
+                    .map(|&b| link.transfer_seconds(b as usize))
+                    .fold(0.0f64, f64::max)
+            })
+            .unwrap_or(0.0);
+        SetupCost {
+            bytes_per_worker,
+            network_seconds,
+            pcie_seconds,
+        }
+    }
+}
+
+/// The in-transit size of an in-memory partition: CSR arrays plus labels.
+pub(crate) fn memory_partition_bytes(part: &LocalPartition) -> u64 {
+    (part.problem.csr().memory_bytes() + part.problem.labels().len() * 4) as u64
+}
+
+/// Cut the K dual partitions of `store` as contiguous row ranges —
+/// exactly the ranges [`partition_coords`] produces for
+/// [`PartitionStrategy::Contiguous`], so a store-sourced cluster is
+/// bit-identical to an in-memory cluster partitioned the same way.
+/// Returns each partition with the on-disk byte count of the chunks the
+/// worker maps to load it.
+pub(crate) fn store_partitions(
+    store: &ShardedDataset,
+    full: &RidgeProblem,
+    workers: usize,
+) -> Result<Vec<(LocalPartition, u64)>, StoreError> {
+    let ranges = partition_coords(store.rows(), workers, PartitionStrategy::Contiguous);
+    let mut parts = Vec::with_capacity(workers);
+    for global_ids in ranges {
+        let lo = *global_ids.first().expect("non-empty partition");
+        let hi = *global_ids.last().expect("non-empty partition") + 1;
+        let bytes = store.stored_bytes_for_rows(lo..hi);
+        let (csr, labels) = store.load_rows(lo..hi)?;
+        let problem = RidgeProblem::new(csr, labels, full.lambda())
+            .expect("partition of a valid store is valid")
+            .with_regularization_examples(full.n());
+        parts.push((
+            LocalPartition {
+                global_ids,
+                problem,
+            },
+            bytes,
+        ));
+    }
+    Ok(parts)
+}
+
+/// Check that a store matches the in-memory problem it claims to back.
+pub(crate) fn check_store_shape(
+    store: &ShardedDataset,
+    full: &RidgeProblem,
+    form: Form,
+) -> Result<(), String> {
+    if form != Form::Dual {
+        return Err(
+            "store-backed training partitions by example; use the dual form".into(),
+        );
+    }
+    if store.rows() != full.n() || store.cols() != full.m() {
+        return Err(format!(
+            "store shape {}x{} does not match problem {}x{}",
+            store.rows(),
+            store.cols(),
+            full.n(),
+            full.m()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_cost_prices_network_sum_and_pcie_max() {
+        let net = LinkProfile::ethernet_10g();
+        let pcie = LinkProfile::pcie3_x16();
+        let cost = SetupCost::price(vec![1000, 3000, 2000], &net, Some(&pcie));
+        let net_expected: f64 = [1000usize, 3000, 2000]
+            .iter()
+            .map(|&b| net.transfer_seconds(b))
+            .sum();
+        assert!((cost.network_seconds - net_expected).abs() < 1e-15);
+        assert!((cost.pcie_seconds - pcie.transfer_seconds(3000)).abs() < 1e-15);
+        assert_eq!(cost.total_bytes(), 6000);
+
+        let no_gpu = SetupCost::price(vec![1000], &net, None);
+        assert_eq!(no_gpu.pcie_seconds, 0.0);
+
+        let zero = SetupCost::zero();
+        assert_eq!(zero.total_bytes(), 0);
+        assert_eq!(zero.network_seconds, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! # scd-store — out-of-core sharded dataset storage
+//!
+//! The paper's headline experiment trains on a 40 GB criteo day — a scale
+//! no in-memory synthetic in this repository can reach. This crate stores
+//! a sparse CSR dataset *on disk*, split into fixed-layout chunk files
+//! that memory-map straight into `&[u32]` / `&[f32]` slices, so
+//!
+//! * a streaming [`ShardWriter`] emits multi-GB datasets row-at-a-time in
+//!   bounded RSS (the matrix is never materialized in memory), and
+//! * a [`ShardedDataset`] reader lets each distributed worker map only
+//!   the chunks overlapping its own row range.
+//!
+//! ## On-disk format
+//!
+//! A dataset directory holds one index file plus one file per chunk:
+//!
+//! ```text
+//! dataset/
+//!   index.scds      versioned, checksummed table of contents
+//!   chunk-00000.scdc
+//!   chunk-00001.scdc
+//!   ...
+//! ```
+//!
+//! Every multi-byte integer is little-endian. Chunk payload sections are
+//! 8-byte aligned (see [`layout`]), which together with the page-aligned
+//! base address of an `mmap` makes the zero-copy slice casts sound.
+//!
+//! The format is paranoid by construction: magic + version fields on every
+//! file, an FNV-1a checksum over the index and over each chunk payload,
+//! and row/nnz counts recorded redundantly in both the index and the chunk
+//! headers. Every disagreement surfaces as a typed [`StoreError`] — never
+//! a panic, never silently truncated data.
+//!
+//! Training from shards is bit-identical to training in-memory on the same
+//! generator seed: the writer stores the exact `f32`/`u32` the generator
+//! produced, and the reader hands them back bit-for-bit.
+
+pub mod gen;
+pub mod layout;
+pub mod mmap;
+pub mod process;
+pub mod reader;
+pub mod writer;
+
+pub use gen::{write_criteo, write_rows, write_webspam, StoreSummary};
+pub use mmap::{Backing, Mapping};
+pub use process::rss_high_water_bytes;
+pub use reader::{MappedChunk, ShardedDataset};
+pub use writer::ShardWriter;
+
+use std::path::{Path, PathBuf};
+
+/// Errors raised by the store. Every variant names the offending file, so
+/// the message is actionable as a one-line CLI error.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// File or directory being touched.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The file's format version is not one this build understands.
+    BadVersion {
+        /// Offending file.
+        path: PathBuf,
+        /// Version found on disk.
+        found: u32,
+    },
+    /// The stored checksum does not match the bytes on disk.
+    ChecksumMismatch {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// The file is shorter (or longer) than its header claims.
+    Truncated {
+        /// Offending file.
+        path: PathBuf,
+        /// Bytes the header implies.
+        expected: u64,
+        /// Bytes actually on disk.
+        found: u64,
+    },
+    /// The index and a chunk header disagree about the chunk's row count.
+    RowCountMismatch {
+        /// Offending chunk file.
+        path: PathBuf,
+        /// Rows recorded in the index.
+        index_rows: u64,
+        /// Rows recorded in the chunk header.
+        chunk_rows: u64,
+    },
+    /// The data is structurally invalid (bad offsets, out-of-range column
+    /// index, unsorted row, ...).
+    Invalid {
+        /// Offending file.
+        path: PathBuf,
+        /// What exactly is wrong.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Attach a path to an I/O error.
+    pub fn io(path: &Path, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            StoreError::BadMagic { path } => {
+                write!(f, "{}: not a scd-store file (bad magic)", path.display())
+            }
+            StoreError::BadVersion { path, found } => write!(
+                f,
+                "{}: unsupported format version {found} (this build reads version {})",
+                path.display(),
+                layout::VERSION
+            ),
+            StoreError::ChecksumMismatch { path } => {
+                write!(f, "{}: checksum mismatch (file corrupt)", path.display())
+            }
+            StoreError::Truncated { path, expected, found } => write!(
+                f,
+                "{}: truncated or padded file ({found} bytes on disk, header implies {expected})",
+                path.display()
+            ),
+            StoreError::RowCountMismatch { path, index_rows, chunk_rows } => write!(
+                f,
+                "{}: row count disagreement (index says {index_rows}, chunk header says {chunk_rows})",
+                path.display()
+            ),
+            StoreError::Invalid { path, detail } => {
+                write!(f, "{}: invalid data: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: the store's integrity checksum. Not cryptographic —
+/// it guards against truncation, bit rot, and partial writes, the failure
+/// modes a local dataset cache actually meets.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn errors_display_one_line() {
+        let e = StoreError::RowCountMismatch {
+            path: PathBuf::from("/x/chunk-00001.scdc"),
+            index_rows: 10,
+            chunk_rows: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("chunk-00001.scdc"), "{s}");
+        assert!(s.contains("index says 10"), "{s}");
+        assert!(!s.contains('\n'));
+        let e = StoreError::Truncated {
+            path: PathBuf::from("c"),
+            expected: 100,
+            found: 40,
+        };
+        assert!(e.to_string().contains("40 bytes"), "{e}");
+    }
+}

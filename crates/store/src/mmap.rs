@@ -1,0 +1,293 @@
+//! Read-only file mappings without a libc dependency.
+//!
+//! The workspace vendors all external crates as std-only stubs, so there
+//! is no `libc`/`memmap2` to lean on. On Linux (x86_64 / aarch64) we issue
+//! the `mmap`/`munmap` syscalls directly via inline assembly; everywhere
+//! else — and on request, for tests — we fall back to reading the file
+//! into an 8-byte-aligned heap buffer that presents the identical `&[u8]`
+//! view.
+//!
+//! ## Safety model
+//!
+//! * Mappings are `PROT_READ` + `MAP_PRIVATE`: nothing written through
+//!   them, no shared-memory aliasing with other processes' writes.
+//! * The mapped length is captured at open; chunk files are immutable
+//!   once [`crate::ShardWriter::finish`] returns, and every reader
+//!   validates sizes and checksums before trusting content. Truncating a
+//!   mapped file under a live mapping would raise SIGBUS — the store's
+//!   contract is that dataset directories are write-once.
+//! * The heap fallback buffer is backed by `Vec<u64>`, so both backings
+//!   guarantee 8-byte base alignment; combined with the 8-byte-aligned
+//!   section offsets of [`crate::layout`], reinterpreting subslices as
+//!   `&[u64]`/`&[u32]`/`&[f32]` is well-defined.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// How file bytes are presented to the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// `mmap(2)` the file (zero-copy; falls back to [`Backing::Heap`] on
+    /// platforms without the raw syscall shim).
+    Mmap,
+    /// Read the file into an aligned heap buffer.
+    Heap,
+}
+
+impl Backing {
+    /// The preferred backing for this platform: mmap where the syscall
+    /// shim exists, heap elsewhere.
+    pub fn default_for_platform() -> Backing {
+        if sys::HAVE_MMAP {
+            Backing::Mmap
+        } else {
+            Backing::Heap
+        }
+    }
+}
+
+/// An immutable byte view of a file: either a live `mmap` or an aligned
+/// heap copy. Dereference via [`Mapping::bytes`].
+pub struct Mapping {
+    inner: Inner,
+    len: usize,
+}
+
+enum Inner {
+    /// Base address of a live mapping (page-aligned, `len` bytes).
+    Mapped(*const u8),
+    /// 8-byte-aligned heap buffer holding the file's bytes.
+    Heap(Vec<u64>),
+}
+
+// SAFETY: the mapping is read-only and owned; the raw pointer is only a
+// base address into memory that lives exactly as long as `self`.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Map (or read) the whole file at `path`.
+    pub fn open(path: &Path, backing: Backing) -> std::io::Result<Mapping> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            // mmap rejects zero-length mappings; an empty heap buffer
+            // presents the same (empty) view.
+            return Ok(Mapping { inner: Inner::Heap(Vec::new()), len: 0 });
+        }
+        match backing {
+            Backing::Mmap if sys::HAVE_MMAP => {
+                let ptr = sys::mmap_readonly(&file, len)?;
+                Ok(Mapping { inner: Inner::Mapped(ptr), len })
+            }
+            _ => {
+                // ceil(len/8) u64 words guarantee 8-byte alignment; the
+                // trailing pad bytes stay zero and out of `bytes()`.
+                let mut words = vec![0u64; len.div_ceil(8)];
+                // SAFETY: a u64 buffer reinterpreted as bytes is plain
+                // memory of the same size.
+                let dst = unsafe {
+                    std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len)
+                };
+                file.read_exact(dst)?;
+                Ok(Mapping { inner: Inner::Heap(words), len })
+            }
+        }
+    }
+
+    /// The file's bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            // SAFETY: the mapping covers `len` readable bytes for as long
+            // as `self` is alive (munmap only happens in Drop).
+            Inner::Mapped(ptr) => unsafe { std::slice::from_raw_parts(*ptr, self.len) },
+            Inner::Heap(words) => {
+                // SAFETY: the buffer holds at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, self.len) }
+            }
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this mapping is a live `mmap` (false = heap copy).
+    pub fn is_mmap(&self) -> bool {
+        matches!(self.inner, Inner::Mapped(_))
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        if let Inner::Mapped(ptr) = self.inner {
+            // SAFETY: `ptr`/`len` came from a successful mmap_readonly and
+            // are unmapped exactly once.
+            unsafe { sys::munmap(ptr, self.len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.len)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+/// Raw-syscall shim. Linux-only; other platforms compile the `HAVE_MMAP =
+/// false` stub and every open silently takes the heap path.
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    pub const HAVE_MMAP: bool = true;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    /// Six-argument syscall, returning the kernel's raw result (negative
+    /// errno on failure, encoded in the usual [-4095, -1] window).
+    unsafe fn syscall6(nr: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        #[cfg(target_arch = "aarch64")]
+        std::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`.
+    pub fn mmap_readonly(file: &File, len: usize) -> std::io::Result<*const u8> {
+        let fd = file.as_raw_fd() as usize;
+        // SAFETY: all arguments are valid for mmap; the kernel validates
+        // the fd and length and reports failure through the return value.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd, 0) };
+        if (-4095..0).contains(&ret) {
+            return Err(std::io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(ret as *const u8)
+    }
+
+    /// `munmap(ptr, len)`; errors are ignored (nothing actionable in Drop).
+    ///
+    /// # Safety
+    /// `ptr`/`len` must describe a live mapping returned by
+    /// [`mmap_readonly`], not yet unmapped.
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let _ = syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    use std::fs::File;
+
+    pub const HAVE_MMAP: bool = false;
+
+    pub fn mmap_readonly(_file: &File, _len: usize) -> std::io::Result<*const u8> {
+        unreachable!("mmap shim absent on this platform; Backing::Heap is forced")
+    }
+
+    /// # Safety
+    /// Never called: no mapping can exist on this platform.
+    pub unsafe fn munmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("scd_store_mmap_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn both_backings_agree_bytewise() {
+        let path = tmp("agree");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+
+        let heap = Mapping::open(&path, Backing::Heap).unwrap();
+        assert!(!heap.is_mmap());
+        assert_eq!(heap.bytes(), &payload[..]);
+        assert_eq!(heap.len(), payload.len());
+
+        let mapped = Mapping::open(&path, Backing::Mmap).unwrap();
+        assert_eq!(mapped.is_mmap(), sys::HAVE_MMAP);
+        assert_eq!(mapped.bytes(), &payload[..]);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn base_addresses_are_8_aligned() {
+        let path = tmp("align");
+        // 13 bytes: deliberately not a multiple of 8.
+        File::create(&path).unwrap().write_all(b"0123456789abc").unwrap();
+        for backing in [Backing::Heap, Backing::Mmap] {
+            let map = Mapping::open(&path, backing).unwrap();
+            assert_eq!(map.bytes().as_ptr() as usize % 8, 0, "{backing:?}");
+            assert_eq!(map.len(), 13);
+            assert!(!map.is_empty());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty");
+        File::create(&path).unwrap();
+        let map = Mapping::open(&path, Backing::Mmap).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(Mapping::open(&tmp("missing_never_created"), Backing::Mmap).is_err());
+    }
+}

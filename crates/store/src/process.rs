@@ -1,0 +1,37 @@
+//! Process-level memory telemetry for the bounded-RSS claims.
+//!
+//! The streaming generator's contract is "writes a dataset ≥ 4× its RSS
+//! high-water"; the number backing that claim is the kernel's own peak
+//! resident-set counter, read from `/proc/self/status`.
+
+/// Peak resident set size of this process in bytes (`VmHWM`), or `None`
+/// where `/proc` is unavailable (non-Linux).
+pub fn rss_high_water_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            // Format: "VmHWM:      12345 kB".
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwm_is_positive_and_monotonic_on_linux() {
+        let Some(before) = rss_high_water_bytes() else {
+            return; // non-Linux: nothing to check
+        };
+        assert!(before > 0);
+        // Touch a few MB; the high-water must not decrease.
+        let block = vec![7u8; 4 << 20];
+        std::hint::black_box(&block);
+        let after = rss_high_water_bytes().unwrap();
+        assert!(after >= before, "{after} < {before}");
+    }
+}

@@ -1,0 +1,300 @@
+//! The streaming shard writer: rows in, chunk files out, bounded RSS.
+
+use crate::layout::{
+    self, chunk_file_name, chunk_layout, encode_index, ChunkHeader, ShardMeta, StoreIndex,
+    INDEX_FILE,
+};
+use crate::{fnv1a64, StoreError};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes a sharded dataset one row at a time. Rows accumulate in a small
+/// chunk buffer (`chunk_rows` rows); each full buffer is flushed to its
+/// own `chunk-NNNNN.scdc` file and dropped, so the writer's memory
+/// high-water is one chunk, not the dataset — the property that lets the
+/// generators emit multi-GB datasets from a few MB of RSS.
+///
+/// Rows must arrive with strictly increasing, in-range column indices
+/// (the CSR invariant every solver relies on); violations surface
+/// immediately as [`StoreError::Invalid`] rather than poisoning the file.
+pub struct ShardWriter {
+    dir: PathBuf,
+    cols: usize,
+    chunk_rows: usize,
+    // Current chunk buffer (chunk-local CSR).
+    offsets: Vec<u64>,
+    labels: Vec<f32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    shards: Vec<ShardMeta>,
+    total_rows: u64,
+    total_nnz: u64,
+    disk_bytes: u64,
+    buffered_high_water: usize,
+}
+
+impl ShardWriter {
+    /// Start a dataset of width `cols` in directory `dir` (created if
+    /// absent), cutting a chunk every `chunk_rows` rows.
+    pub fn create(dir: &Path, cols: usize, chunk_rows: usize) -> Result<ShardWriter, StoreError> {
+        if cols == 0 || cols > u32::MAX as usize {
+            return Err(StoreError::Invalid {
+                path: dir.to_path_buf(),
+                detail: format!("column count {cols} outside [1, u32::MAX]"),
+            });
+        }
+        if chunk_rows == 0 {
+            return Err(StoreError::Invalid {
+                path: dir.to_path_buf(),
+                detail: "chunk_rows must be >= 1".into(),
+            });
+        }
+        fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        Ok(ShardWriter {
+            dir: dir.to_path_buf(),
+            cols,
+            chunk_rows,
+            offsets: vec![0],
+            labels: Vec::new(),
+            indices: Vec::new(),
+            values: Vec::new(),
+            shards: Vec::new(),
+            total_rows: 0,
+            total_nnz: 0,
+            disk_bytes: 0,
+            buffered_high_water: 0,
+        })
+    }
+
+    /// Append one row (its nonzero columns, matching values, and label).
+    pub fn push_row(
+        &mut self,
+        indices: &[u32],
+        values: &[f32],
+        label: f32,
+    ) -> Result<(), StoreError> {
+        if indices.len() != values.len() {
+            return Err(self.invalid(format!(
+                "row {}: {} indices but {} values",
+                self.total_rows,
+                indices.len(),
+                values.len()
+            )));
+        }
+        let mut prev: Option<u32> = None;
+        for &c in indices {
+            if c as usize >= self.cols {
+                return Err(self.invalid(format!(
+                    "row {}: column {c} out of range (cols = {})",
+                    self.total_rows, self.cols
+                )));
+            }
+            if prev.is_some_and(|p| p >= c) {
+                return Err(self.invalid(format!(
+                    "row {}: column indices not strictly increasing",
+                    self.total_rows
+                )));
+            }
+            prev = Some(c);
+        }
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        self.labels.push(label);
+        self.offsets.push(self.indices.len() as u64);
+        self.total_rows += 1;
+        self.total_nnz += indices.len() as u64;
+        let buffered = self.offsets.len() * 8
+            + self.labels.len() * 4
+            + self.indices.len() * 4
+            + self.values.len() * 4;
+        self.buffered_high_water = self.buffered_high_water.max(buffered);
+        if self.labels.len() == self.chunk_rows {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Largest number of bytes the row buffer ever held — the writer's
+    /// contribution to the process RSS high-water.
+    pub fn buffered_high_water(&self) -> usize {
+        self.buffered_high_water
+    }
+
+    /// Rows written so far.
+    pub fn rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Flush the buffered rows (if any) and write the index. Consumes the
+    /// writer: a finished dataset directory is immutable.
+    pub fn finish(mut self) -> Result<crate::StoreSummary, StoreError> {
+        if !self.labels.is_empty() {
+            self.flush_chunk()?;
+        }
+        if self.total_rows == 0 {
+            return Err(StoreError::Invalid {
+                path: self.dir.clone(),
+                detail: "no rows written".into(),
+            });
+        }
+        let index = StoreIndex {
+            cols: self.cols as u64,
+            rows: self.total_rows,
+            nnz: self.total_nnz,
+            shards: std::mem::take(&mut self.shards),
+        };
+        let chunks = index.shards.len();
+        let bytes = encode_index(&index);
+        let path = self.dir.join(INDEX_FILE);
+        fs::write(&path, &bytes).map_err(|e| StoreError::io(&path, e))?;
+        self.disk_bytes += bytes.len() as u64;
+        Ok(crate::StoreSummary {
+            rows: self.total_rows as usize,
+            cols: self.cols,
+            nnz: self.total_nnz as usize,
+            chunks,
+            disk_bytes: self.disk_bytes,
+            buffered_high_water: self.buffered_high_water,
+        })
+    }
+
+    fn invalid(&self, detail: String) -> StoreError {
+        StoreError::Invalid {
+            path: self.dir.clone(),
+            detail,
+        }
+    }
+
+    /// Write the buffered rows as the next chunk file and clear the buffer.
+    fn flush_chunk(&mut self) -> Result<(), StoreError> {
+        let rows = self.labels.len();
+        let nnz = self.indices.len();
+        let l = chunk_layout(rows, nnz);
+        let mut payload = vec![0u8; l.file_bytes - layout::CHUNK_HEADER_BYTES];
+        let base = layout::CHUNK_HEADER_BYTES;
+        let put = |dst: &mut [u8], at: std::ops::Range<usize>, src: &[u8]| {
+            dst[at.start - base..at.end - base].copy_from_slice(src);
+        };
+        put(&mut payload, l.offsets.clone(), bytes_of_u64(&self.offsets));
+        put(&mut payload, l.labels.clone(), bytes_of_f32(&self.labels));
+        put(&mut payload, l.indices.clone(), bytes_of_u32(&self.indices));
+        put(&mut payload, l.values.clone(), bytes_of_f32(&self.values));
+        let checksum = fnv1a64(&payload);
+
+        let header = ChunkHeader {
+            shard_id: self.shards.len() as u64,
+            rows: rows as u64,
+            cols: self.cols as u64,
+            nnz: nnz as u64,
+            payload_checksum: checksum,
+        };
+        let path = self.dir.join(chunk_file_name(self.shards.len()));
+        let mut file = fs::File::create(&path).map_err(|e| StoreError::io(&path, e))?;
+        file.write_all(&header.encode()).map_err(|e| StoreError::io(&path, e))?;
+        file.write_all(&payload).map_err(|e| StoreError::io(&path, e))?;
+
+        self.shards.push(ShardMeta {
+            rows: rows as u64,
+            nnz: nnz as u64,
+            file_bytes: l.file_bytes as u64,
+            payload_checksum: checksum,
+        });
+        self.disk_bytes += l.file_bytes as u64;
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.labels.clear();
+        self.indices.clear();
+        self.values.clear();
+        Ok(())
+    }
+}
+
+fn bytes_of_u64(v: &[u64]) -> &[u8] {
+    // SAFETY: plain-old-data reinterpretation, length scaled accordingly.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8) }
+}
+
+fn bytes_of_u32(v: &[u32]) -> &[u8] {
+    // SAFETY: as above.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
+}
+
+fn bytes_of_f32(v: &[f32]) -> &[u8] {
+    // SAFETY: as above.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("scd_store_writer_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let dir = tmp("bad_rows");
+        let mut w = ShardWriter::create(&dir, 10, 4).unwrap();
+        assert!(matches!(
+            w.push_row(&[1, 2], &[1.0], 1.0),
+            Err(StoreError::Invalid { .. })
+        ));
+        assert!(w.push_row(&[3, 2], &[1.0, 1.0], 1.0).is_err(), "unsorted");
+        assert!(w.push_row(&[2, 2], &[1.0, 1.0], 1.0).is_err(), "duplicate");
+        assert!(w.push_row(&[10], &[1.0], 1.0).is_err(), "out of range");
+        assert!(w.push_row(&[0, 9], &[1.0, 2.0], -1.0).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let dir = tmp("degen");
+        assert!(ShardWriter::create(&dir, 0, 4).is_err());
+        assert!(ShardWriter::create(&dir, 4, 0).is_err());
+        let w = ShardWriter::create(&dir, 4, 2).unwrap();
+        assert!(matches!(w.finish(), Err(StoreError::Invalid { .. })), "empty dataset");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunking_and_summary_counts() {
+        let dir = tmp("counts");
+        let mut w = ShardWriter::create(&dir, 100, 3).unwrap();
+        for r in 0..8u32 {
+            w.push_row(&[r, r + 50], &[1.0, 2.0], 1.0).unwrap();
+        }
+        let s = w.finish().unwrap();
+        assert_eq!(s.rows, 8);
+        assert_eq!(s.nnz, 16);
+        assert_eq!(s.chunks, 3, "3 + 3 + 2 rows");
+        assert!(dir.join(INDEX_FILE).is_file());
+        for i in 0..3 {
+            assert!(dir.join(chunk_file_name(i)).is_file());
+        }
+        // Disk bytes match what is actually on disk.
+        let on_disk: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        assert_eq!(s.disk_bytes, on_disk);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn buffered_high_water_is_one_chunk() {
+        let dir = tmp("hw");
+        let mut w = ShardWriter::create(&dir, 1000, 16).unwrap();
+        for r in 0..160u32 {
+            let c = r % 900;
+            w.push_row(&[c, c + 50], &[0.5, 1.5], -1.0).unwrap();
+        }
+        let s = w.finish().unwrap();
+        // One chunk buffers 16 rows: 17 offsets + 16 labels + 32 idx + 32 val.
+        let one_chunk = 17 * 8 + 16 * 4 + 32 * 4 + 32 * 4;
+        assert_eq!(s.buffered_high_water, one_chunk);
+        assert!(s.disk_bytes >= 4 * s.buffered_high_water as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,6 +21,7 @@ CRATES=(
   scd-wire
   scd-core
   scd-datasets
+  scd-store
   scd-distributed
   scd-bench
   scd-cli
@@ -57,6 +58,36 @@ cargo test -q -p scd-events
 
 echo "==> cargo test -q -p scd-sched"
 cargo test -q -p scd-sched
+
+echo "==> cargo test -q -p scd-store"
+cargo test -q -p scd-store
+
+echo "==> shard round-trip smoke"
+# Generate a small sharded dataset and the same rows as LIBSVM text, train
+# both ways, and require the bit-identical `final gap` line: the storage
+# invariant (shards == memory) checked end-to-end through the binary.
+SHARD_DIR=$(mktemp -d)/shards
+SHARD_SVM=$(mktemp)
+./target/release/scd shard gen --out "$SHARD_DIR" --kind criteo --rows 120 \
+  --fields 4 --cardinality 16 --seed 5 --chunk-rows 32 > /dev/null
+./target/release/scd shard inspect --data "$SHARD_DIR" --verify yes > /dev/null
+./target/release/scd generate --kind criteo --rows 120 --fields 4 \
+  --cardinality 16 --seed 5 --output "$SHARD_SVM" > /dev/null
+gap_store=$(./target/release/scd train --data "$SHARD_DIR" --form dual \
+  --workers 2 --epochs 1 --eval-every 1 | grep '^final gap')
+gap_mem=$(./target/release/scd train --data "$SHARD_SVM" --features 64 \
+  --form dual --workers 2 --partition contiguous --epochs 1 --eval-every 1 \
+  | grep '^final gap')
+if [[ "$gap_store" != "$gap_mem" ]]; then
+  echo "tier1.sh: shard training diverged from in-memory:" >&2
+  echo "  store:  $gap_store" >&2
+  echo "  memory: $gap_mem" >&2
+  exit 1
+fi
+rm -rf "$(dirname "$SHARD_DIR")" "$SHARD_SVM"
+
+echo "==> bench_store --smoke"
+BENCH_OUT=$(mktemp) ./target/release/bench_store --smoke
 
 echo "==> bench_cpu --smoke"
 # Smoke-run the CPU-backend benchmark so a perf-harness regression cannot

@@ -50,3 +50,4 @@ pub use scd_events as events;
 pub use scd_perf_model as perf;
 pub use scd_sched as sched;
 pub use scd_sparse as sparse;
+pub use scd_store as store;
