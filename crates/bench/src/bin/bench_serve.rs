@@ -1,0 +1,152 @@
+//! Serving latency/throughput vs batch size, recorded to
+//! `BENCH_serve.json` so the serving trajectory is tracked across PRs.
+//!
+//! Two measurements per batch cap B ∈ {1, 8, 64, 256}:
+//!
+//! * **Simulated open-loop load** — the `scd-serve` harness replays a
+//!   Poisson arrival stream against the calibrated Xeon cost model on
+//!   the deterministic event engine. The offered rate is fixed at 70% of
+//!   the batch-64 capacity, which overloads the unbatched server (ρ > 1:
+//!   its p99 is pure queueing delay) while the batched configurations
+//!   stay stable — the core claim behind batching the scorer.
+//! * **Wall-clock scoring** — the real [`BatchScorer`] scores the same
+//!   rows in B-row batches on this host (rows/s, best of reps), so the
+//!   simulated amortization claim is anchored to a measured kernel rate.
+//!
+//! `--smoke` shrinks everything for the tier-1 gate; `BENCH_OUT`
+//! redirects the JSON.
+
+use scd_bench::opts::flag_present;
+use scd_core::ObjectiveKind;
+use scd_datasets::{scale_values, webspam_like};
+use scd_perf_model::CpuProfile;
+use scd_serve::{batch_from_pairs, capacity_rps, simulate, BatchScorer, LoadSpec};
+use std::time::Instant;
+
+const BATCHES: [usize; 4] = [1, 8, 64, 256];
+
+struct Config {
+    requests: usize,
+    features: usize,
+    nnz_per_row: usize,
+    rows: usize,
+    reps: usize,
+    seed: u64,
+}
+
+fn config(smoke: bool) -> Config {
+    let env = |name: &str, default: usize| {
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    if smoke {
+        Config { requests: env("BENCH_REQUESTS", 500), features: 200, nnz_per_row: 12, rows: 512, reps: 1, seed: 9 }
+    } else {
+        Config { requests: env("BENCH_REQUESTS", 20_000), features: 2000, nnz_per_row: 30, rows: 4096, reps: 3, seed: 9 }
+    }
+}
+
+fn spec(cfg: &Config, batch: usize, rate: f64) -> LoadSpec {
+    LoadSpec {
+        requests: cfg.requests,
+        arrival_rate_hz: rate,
+        batch,
+        features: cfg.features,
+        nnz_per_row: cfg.nnz_per_row,
+        seed: cfg.seed,
+    }
+}
+
+/// Wall-clock rows/s of the real scorer at batch size B (best of reps).
+fn wall_rows_per_second(cfg: &Config, batch: usize, reps: usize) -> f64 {
+    let data = scale_values(&webspam_like(cfg.rows, cfg.features, cfg.nnz_per_row, cfg.seed), 0.3);
+    let csr = data.matrix.to_csr();
+    let beta: Vec<f32> = (0..cfg.features).map(|j| (j as f32 * 0.37).sin() * 0.1).collect();
+    // Pre-slice the dataset into B-row batches through the same pair
+    // path the protocol uses.
+    let batches: Vec<_> = (0..csr.rows())
+        .step_by(batch)
+        .map(|start| {
+            let end = (start + batch).min(csr.rows());
+            let pairs: Vec<Vec<(u32, f32)>> = (start..end)
+                .map(|r| {
+                    let row = csr.row(r);
+                    row.indices.iter().copied().zip(row.values.iter().copied()).collect()
+                })
+                .collect();
+            batch_from_pairs(&pairs, cfg.features).expect("dataset rows fit the model")
+        })
+        .collect();
+    let scorer = BatchScorer::new(scd_sched::global());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        // One warm pass, then the timed pass.
+        for b in &batches {
+            scorer.score(b, ObjectiveKind::Ridge, &beta).expect("scoring succeeds");
+        }
+        let start = Instant::now();
+        for b in &batches {
+            scorer.score(b, ObjectiveKind::Ridge, &beta).expect("scoring succeeds");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    csr.rows() as f64 / best
+}
+
+fn main() {
+    let smoke = flag_present("smoke");
+    let cfg = config(smoke);
+    let profile = CpuProfile::xeon_e5_2640();
+    // Fixed offered load: 70% of batch-64 capacity. Above batch-1
+    // capacity by construction (the whole point of the sweep).
+    let rate = 0.7 * capacity_rps(&profile, &spec(&cfg, 64, 1.0));
+    println!(
+        "# serve load sweep: {} requests at {rate:.0} req/s (0.7x batch-64 capacity), \
+         {} features, {} nnz/row{}",
+        cfg.requests,
+        cfg.features,
+        cfg.nnz_per_row,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for batch in BATCHES {
+        let report = simulate(&profile, &spec(&cfg, batch, rate));
+        let wall = wall_rows_per_second(&cfg, batch, cfg.reps);
+        println!(
+            "# B={batch}: p50 {:.3e}s p99 {:.3e}s, {:.0} req/s sim (rho {:.2}, fill {:.1}), \
+             wall {:.0} rows/s",
+            report.p50_s,
+            report.p99_s,
+            report.throughput_rps,
+            report.utilization,
+            report.mean_batch_fill,
+            wall,
+        );
+        rows.push(format!(
+            "    {{\n      \"batch\": {batch},\n      \"p50_latency_s\": {:e},\n      \"p99_latency_s\": {:e},\n      \"mean_latency_s\": {:e},\n      \"max_latency_s\": {:e},\n      \"throughput_rps\": {:.3},\n      \"utilization\": {:.4},\n      \"mean_batch_fill\": {:.3},\n      \"sim_seconds\": {:e},\n      \"wall_rows_per_second\": {:.1}\n    }}",
+            report.p50_s,
+            report.p99_s,
+            report.mean_s,
+            report.max_s,
+            report.throughput_rps,
+            report.utilization,
+            report.mean_batch_fill,
+            report.sim_seconds,
+            wall,
+        ));
+    }
+
+    let out = format!(
+        "{{\n  \"benchmark\": \"serve_batched_inference\",\n  \"profile\": \"xeon_e5_2640\",\n  \"smoke\": {smoke},\n  \"requests\": {},\n  \"features\": {},\n  \"nnz_per_row\": {},\n  \"offered_rps\": {:.3},\n  \"capacity_batch64_rps\": {:.3},\n  \"wall_clock_rows\": {},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        cfg.requests,
+        cfg.features,
+        cfg.nnz_per_row,
+        rate,
+        capacity_rps(&profile, &spec(&cfg, 64, 1.0)),
+        cfg.rows,
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+}

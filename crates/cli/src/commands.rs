@@ -1,4 +1,5 @@
-//! The `scd` subcommands: `generate`, `info`, `train`, `help`.
+//! The `scd` subcommands: `generate`, `info`, `train`, `predict`,
+//! `serve`, `score`, `sweep`, `shard`, `help`.
 //!
 //! Every command takes parsed [`Args`] and a writer (so tests can capture
 //! output) and returns a descriptive error string on failure.
@@ -14,12 +15,15 @@ use scd_datasets::{criteo_like, dense_gaussian, scale_values, webspam_like, Data
 use scd_datasets::{CriteoSpec, WebspamStreamSpec};
 use scd_distributed::{
     Aggregation, AsyncScd, DistributedConfig, DistributedScd, FaultPlan, LocalSolverKind,
-    PartitionStrategy, RoundRuntime, Staleness, WireFormat,
+    ParamServerConfig, ParamServerScd, PartitionStrategy, RoundRuntime, Staleness, WireFormat,
 };
+use scd_serve::json::{escape, num_f32, Json};
+use scd_serve::{respond, BatchScorer, ModelSlot, Response};
 use scd_sparse::io::{read_libsvm, write_libsvm, LabelledData};
+use scd_sparse::CsrMatrix;
 use scd_store::{write_criteo, write_webspam, ShardedDataset};
 use std::fs::File;
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -38,6 +42,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "info" => info(args, out),
         "train" => train(args, out),
         "predict" => predict(args, out),
+        "serve" => serve(args, out),
+        "score" => score(args, out),
         "sweep" => sweep(args, out),
         "shard" => shard(args, out),
         "help" => {
@@ -59,6 +65,8 @@ USAGE:
   scd info     --data FILE [--features M] [--detail yes]
   scd train    --data FILE|DIR [options]
   scd predict  --model FILE --data FILE [--features M]
+  scd serve    --model FILE | --train-data FILE|DIR [options]
+  scd score    --model FILE --data FILE|DIR [--batch B] [--limit N]
   scd sweep    --data FILE [--lambda-max L --lambda-ratio R --points P]
   scd shard gen     --out DIR --kind criteo|webspam [options]
   scd shard inspect --data DIR [--verify yes]
@@ -130,8 +138,29 @@ TRAIN OPTIONS:
   --fault-retries N re-request a lost round N times (default 1)
   --fault-seed S    fault-schedule RNG seed       (default 0)
   --round-metrics F write per-round metrics JSON to F (distributed only)
-  --save-model F    write the trained weights to F (ridge only)
-  --seed S          RNG seed                      (default 1)"
+  --save-model F    write the trained weights to F (any objective except
+                    elastic-net)
+  --seed S          RNG seed                      (default 1)
+
+SERVE OPTIONS (JSON-lines session: one request per stdin line, one response
+per stdout line; ops: {{\"op\":\"info\"}}, {{\"op\":\"score\",\"rows\":[[[idx,val],..],..]}},
+and — when serving from --model — {{\"op\":\"reload\"}} to hot-swap from disk):
+  --model F         serve a saved model file
+  --train-data P    train live while serving: a parameter server publishes
+                    into the serving slot at every round boundary
+  --objective O     ridge|logistic|svm|lasso      (live mode; default ridge)
+  --lambda L        regularization                (live mode; default 0.001)
+  --workers K       parameter-server workers      (live mode; default 4)
+  --epochs E        training rounds to publish    (live mode; default 50)
+  --features M      feature width of a LIBSVM --train-data file
+  --seed S          RNG seed                      (live mode; default 1)
+
+SCORE OPTIONS (batch mode: one JSON line per row, then a JSON summary line):
+  --model F         saved model file (any objective)
+  --data P          a LIBSVM file or a `scd shard gen` directory
+  --batch B         rows per scoring batch        (default 64)
+  --limit N         score only the first N rows   (default: all)
+  --features M      fix the feature width of a LIBSVM file"
     );
 }
 
@@ -575,6 +604,13 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     if objective_name == "elastic-net" {
         // Elastic-net keeps its dedicated coordinate-descent engine: its
         // compound prox doesn't fit the per-coordinate Objective contract.
+        if args.get("save-model").is_some() {
+            return Err(
+                "--save-model supports --objective ridge|logistic|svm|lasso; the elastic-net \
+                 engine has no saved-model mapping — drop --save-model or pick one of those"
+                    .into(),
+            );
+        }
         let ratio = args.get_or("l1-ratio", 0.5f64, "number").map_err(|e| e.to_string())?;
         let mut en = ElasticNetCd::new(&problem, ratio, seed);
         for epoch in 1..=epochs {
@@ -596,12 +632,6 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let objective = ObjectiveKind::parse(objective_name).map_err(|_| {
         format!("unknown --objective {objective_name:?} (ridge|logistic|svm|lasso|elastic-net)")
     })?;
-    if objective != ObjectiveKind::Ridge && args.get("save-model").is_some() {
-        return Err(format!(
-            "--save-model supports only --objective ridge, not {}",
-            objective.label()
-        ));
-    }
     let form = parse_form(args)?.unwrap_or_else(|| objective.default_form());
     objective.validate(&problem, form).map_err(|e| e.to_string())?;
     let workers = args.get_or("workers", 1usize, "integer").map_err(|e| e.to_string())?;
@@ -755,14 +785,16 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     }
     if let Some(path) = args.get("save-model") {
-        let model = match form {
-            Form::Primal => TrainedModel::from_primal(&problem, solver.weights()),
-            Form::Dual => TrainedModel::from_dual(&problem, &solver.weights()),
-        };
+        let model = TrainedModel::from_weights(&problem, objective, form, solver.weights());
         let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         model.save(file).map_err(|e| format!("cannot write {path}: {e}"))?;
-        writeln!(out, "model saved to {path} ({} weights)", model.features())
-            .map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "model saved to {path} ({} weights, {} objective)",
+            model.features(),
+            model.objective.label()
+        )
+        .map_err(|e| e.to_string())?;
     }
     if let Some(path) = args.get("round-metrics") {
         let (json, rounds, dropped) = if let Some(dist) = distributed.as_ref() {
@@ -856,12 +888,325 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+fn load_model(path: &str) -> Result<TrainedModel, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    TrainedModel::load(file).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+/// `scd serve`: a JSON-lines scoring session — requests on stdin, one
+/// response per line on stdout. Either serves a saved `--model` file
+/// (with `{"op":"reload"}` hot swap from disk) or trains live from
+/// `--train-data`, with a parameter server publishing into the serving
+/// slot at every round boundary.
+pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&[
+        "model", "train-data", "features", "objective", "lambda", "workers", "epochs", "seed",
+    ])
+    .map_err(|e| e.to_string())?;
+    match (args.get("model"), args.get("train-data")) {
+        (Some(_), Some(_)) => {
+            Err("pass --model (a saved file) or --train-data (train live), not both".into())
+        }
+        (None, None) => Err("serve needs --model FILE or --train-data FILE|DIR".into()),
+        (Some(path), None) => {
+            for flag in ["objective", "lambda", "workers", "epochs", "seed", "features"] {
+                if args.get(flag).is_some() {
+                    return Err(format!("--{flag} only applies to --train-data serving"));
+                }
+            }
+            let model = load_model(path)?;
+            let slot = ModelSlot::new(model.features());
+            slot.publish(model.objective, model.lambda, &model.beta);
+            eprintln!(
+                "serving {path}: {} features, {} objective \
+                 (send {{\"op\":\"reload\"}} to re-read the file)",
+                model.features(),
+                model.objective.label()
+            );
+            serve_session(&slot, Some(path), out)
+        }
+        (None, Some(path)) => serve_live(path, args, out),
+    }
+}
+
+/// The shared request loop: read stdin lines until EOF, answer each one.
+/// `reload_from` enables the CLI-level `{"op":"reload"}` op.
+fn serve_session(
+    slot: &ModelSlot,
+    reload_from: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let scorer = BatchScorer::new(scd_sched::global());
+    let (mut requests, mut scored_rows, mut errors) = (0u64, 0u64, 0u64);
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests += 1;
+        let response = if is_reload(&line) {
+            reload(reload_from, slot)
+        } else {
+            respond(&line, slot, &scorer)
+        };
+        scored_rows += response.scored_rows;
+        if !response.ok {
+            errors += 1;
+        }
+        writeln!(out, "{}", response.line).map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    eprintln!("served {requests} requests ({scored_rows} rows scored, {errors} errors)");
+    Ok(())
+}
+
+fn is_reload(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|req| req.get("op").and_then(Json::as_str).map(|op| op == "reload"))
+        .unwrap_or(false)
+}
+
+fn error_response(msg: &str) -> Response {
+    Response {
+        line: format!("{{\"ok\":false,\"error\":{}}}", escape(msg)),
+        ok: false,
+        scored_rows: 0,
+    }
+}
+
+/// `{"op":"reload"}`: re-read the `--model` file and publish it into the
+/// serving slot — the on-disk flavour of a hot model swap. The new file
+/// must keep the feature width (the slot never resizes under readers).
+fn reload(reload_from: Option<&str>, slot: &ModelSlot) -> Response {
+    let Some(path) = reload_from else {
+        return error_response(
+            "reload applies only to --model file serving (live training republishes itself)",
+        );
+    };
+    let model = match load_model(path) {
+        Ok(model) => model,
+        Err(e) => return error_response(&e),
+    };
+    if model.features() != slot.features() {
+        return error_response(&format!(
+            "reload rejected: {path} now has {} features, the serving slot holds {}",
+            model.features(),
+            slot.features()
+        ));
+    }
+    let seq = slot.publish(model.objective, model.lambda, &model.beta);
+    Response {
+        line: format!(
+            "{{\"ok\":true,\"reloaded\":true,\"model_seq\":{seq},\"features\":{},\
+             \"objective\":{},\"lambda\":{}}}",
+            model.features(),
+            escape(model.objective.label()),
+            model.lambda,
+        ),
+        ok: true,
+        scored_rows: 0,
+    }
+}
+
+/// `scd serve --train-data`: hot model swap under load. A parameter
+/// server trains in a background thread and publishes the assembled
+/// model at every round boundary; the foreground session scores against
+/// whatever round is current (`model_seq` in each response names it).
+fn serve_live(path: &str, args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let lambda = args.get_or("lambda", 1e-3f64, "number").map_err(|e| e.to_string())?;
+    let epochs = args.get_or("epochs", 50usize, "integer").map_err(|e| e.to_string())?.max(1);
+    let workers = args.get_or("workers", 4usize, "integer").map_err(|e| e.to_string())?;
+    let seed = args.get_or("seed", 1u64, "integer").map_err(|e| e.to_string())?;
+    if workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+    let objective_name = args.get("objective").unwrap_or("ridge");
+    let objective = ObjectiveKind::parse(objective_name).map_err(|_| {
+        format!("serve trains --objective ridge|logistic|svm|lasso, not {objective_name:?}")
+    })?;
+    let form = objective.default_form();
+    let problem = if Path::new(path).is_dir() {
+        if args.get("features").is_some() {
+            return Err("--features applies to LIBSVM files, not shard directories".into());
+        }
+        let store = open_store(path)?;
+        let (csr, labels) = store.load_all().map_err(|e| format!("cannot load {path}: {e}"))?;
+        RidgeProblem::new(csr, labels, lambda).map_err(|e| e.to_string())?
+    } else {
+        let features = args
+            .get("features")
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--features {v:?}: expected integer"))
+            })
+            .transpose()?;
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let data = read_libsvm(file, features).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        RidgeProblem::from_labelled(&data, lambda).map_err(|e| e.to_string())?
+    };
+    objective.validate(&problem, form).map_err(|e| e.to_string())?;
+    let problem = Arc::new(problem);
+    let slot = Arc::new(ModelSlot::new(problem.m()));
+    let trainer = {
+        let problem = Arc::clone(&problem);
+        let slot = Arc::clone(&slot);
+        let config = ParamServerConfig::new(workers, form)
+            .with_objective(objective)
+            .with_seed(seed);
+        std::thread::spawn(move || {
+            let mut server = ParamServerScd::new(&problem, &config);
+            let observer_problem = Arc::clone(&problem);
+            server.set_round_observer(Box::new(move |_round, weights| {
+                // The observer hands over native-form weights; dual
+                // iterates go through the objective's optimality mapping.
+                let beta = match form {
+                    Form::Primal => weights.to_vec(),
+                    Form::Dual => objective.induced_primal(&observer_problem, weights),
+                };
+                slot.publish(objective, observer_problem.lambda(), &beta);
+            }));
+            for _ in 0..epochs {
+                server.epoch(&problem);
+            }
+        })
+    };
+    // Serve from the first published round onward — scoring before any
+    // round completed would only answer "no model published yet".
+    while slot.seq() == 0 && !trainer.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    eprintln!(
+        "serving live: {} objective, {workers}-worker parameter server publishing {epochs} rounds",
+        objective.label()
+    );
+    let result = serve_session(&slot, None, out);
+    trainer.join().map_err(|_| "training thread panicked".to_string())?;
+    result
+}
+
+/// `scd score`: batch-score a dataset with a saved model — one JSON line
+/// per row, then a JSON summary line. Shard directories stream batch by
+/// batch, so scoring never loads the whole store.
+pub fn score(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    args.check_known(&["model", "data", "features", "batch", "limit"])
+        .map_err(|e| e.to_string())?;
+    let model_path = args.require("model").map_err(|e| e.to_string())?;
+    let data_path = args.require("data").map_err(|e| e.to_string())?;
+    let batch = args.get_or("batch", 64usize, "integer").map_err(|e| e.to_string())?;
+    if batch == 0 {
+        return Err("--batch must be >= 1".into());
+    }
+    let limit = args.get_or("limit", usize::MAX, "integer").map_err(|e| e.to_string())?;
+    let model = load_model(model_path)?;
+    let scorer = BatchScorer::new(scd_sched::global());
+
+    let mut rows_done = 0usize;
+    let mut batches = 0usize;
+    let mut correct = 0usize;
+    let mut binary = true;
+    let mut squared_error = 0f64;
+    let mut score_batch = |rows: &CsrMatrix,
+                           labels: &[f32],
+                           first_row: usize,
+                           out: &mut dyn Write|
+     -> Result<(), String> {
+        let scored = scorer.score(rows, model.objective, &model.beta).map_err(|e| e.to_string())?;
+        for (i, (&d, &p)) in scored.decisions.iter().zip(&scored.predictions).enumerate() {
+            let y = labels[i];
+            writeln!(
+                out,
+                "{{\"row\":{},\"label\":{},\"decision\":{},\"prediction\":{}}}",
+                first_row + i,
+                num_f32(y),
+                num_f32(d),
+                num_f32(p)
+            )
+            .map_err(|e| e.to_string())?;
+            binary &= y == 1.0 || y == -1.0;
+            if (d >= 0.0) == (y > 0.0) {
+                correct += 1;
+            }
+            squared_error += (d as f64 - y as f64).powi(2);
+        }
+        rows_done += scored.decisions.len();
+        batches += 1;
+        Ok(())
+    };
+
+    if Path::new(data_path).is_dir() {
+        if args.get("features").is_some() {
+            return Err("--features applies to LIBSVM files, not shard directories".into());
+        }
+        let store = open_store(data_path)?;
+        if store.cols() > model.features() {
+            return Err(format!(
+                "feature-space mismatch: model has {} features, shards are {} wide",
+                model.features(),
+                store.cols()
+            ));
+        }
+        let total = store.rows().min(limit);
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + batch).min(total);
+            let (csr, labels) = store
+                .load_rows(start..end)
+                .map_err(|e| format!("cannot load rows {start}..{end} of {data_path}: {e}"))?;
+            score_batch(&csr, &labels, start, out)?;
+            start = end;
+        }
+    } else {
+        let data = if args.get("features").is_some() {
+            load(args)?
+        } else {
+            let f = File::open(data_path).map_err(|e| format!("cannot open {data_path}: {e}"))?;
+            read_libsvm(f, Some(model.features()))
+                .map_err(|e| format!("cannot parse {data_path}: {e}"))?
+        };
+        let csr = data.matrix.to_csr();
+        let total = csr.rows().min(limit);
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + batch).min(total);
+            let pairs: Vec<Vec<(u32, f32)>> = (start..end)
+                .map(|r| {
+                    let row = csr.row(r);
+                    row.indices.iter().copied().zip(row.values.iter().copied()).collect()
+                })
+                .collect();
+            let slice = scd_serve::batch_from_pairs(&pairs, model.features())
+                .map_err(|e| e.to_string())?;
+            score_batch(&slice, &data.labels[start..end], start, out)?;
+            start = end;
+        }
+    }
+
+    let accuracy = if binary && rows_done > 0 {
+        format!("{}", correct as f64 / rows_done as f64)
+    } else {
+        "null".into()
+    };
+    let mse = if rows_done > 0 {
+        format!("{}", squared_error / rows_done as f64)
+    } else {
+        "null".into()
+    };
+    writeln!(
+        out,
+        "{{\"ok\":true,\"rows\":{rows_done},\"batches\":{batches},\"batch\":{batch},\
+         \"objective\":{},\"features\":{},\"accuracy\":{accuracy},\"mse\":{mse}}}",
+        escape(model.objective.label()),
+        model.features(),
+    )
+    .map_err(|e| e.to_string())
+}
+
 /// `scd predict`: score a LIBSVM file with a saved model.
 pub fn predict(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     args.check_known(&["model", "data", "features"]).map_err(|e| e.to_string())?;
     let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let file = File::open(model_path).map_err(|e| format!("cannot open {model_path}: {e}"))?;
-    let model = TrainedModel::load(file).map_err(|e| format!("cannot load {model_path}: {e}"))?;
+    let model = load_model(model_path)?;
     // Score against the model's feature space unless overridden.
     let data = if args.get("features").is_some() {
         load(args)?
@@ -1252,6 +1597,100 @@ mod tests {
             .and_then(|l| l.trim_start_matches("accuracy:").trim().trim_end_matches('%').parse().ok())
             .unwrap();
         assert!(acc > 90.0, "training accuracy {acc}");
+        std::fs::remove_file(data_path).ok();
+        std::fs::remove_file(model_path).ok();
+    }
+
+    #[test]
+    fn save_model_works_for_every_objective() {
+        let data_path = tmp("save_all_data");
+        run_to_string(&format!(
+            "generate --kind criteo --rows 80 --fields 4 --cardinality 12 --output {data_path}"
+        ))
+        .unwrap();
+        for obj in ["ridge", "logistic", "svm", "lasso"] {
+            let model_path = tmp(&format!("save_all_{obj}"));
+            let out = run_to_string(&format!(
+                "train --data {data_path} --features 48 --objective {obj} --lambda 0.01 \
+                 --epochs 10 --eval-every 10 --save-model {model_path}"
+            ))
+            .unwrap();
+            assert!(out.contains(&format!("model saved to {model_path}")), "{obj}: {out}");
+            assert!(out.contains(&format!("{obj} objective")), "{obj}: {out}");
+            // The file round-trips through predict (checksum verifies).
+            let out = run_to_string(&format!(
+                "predict --model {model_path} --data {data_path}"
+            ))
+            .unwrap();
+            assert!(out.contains("mse:"), "{obj}: {out}");
+            std::fs::remove_file(model_path).ok();
+        }
+        // Elastic-net is the one engine without a saved-model mapping;
+        // the error names the objectives that have one.
+        let err = run_to_string(&format!(
+            "train --data {data_path} --features 48 --objective elastic-net \
+             --save-model /tmp/never_written.model"
+        ))
+        .unwrap_err();
+        assert!(err.contains("ridge|logistic|svm|lasso"), "{err}");
+        assert!(err.contains("elastic-net"), "{err}");
+        std::fs::remove_file(data_path).ok();
+    }
+
+    #[test]
+    fn serve_and_score_flag_errors() {
+        // serve: mode selection must be unambiguous…
+        let err = run_to_string("serve").unwrap_err();
+        assert!(err.contains("--model FILE or --train-data"), "{err}");
+        let err = run_to_string("serve --model a --train-data b").unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        // …live-mode knobs are rejected when serving a file…
+        let err = run_to_string("serve --model a --epochs 3").unwrap_err();
+        assert!(err.contains("--epochs only applies to --train-data"), "{err}");
+        // …and the live trainer rejects elastic-net up front.
+        let err = run_to_string("serve --train-data /nonexistent --objective elastic-net")
+            .unwrap_err();
+        assert!(err.contains("ridge|logistic|svm|lasso"), "{err}");
+
+        // score: model and data are required, knobs validated.
+        let err = run_to_string("score --data /nonexistent").unwrap_err();
+        assert!(err.contains("--model"), "{err}");
+        let err = run_to_string("score --model /nonexistent --data x --batch 0").unwrap_err();
+        assert!(err.contains("--batch must be >= 1"), "{err}");
+        let err = run_to_string("score --model /nonexistent/m --data x").unwrap_err();
+        assert!(err.contains("cannot open"), "{err}");
+    }
+
+    #[test]
+    fn score_streams_rows_and_summarizes() {
+        let data_path = tmp("score_data");
+        let model_path = tmp("score_model");
+        run_to_string(&format!(
+            "generate --kind webspam --rows 50 --cols 40 --nnz-per-row 5 --scale 0.3 \
+             --output {data_path}"
+        ))
+        .unwrap();
+        run_to_string(&format!(
+            "train --data {data_path} --features 40 --objective svm --epochs 20 \
+             --eval-every 20 --save-model {model_path}"
+        ))
+        .unwrap();
+        let out = run_to_string(&format!(
+            "score --model {model_path} --data {data_path} --batch 7 --limit 10"
+        ))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 11, "10 rows + summary: {out}");
+        assert!(lines[0].starts_with("{\"row\":0,"), "{}", lines[0]);
+        assert!(lines[9].starts_with("{\"row\":9,"), "{}", lines[9]);
+        // SVM predictions are hard ±1 labels.
+        assert!(lines[0].contains("\"prediction\":1") || lines[0].contains("\"prediction\":-1"));
+        let summary = lines[10];
+        assert!(summary.contains("\"ok\":true"), "{summary}");
+        assert!(summary.contains("\"rows\":10"), "{summary}");
+        assert!(summary.contains("\"batches\":2"), "{summary}");
+        assert!(summary.contains("\"objective\":\"svm\""), "{summary}");
+        assert!(!summary.contains("\"accuracy\":null"), "binary labels score accuracy: {summary}");
         std::fs::remove_file(data_path).ok();
         std::fs::remove_file(model_path).ok();
     }

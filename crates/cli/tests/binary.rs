@@ -174,12 +174,15 @@ fn objective_flag_errors_are_clean() {
 
     let model = tmp("obj_err_model.txt");
     let out = scd(&[
-        "train", "--data", data_s, "--objective", "lasso", "--save-model",
+        "train", "--data", data_s, "--objective", "elastic-net", "--save-model",
         model.to_str().unwrap(),
     ]);
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
-    assert!(err.contains("--save-model supports only --objective ridge, not lasso"), "{err}");
+    assert!(
+        err.contains("--save-model supports --objective ridge|logistic|svm|lasso"),
+        "{err}"
+    );
 
     let out = scd(&["train", "--data", data_s, "--backend", "asyscd", "--objective", "svm", "--form", "dual"]);
     assert!(!out.status.success());

@@ -643,6 +643,14 @@ pub(crate) fn choose_gamma(
     }
 }
 
+/// Callback a driver invokes at each round boundary with the 1-based
+/// round index and its freshly-assembled global weights (in the driver's
+/// native form: β for primal runs, α for dual runs — consumers convert
+/// dual iterates through `ObjectiveKind::induced_primal`). This is the
+/// publication hook the serving side hangs a model slot on: the driver
+/// stays ignorant of who consumes the snapshots.
+pub type RoundObserver = Box<dyn FnMut(u64, &[f32]) + Send>;
+
 /// The distributed solver (implements [`Solver`], so the same harness
 /// drives single-node and distributed runs).
 pub struct DistributedScd {
@@ -672,6 +680,8 @@ pub struct DistributedScd {
     bytes_raw_total: usize,
     /// Cumulative encoded bytes across all rounds (both legs).
     bytes_encoded_total: usize,
+    /// Round-boundary publication hook (model serving, checkpointing).
+    observer: Option<RoundObserver>,
 }
 
 impl DistributedScd {
@@ -731,7 +741,14 @@ impl DistributedScd {
             codec: config.wire.codec(),
             bytes_raw_total: 0,
             bytes_encoded_total: 0,
+            observer: None,
         })
+    }
+
+    /// Install a round-boundary observer; it fires after every completed
+    /// epoch with the current assembled global weights.
+    pub fn set_round_observer(&mut self, observer: RoundObserver) {
+        self.observer = Some(observer);
     }
 
     /// Number of workers K.
@@ -1051,6 +1068,14 @@ impl Solver for DistributedScd {
             .filter(|(_, r)| r.is_some())
             .map(|(wid, _)| self.workers[wid].coords())
             .sum();
+
+        // Round boundary: the aggregated model is consistent — publish it.
+        if self.observer.is_some() {
+            let weights = self.assemble_weights();
+            if let Some(observer) = self.observer.as_mut() {
+                observer(self.epoch_index as u64, &weights);
+            }
+        }
         EpochStats { updates, breakdown }
     }
 

@@ -46,7 +46,7 @@ pub mod worker;
 
 pub use async_scd::{AsyncScd, Staleness};
 pub use driver::{
-    Aggregation, BuildError, DistributedConfig, DistributedScd, LocalSolverKind,
+    Aggregation, BuildError, DistributedConfig, DistributedScd, LocalSolverKind, RoundObserver,
 };
 pub use source::{PartitionSource, SetupCost};
 pub use fault::{FaultPlan, RoundFate};

@@ -159,6 +159,10 @@ pub struct ParamServerScd {
     bytes_raw_total: usize,
     /// Cumulative encoded bytes pushed.
     bytes_encoded_total: usize,
+    /// Epochs completed (the observer's round index).
+    epochs_done: u64,
+    /// Round-boundary publication hook (model serving, checkpointing).
+    observer: Option<crate::driver::RoundObserver>,
 }
 
 impl ParamServerScd {
@@ -203,7 +207,16 @@ impl ParamServerScd {
             codec: config.wire.codec(),
             bytes_raw_total: 0,
             bytes_encoded_total: 0,
+            epochs_done: 0,
+            observer: None,
         }
+    }
+
+    /// Install a round-boundary observer; it fires after every completed
+    /// epoch with the current assembled weights (the same vector
+    /// [`ParamServerScd::assemble_weights`] returns).
+    pub fn set_round_observer(&mut self, observer: crate::driver::RoundObserver) {
+        self.observer = Some(observer);
     }
 
     /// Cumulative (dense-f32, encoded) push-traffic bytes so far.
@@ -329,6 +342,15 @@ impl Solver for ParamServerScd {
         }
         let elapsed = compute.max(last_arrival);
         let network_excess = (elapsed - compute).max(0.0);
+
+        // Round boundary: every worker drained its quota — publish.
+        self.epochs_done += 1;
+        if self.observer.is_some() {
+            let weights = self.assemble_weights();
+            if let Some(observer) = self.observer.as_mut() {
+                observer(self.epochs_done, &weights);
+            }
+        }
         EpochStats {
             updates: self.coords_total,
             breakdown: TimeBreakdown {
@@ -356,6 +378,26 @@ mod tests {
     fn problem() -> RidgeProblem {
         let data = scale_values(&webspam_like_custom(400, 600, 25, 0.3, 0xEB), 0.4);
         RidgeProblem::from_labelled(&data, 1e-3).unwrap()
+    }
+
+    #[test]
+    fn round_observer_fires_once_per_epoch_with_assembled_weights() {
+        use std::sync::{Arc, Mutex};
+        let p = problem();
+        let config = ParamServerConfig::new(3, Form::Primal).with_seed(9);
+        let mut ps = ParamServerScd::new(&p, &config);
+        let log: Arc<Mutex<Vec<(u64, Vec<f32>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        ps.set_round_observer(Box::new(move |round, weights| {
+            sink.lock().unwrap().push((round, weights.to_vec()));
+        }));
+        for _ in 0..4 {
+            ps.epoch(&p);
+        }
+        let log = log.lock().unwrap();
+        assert_eq!(log.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(log[3].1, ps.assemble_weights(), "last publish is current");
+        assert_ne!(log[0].1, log[3].1, "training moved between publishes");
     }
 
     #[test]

@@ -262,3 +262,28 @@ fn seed_changes_partition_unless_strategy_is_explicit() {
     );
     assert_eq!(c, d);
 }
+
+#[test]
+fn round_observer_sees_every_round_boundary() {
+    use std::sync::{Arc, Mutex};
+    let full = full_problem();
+    let config = DistributedConfig::new(3, Form::Primal).with_seed(21);
+    let mut dist = DistributedScd::new(&full, &config).unwrap();
+    let log: Arc<Mutex<Vec<(u64, Vec<f32>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&log);
+    dist.set_round_observer(Box::new(move |round, weights| {
+        sink.lock().unwrap().push((round, weights.to_vec()));
+    }));
+    for _ in 0..3 {
+        dist.epoch(&full);
+    }
+    let log = log.lock().unwrap();
+    assert_eq!(log.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![1, 2, 3]);
+    // The published vector is exactly the driver's assembled model at
+    // that boundary — the last one must match the current weights.
+    assert_eq!(log[2].1, dist.weights());
+    assert!(
+        dense::max_abs_diff(&log[0].1, &log[2].1) > 0.0,
+        "training progressed between publishes"
+    );
+}

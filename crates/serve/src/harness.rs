@@ -1,0 +1,230 @@
+//! The load harness: replay an open-loop Poisson arrival process against
+//! the serving cost model on the deterministic `scd-events` engine and
+//! report the latency distribution and throughput at each batch size.
+//!
+//! Open-loop means arrivals do not wait for responses — the generator
+//! keeps firing at its configured rate even when the server falls
+//! behind, which is what exposes queueing delay: at batch size 1 the
+//! per-request overhead caps throughput below the offered load and p99
+//! explodes, while larger batches amortize the overhead and drain the
+//! queue. Per-batch service time comes from the calibrated
+//! [`CpuProfile`]: one model-vector touch (the batching overhead) plus
+//! the nnz-proportional dot-product cost the training-side model already
+//! charges for coordinate sweeps.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use scd_events::Engine;
+use scd_perf_model::CpuProfile;
+use std::collections::VecDeque;
+
+/// One simulated workload configuration.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Total requests to replay.
+    pub requests: usize,
+    /// Offered load: mean arrival rate of the Poisson process (req/s).
+    pub arrival_rate_hz: f64,
+    /// Maximum rows the server packs into one batch.
+    pub batch: usize,
+    /// Model width (features) — sets the per-batch vector-touch cost.
+    pub features: usize,
+    /// Non-zeros per scored row — sets the per-row dot cost.
+    pub nnz_per_row: usize,
+    /// Arrival-process seed (the simulation is otherwise deterministic).
+    pub seed: u64,
+}
+
+/// Latency/throughput summary of one simulated run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Batch cap the server ran with.
+    pub batch: usize,
+    /// Requests completed (always `spec.requests`).
+    pub requests: usize,
+    /// Median request latency in seconds (arrival → batch completion).
+    pub p50_s: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99_s: f64,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Worst-case latency in seconds.
+    pub max_s: f64,
+    /// Completed requests per simulated second (makespan throughput).
+    pub throughput_rps: f64,
+    /// Batches the server executed.
+    pub batches: usize,
+    /// Mean rows per executed batch.
+    pub mean_batch_fill: f64,
+    /// Virtual time at which the last request completed.
+    pub sim_seconds: f64,
+    /// Offered load / service capacity at this batch size (ρ > 1 means
+    /// the queue grows without bound until arrivals stop).
+    pub utilization: f64,
+}
+
+/// Simulation events: a request arriving, or the server finishing the
+/// batch it is working on.
+#[derive(Debug)]
+enum Event {
+    Arrive {
+        /// Request id == index into the latency table.
+        id: usize,
+    },
+    BatchDone,
+}
+
+/// Per-batch service seconds for `rows` rows under the cost model.
+pub fn batch_service_seconds(profile: &CpuProfile, spec: &LoadSpec, rows: usize) -> f64 {
+    // One pass over the model vector (dispatch + weight streaming), then
+    // the same per-nnz dot cost the sequential trainer is charged.
+    profile.host_vector_op_seconds(spec.features)
+        + profile.sequential_epoch_seconds(rows * spec.nnz_per_row, rows)
+}
+
+/// Steady-state capacity (rows/s) of the server at full batches.
+pub fn capacity_rps(profile: &CpuProfile, spec: &LoadSpec) -> f64 {
+    spec.batch as f64 / batch_service_seconds(profile, spec, spec.batch)
+}
+
+/// Replay the arrival process to completion and summarize latencies.
+pub fn simulate(profile: &CpuProfile, spec: &LoadSpec) -> LoadReport {
+    assert!(spec.requests > 0, "need at least one request");
+    assert!(spec.batch >= 1, "batch cap must be >= 1");
+    assert!(spec.arrival_rate_hz > 0.0, "arrival rate must be positive");
+
+    let mut engine: Engine<Event> = Engine::new();
+    // Pre-schedule the whole open-loop arrival stream: exponential
+    // interarrivals at the offered rate, independent of service.
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut t = 0.0f64;
+    for id in 0..spec.requests {
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / spec.arrival_rate_hz;
+        engine.schedule_at(t, Event::Arrive { id });
+    }
+
+    let mut queue: VecDeque<(usize, f64)> = VecDeque::new();
+    let mut busy = false;
+    let mut in_flight: Vec<usize> = Vec::new();
+    let mut latency = vec![0.0f64; spec.requests];
+    let mut batches = 0usize;
+    let mut rows_batched = 0usize;
+    let mut last_done = 0.0f64;
+
+    while let Some((_, event)) = engine.step() {
+        let now = engine.now();
+        match event {
+            Event::Arrive { id } => {
+                queue.push_back((id, now));
+            }
+            Event::BatchDone => {
+                busy = false;
+                for &id in &in_flight {
+                    latency[id] = now - latency[id];
+                }
+                in_flight.clear();
+                last_done = now;
+            }
+        }
+        if !busy && !queue.is_empty() {
+            let take = queue.len().min(spec.batch);
+            in_flight = Vec::with_capacity(take);
+            for _ in 0..take {
+                let (id, arrived) = queue.pop_front().unwrap();
+                // Stash the arrival time in the latency slot; BatchDone
+                // overwrites it with the completed latency.
+                latency[id] = arrived;
+                in_flight.push(id);
+            }
+            busy = true;
+            batches += 1;
+            rows_batched += take;
+            engine.schedule_in(batch_service_seconds(profile, spec, take), Event::BatchDone);
+        }
+    }
+    debug_assert!(queue.is_empty() && in_flight.is_empty());
+
+    let mut sorted = latency.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |q: f64| sorted[((q * (sorted.len() - 1) as f64).round()) as usize];
+    LoadReport {
+        batch: spec.batch,
+        requests: spec.requests,
+        p50_s: pct(0.50),
+        p99_s: pct(0.99),
+        mean_s: latency.iter().sum::<f64>() / spec.requests as f64,
+        max_s: sorted[sorted.len() - 1],
+        throughput_rps: spec.requests as f64 / last_done,
+        batches,
+        mean_batch_fill: rows_batched as f64 / batches.max(1) as f64,
+        sim_seconds: last_done,
+        utilization: spec.arrival_rate_hz / capacity_rps(profile, spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(batch: usize, rate: f64) -> LoadSpec {
+        LoadSpec {
+            requests: 4000,
+            arrival_rate_hz: rate,
+            batch,
+            features: 1000,
+            nnz_per_row: 40,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_the_seed() {
+        let profile = CpuProfile::xeon_e5_2640();
+        let a = simulate(&profile, &spec(8, 50_000.0));
+        let b = simulate(&profile, &spec(8, 50_000.0));
+        assert_eq!(a.p99_s.to_bits(), b.p99_s.to_bits());
+        assert_eq!(a.throughput_rps.to_bits(), b.throughput_rps.to_bits());
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn all_requests_complete_and_latencies_are_positive() {
+        let profile = CpuProfile::xeon_e5_2640();
+        let r = simulate(&profile, &spec(16, 50_000.0));
+        assert_eq!(r.requests, 4000);
+        assert!(r.p50_s > 0.0 && r.p99_s >= r.p50_s && r.max_s >= r.p99_s);
+        assert!(r.mean_batch_fill >= 1.0 && r.mean_batch_fill <= 16.0);
+        assert!(r.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn batching_amortizes_overload_that_swamps_batch_one() {
+        // Offered load beyond batch-1 capacity but within batch-64
+        // capacity: the batched server keeps p99 bounded, the unbatched
+        // one queues without bound (latency grows with request index).
+        let profile = CpuProfile::xeon_e5_2640();
+        let rate = 0.7 * capacity_rps(&profile, &spec(64, 1.0));
+        assert!(
+            rate > capacity_rps(&profile, &spec(1, 1.0)),
+            "the sweep rate must overload the unbatched server"
+        );
+        let unbatched = simulate(&profile, &spec(1, rate));
+        let batched = simulate(&profile, &spec(64, rate));
+        assert!(unbatched.utilization > 1.0 && batched.utilization < 1.0);
+        assert!(
+            batched.p99_s < unbatched.p99_s / 10.0,
+            "batched p99 {} vs unbatched {}",
+            batched.p99_s,
+            unbatched.p99_s
+        );
+        assert!(batched.throughput_rps > unbatched.throughput_rps);
+    }
+
+    #[test]
+    fn light_load_leaves_batches_mostly_empty() {
+        let profile = CpuProfile::xeon_e5_2640();
+        let r = simulate(&profile, &spec(64, 0.05 * capacity_rps(&profile, &spec(64, 1.0))));
+        assert!(r.utilization < 0.1);
+        assert!(r.mean_batch_fill < 8.0, "fill {}", r.mean_batch_fill);
+    }
+}

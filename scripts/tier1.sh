@@ -23,6 +23,7 @@ CRATES=(
   scd-datasets
   scd-store
   scd-distributed
+  scd-serve
   scd-bench
   scd-cli
 )
@@ -62,6 +63,9 @@ cargo test -q -p scd-sched
 echo "==> cargo test -q -p scd-store"
 cargo test -q -p scd-store
 
+echo "==> cargo test -q -p scd-serve"
+cargo test -q -p scd-serve
+
 echo "==> shard round-trip smoke"
 # Generate a small sharded dataset and the same rows as LIBSVM text, train
 # both ways, and require the bit-identical `final gap` line: the storage
@@ -93,6 +97,37 @@ echo "==> bench_cpu --smoke"
 # Smoke-run the CPU-backend benchmark so a perf-harness regression cannot
 # land silently; BENCH_OUT keeps it from clobbering the committed record.
 BENCH_OUT=$(mktemp) ./target/release/bench_cpu --smoke
+
+echo "==> bench_serve --smoke"
+BENCH_OUT=$(mktemp) ./target/release/bench_serve --smoke
+
+echo "==> serve smoke"
+# Train one epoch, batch-score five rows, and answer one JSON-lines serve
+# request: the whole serving surface exercised end-to-end through the
+# binary, with every output line required to be parseable JSON.
+SERVE_DATA=$(mktemp)
+SERVE_MODEL=$(mktemp)
+./target/release/scd generate --kind webspam --rows 80 --cols 40 \
+  --nnz-per-row 5 --scale 0.3 --output "$SERVE_DATA" > /dev/null
+./target/release/scd train --data "$SERVE_DATA" --features 40 --epochs 1 \
+  --eval-every 1 --save-model "$SERVE_MODEL" > /dev/null
+score_out=$(./target/release/scd score --model "$SERVE_MODEL" \
+  --data "$SERVE_DATA" --limit 5)
+if [[ $(echo "$score_out" | wc -l) -ne 6 ]]; then
+  echo "tier1.sh: scd score --limit 5 must print 5 rows + summary:" >&2
+  echo "$score_out" >&2
+  exit 1
+fi
+echo "$score_out" | python3 -c 'import json,sys
+for line in sys.stdin: json.loads(line)' || {
+  echo "tier1.sh: scd score output is not JSON-lines" >&2; exit 1; }
+serve_out=$(printf '{"op":"info"}\n' | \
+  ./target/release/scd serve --model "$SERVE_MODEL" 2> /dev/null)
+echo "$serve_out" | python3 -c 'import json,sys
+resp = json.loads(sys.stdin.readline())
+assert resp["ok"] and resp["model_seq"] == 1, resp' || {
+  echo "tier1.sh: scd serve info round-trip failed: $serve_out" >&2; exit 1; }
+rm -f "$SERVE_DATA" "$SERVE_MODEL"
 
 echo "==> objective smoke matrix"
 # One epoch of every objective on every engine class: catches an
