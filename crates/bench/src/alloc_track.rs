@@ -1,0 +1,96 @@
+//! A counting global allocator for the allocation-discipline harness.
+//!
+//! Compiled (and installed as the `#[global_allocator]`) only under the
+//! `alloc-count` feature, so the ordinary benches and tests pay nothing.
+//! Every `alloc`/`alloc_zeroed`/`realloc` on *any* thread bumps two
+//! relaxed atomics — allocation events and requested bytes — which is
+//! exactly what the steady-state claims need: the solver hot loops span
+//! scheduler worker threads, so a thread-local counter would miss the
+//! allocations that matter most. Frees are not counted; the claim under
+//! test is "no heap traffic", not "no leak".
+//!
+//! Usage: [`snapshot`] before the unit of work, [`delta`] after. The
+//! counters only ever increase, so concurrent readers can never observe
+//! a negative delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to [`System`], counting every allocation event and its size.
+pub struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the atomics never affect the
+// returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is an allocation event: the heap had to find (or
+        // extend to) `new_size` bytes. Shrinks count too — they are
+        // still allocator traffic a zero-alloc path must not emit.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// The process-wide (allocation events, requested bytes) counters so far.
+pub fn snapshot() -> (u64, u64) {
+    (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}
+
+/// Counter movement since `since` (a prior [`snapshot`]).
+pub fn delta(since: (u64, u64)) -> (u64, u64) {
+    let now = snapshot();
+    (now.0 - since.0, now.1 - since.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_observe_a_vec_allocation() {
+        let before = snapshot();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        let (allocs, bytes) = delta(before);
+        assert!(allocs >= 1, "a fresh Vec must hit the allocator");
+        assert!(bytes >= 8 * 1024, "requested bytes include the Vec buffer");
+        drop(v);
+    }
+
+    #[test]
+    fn no_allocation_means_zero_delta_on_this_thread_alone() {
+        // Pure arithmetic between snapshots: only other test threads
+        // could move the counters, so run the check a few times and
+        // require at least one clean window.
+        let mut clean = false;
+        for _ in 0..16 {
+            let before = snapshot();
+            let x = std::hint::black_box(3u64).wrapping_mul(7);
+            assert_eq!(x, 21);
+            if delta(before) == (0, 0) {
+                clean = true;
+                break;
+            }
+        }
+        assert!(clean, "arithmetic alone should not allocate");
+    }
+}

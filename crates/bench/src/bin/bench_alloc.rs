@@ -1,0 +1,207 @@
+//! Steady-state heap-allocation audit of the training and serving hot
+//! paths, recorded to `BENCH_alloc.json`.
+//!
+//! Requires the `alloc-count` feature: the crate then installs a counting
+//! global allocator, and each configuration below is warmed up and
+//! measured one *unit* at a time — a training epoch for the CPU engines,
+//! a synchronous round for the distributed driver, a full scoring pass
+//! for the serve scorer. Reported per config: the **worst** single-unit
+//! allocation count and byte volume across the measured units (an upper
+//! bound, so "0" really means no unit allocated), plus wall seconds per
+//! unit so allocation discipline is never bought with throughput.
+//!
+//! `--baseline <path>` merges a previous run's numbers in as
+//! `before_allocs_per_epoch` / `before_bytes_per_epoch` per label — how
+//! the committed record carries the pre-workspace numbers next to the
+//! post-workspace ones.
+//!
+//! `--smoke` shrinks everything for the tier-1 gate; `BENCH_OUT`
+//! redirects the JSON.
+
+use scd_bench::alloc_track;
+use scd_bench::opts::{flag_present, flag_value};
+use scd_core::{Form, ObjectiveKind, RidgeProblem, Solver, SyscdScd};
+use scd_datasets::{scale_values, webspam_like};
+use scd_distributed::{DistributedConfig, DistributedScd, WireFormat};
+use scd_sched::Scheduler;
+use scd_serve::{batch_from_pairs, BatchScorer};
+use std::time::Instant;
+
+struct Config {
+    warmup: usize,
+    reps: usize,
+    train: RidgeProblem,
+    train_label: String,
+    dist: RidgeProblem,
+    dist_label: String,
+}
+
+fn config(smoke: bool) -> Config {
+    let (rows, cols, nnz, seed) = if smoke { (150, 120, 10, 8) } else { (2000, 1000, 20, 7) };
+    let train = scale_values(&webspam_like(rows, cols, nnz, seed), 0.3);
+    let (dr, dc, dn, ds) = if smoke { (200, 150, 12, 80) } else { (2000, 1200, 60, 80) };
+    let dist = scale_values(&webspam_like(dr, dc, dn, ds), 0.3);
+    Config {
+        warmup: if smoke { 2 } else { 3 },
+        reps: if smoke { 2 } else { 5 },
+        train: RidgeProblem::from_labelled(&train, 1e-3).unwrap(),
+        train_label: format!("webspam_like({rows}, {cols}, {nnz}, {seed}) scale 0.3"),
+        dist: RidgeProblem::from_labelled(&dist, 1e-3).unwrap(),
+        dist_label: format!("webspam_like({dr}, {dc}, {dn}, {ds}) scale 0.3"),
+    }
+}
+
+/// Warm `unit` up, then report (worst allocs, worst bytes, mean seconds)
+/// over `reps` measured units.
+fn measure<F: FnMut()>(cfg: &Config, mut unit: F) -> (u64, u64, f64) {
+    for _ in 0..cfg.warmup {
+        unit();
+    }
+    let (mut allocs, mut bytes) = (0u64, 0u64);
+    let start = Instant::now();
+    for _ in 0..cfg.reps {
+        let before = alloc_track::snapshot();
+        unit();
+        let (a, b) = alloc_track::delta(before);
+        allocs = allocs.max(a);
+        bytes = bytes.max(b);
+    }
+    (allocs, bytes, start.elapsed().as_secs_f64() / cfg.reps as f64)
+}
+
+/// Pull `"<field>": <integer>` for the config `label` out of a previous
+/// run's JSON. The format is our own `format!` output, so plain string
+/// scanning is exact.
+fn baseline_field(text: &str, label: &str, field: &str) -> Option<u64> {
+    let at = text.find(&format!("\"label\": \"{label}\""))?;
+    let rest = &text[at..];
+    let key = format!("\"{field}\": ");
+    let from = rest.find(&key)? + key.len();
+    let digits: String = rest[from..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let smoke = flag_present("smoke");
+    let cfg = config(smoke);
+    let baseline = flag_value("baseline")
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("reading {p}: {e}")));
+    println!(
+        "# steady-state allocation audit: warmup {} units, measure {} units{}",
+        cfg.warmup,
+        cfg.reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows: Vec<(String, u64, u64, f64)> = Vec::new();
+
+    // Sequential SCD, dual form: one epoch per unit.
+    {
+        let mut solver = scd_core::SequentialScd::dual(&cfg.train, 1);
+        let (a, b, s) = measure(&cfg, || {
+            solver.epoch(&cfg.train);
+        });
+        rows.push(("seq".into(), a, b, s));
+    }
+
+    // SySCD at H threads on its own H-thread scheduler: one epoch per unit.
+    for h in [1usize, 4, 8] {
+        let sched = Scheduler::new(h);
+        let mut solver = SyscdScd::new(&cfg.train, Form::Dual, h, 1).with_scheduler(sched);
+        let (a, b, s) = measure(&cfg, || {
+            solver.epoch(&cfg.train);
+        });
+        rows.push((format!("syscd-h{h}"), a, b, s));
+    }
+
+    // Synchronous distributed rounds, K=4, topk-ef:64 wire: one round per
+    // unit. Round-metrics recording is off — metric rows are retained
+    // history (per-worker timings, a label String per round), not scratch,
+    // and would dominate the audit of the round's own hot path.
+    {
+        let config = DistributedConfig::new(4, Form::Primal)
+            .with_seed(42)
+            .with_wire(WireFormat::TopKEf(64))
+            .with_round_metrics(false);
+        let mut dist = DistributedScd::new(&cfg.dist, &config).unwrap();
+        let (a, b, s) = measure(&cfg, || {
+            dist.epoch(&cfg.dist);
+        });
+        rows.push(("dist-k4-topk-ef64".into(), a, b, s));
+    }
+
+    // The serve scorer: one unit = scoring every pre-built batch (64 rows
+    // each) against a fixed model.
+    {
+        let (rows_n, features, nnz) = if smoke { (128, 120, 8) } else { (1024, 500, 12) };
+        let data = scale_values(&webspam_like(rows_n, features, nnz, 9), 0.3);
+        let csr = data.matrix.to_csr();
+        let beta: Vec<f32> = (0..features).map(|j| (j as f32 * 0.37).sin() * 0.1).collect();
+        let batches: Vec<_> = (0..csr.rows())
+            .step_by(64)
+            .map(|start| {
+                let end = (start + 64).min(csr.rows());
+                let pairs: Vec<Vec<(u32, f32)>> = (start..end)
+                    .map(|r| {
+                        let row = csr.row(r);
+                        row.indices.iter().copied().zip(row.values.iter().copied()).collect()
+                    })
+                    .collect();
+                batch_from_pairs(&pairs, features).expect("dataset rows fit the model")
+            })
+            .collect();
+        let scorer = BatchScorer::new(scd_sched::global());
+        let mut scored = scd_serve::Scored::default();
+        let (a, b, s) = measure(&cfg, || {
+            for batch in &batches {
+                scorer
+                    .score_into(batch, ObjectiveKind::Ridge, &beta, &mut scored)
+                    .expect("scoring succeeds");
+            }
+        });
+        rows.push(("serve-scorer".into(), a, b, s));
+    }
+
+    let mut json_rows = Vec::new();
+    for (label, allocs, bytes, secs) in &rows {
+        let mut extra = String::new();
+        if let Some(text) = &baseline {
+            if let (Some(ba), Some(bb)) = (
+                baseline_field(text, label, "allocs_per_epoch"),
+                baseline_field(text, label, "bytes_per_epoch"),
+            ) {
+                let cut = if ba == 0 {
+                    100.0
+                } else {
+                    100.0 * (1.0 - *allocs as f64 / ba as f64)
+                };
+                extra = format!(
+                    ",\n      \"before_allocs_per_epoch\": {ba},\n      \
+                     \"before_bytes_per_epoch\": {bb},\n      \
+                     \"alloc_reduction_percent\": {cut:.2}"
+                );
+            }
+        }
+        println!("# {label}: {allocs} allocs/unit, {bytes} B/unit, {:.3} ms/unit", secs * 1e3);
+        json_rows.push(format!(
+            "    {{\n      \"label\": \"{label}\",\n      \"allocs_per_epoch\": {allocs},\n      \
+             \"bytes_per_epoch\": {bytes},\n      \"seconds_per_epoch\": {secs:.6e}{extra}\n    }}"
+        ));
+    }
+
+    let out = format!(
+        "{{\n  \"benchmark\": \"steady_state_allocations\",\n  \"smoke\": {smoke},\n  \
+         \"unit\": \"one epoch (seq/syscd), one round (dist), one full scoring pass (serve)\",\n  \
+         \"statistic\": \"worst single unit after warm-up\",\n  \
+         \"train_dataset\": \"{}\",\n  \"dist_dataset\": \"{}\",\n  \
+         \"warmup_units\": {},\n  \"measured_units\": {},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        cfg.train_label,
+        cfg.dist_label,
+        cfg.warmup,
+        cfg.reps,
+        json_rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_alloc.json".to_string());
+    std::fs::write(&path, out).expect("writing benchmark record");
+    println!("# wrote {path}");
+}

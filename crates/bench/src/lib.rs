@@ -6,6 +6,8 @@
 //! instances in [`figdata`] are the scaled-down webspam/criteo stand-ins
 //! documented in DESIGN.md and EXPERIMENTS.md.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_track;
 pub mod csv;
 pub mod distributed_figs;
 pub mod figdata;
@@ -15,3 +17,10 @@ pub mod plot;
 pub mod single_node;
 
 pub use harness::{run_convergence, ConvergenceRun};
+
+/// With `alloc-count` on, every binary and test in this crate runs under
+/// the counting allocator — installed here once so `bench_alloc` and the
+/// steady-state allocation tests cannot disagree about instrumentation.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOCATOR: alloc_track::CountingAlloc = alloc_track::CountingAlloc;

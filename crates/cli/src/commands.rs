@@ -17,8 +17,8 @@ use scd_distributed::{
     Aggregation, AsyncScd, DistributedConfig, DistributedScd, FaultPlan, LocalSolverKind,
     ParamServerConfig, ParamServerScd, PartitionStrategy, RoundRuntime, Staleness, WireFormat,
 };
-use scd_serve::json::{escape, num_f32, Json};
-use scd_serve::{respond, BatchScorer, ModelSlot, Response};
+use scd_serve::json::{escape, Json};
+use scd_serve::{respond, BatchScorer, ModelSlot, Response, Scored};
 use scd_sparse::io::{read_libsvm, write_libsvm, LabelledData};
 use scd_sparse::CsrMatrix;
 use scd_store::{write_criteo, write_webspam, ShardedDataset};
@@ -1101,28 +1101,48 @@ pub fn score(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let model = load_model(model_path)?;
     let scorer = BatchScorer::new(scd_sched::global());
 
+    // Append a JSON number (or null for non-finite) without the
+    // intermediate String `num_f32` would allocate per value.
+    fn push_num(line: &mut String, v: f32) {
+        use std::fmt::Write as _;
+        if v.is_finite() {
+            write!(line, "{v}").expect("writing to a String cannot fail");
+        } else {
+            line.push_str("null");
+        }
+    }
+
     let mut rows_done = 0usize;
     let mut batches = 0usize;
     let mut correct = 0usize;
     let mut binary = true;
     let mut squared_error = 0f64;
+    // One scoring workspace and one line buffer for the whole stream:
+    // per-row output formats into the reused String, so the loop's only
+    // steady-state heap traffic is whatever the batch loader needs.
+    let mut scored = Scored::default();
+    let mut line = String::new();
     let mut score_batch = |rows: &CsrMatrix,
                            labels: &[f32],
                            first_row: usize,
                            out: &mut dyn Write|
      -> Result<(), String> {
-        let scored = scorer.score(rows, model.objective, &model.beta).map_err(|e| e.to_string())?;
+        scorer
+            .score_into(rows, model.objective, &model.beta, &mut scored)
+            .map_err(|e| e.to_string())?;
         for (i, (&d, &p)) in scored.decisions.iter().zip(&scored.predictions).enumerate() {
             let y = labels[i];
-            writeln!(
-                out,
-                "{{\"row\":{},\"label\":{},\"decision\":{},\"prediction\":{}}}",
-                first_row + i,
-                num_f32(y),
-                num_f32(d),
-                num_f32(p)
-            )
-            .map_err(|e| e.to_string())?;
+            line.clear();
+            use std::fmt::Write as _;
+            write!(line, "{{\"row\":{},\"label\":", first_row + i)
+                .expect("writing to a String cannot fail");
+            push_num(&mut line, y);
+            line.push_str(",\"decision\":");
+            push_num(&mut line, d);
+            line.push_str(",\"prediction\":");
+            push_num(&mut line, p);
+            line.push_str("}\n");
+            out.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
             binary &= y == 1.0 || y == -1.0;
             if (d >= 0.0) == (y > 0.0) {
                 correct += 1;

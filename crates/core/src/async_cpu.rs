@@ -47,6 +47,10 @@ pub struct AsyncCpuScd {
     cpu: CpuProfile,
     seed: u64,
     epoch_index: u64,
+    /// Epoch permutation, re-shuffled in place each epoch (bit-identical
+    /// to a fresh `Permutation::random`) so steady-state epochs never
+    /// allocate.
+    perm: Option<Permutation>,
     /// Host scheduler the epoch's worker tasks run on; `None` (the
     /// default) resolves to the process-wide shared scheduler at epoch
     /// time. The *modeled* thread count stays `threads` either way — if
@@ -75,6 +79,7 @@ impl AsyncCpuScd {
             cpu: CpuProfile::xeon_e5_2640(),
             seed,
             epoch_index: 0,
+            perm: None,
             sched: None,
         }
     }
@@ -117,8 +122,15 @@ impl AsyncCpuScd {
 
     fn run_epoch(&mut self, problem: &RidgeProblem) -> (usize, usize) {
         let coords = problem.coords(self.form);
-        let perm = Permutation::random(coords, self.seed ^ (self.epoch_index.wrapping_mul(0x9E37)));
+        let epoch_seed = self.seed ^ (self.epoch_index.wrapping_mul(0x9E37));
         self.epoch_index += 1;
+        // Persistent permutation, re-shuffled in place: steady-state
+        // epochs allocate nothing.
+        match self.perm.as_mut() {
+            Some(p) => p.refill_random(coords, epoch_seed),
+            None => self.perm = Some(Permutation::random(coords, epoch_seed)),
+        }
+        let perm = self.perm.take().expect("just ensured");
         let cursor = AtomicUsize::new(0);
         let nnz_total = AtomicUsize::new(0);
         let sem = self.write_semantics();
@@ -191,6 +203,7 @@ impl AsyncCpuScd {
             nnz_total.fetch_add(local_nnz, Ordering::Relaxed);
         };
         sched.parallel_for_limited(self.threads, self.threads, &worker);
+        self.perm = Some(perm);
 
         (coords, nnz_total.into_inner())
     }

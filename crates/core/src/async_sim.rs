@@ -344,6 +344,16 @@ impl Solver for AsyncSimScd {
     fn shared_vector(&self) -> Vec<f32> {
         self.shared.clone()
     }
+
+    fn weights_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.weights);
+    }
+
+    fn shared_vector_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.shared);
+    }
 }
 
 #[cfg(test)]

@@ -149,16 +149,22 @@ impl SequentialScd {
     /// local partition.
     fn run_epoch(&mut self, problem: &RidgeProblem) -> (usize, usize) {
         let coords = problem.coords(self.form);
-        // Fetch (or continue) the permutation being consumed.
+        // Fetch (or continue) the permutation being consumed. Exhausted
+        // permutations are re-shuffled in place (bit-identical to a fresh
+        // `Permutation::random`), so steady-state epochs never allocate.
         if self.current_perm.is_none() || self.cursor >= coords {
-            self.current_perm = Some(Permutation::random(
-                coords,
-                self.seed ^ (self.epoch_index.wrapping_mul(0x9E37)),
-            ));
+            let seed = self.seed ^ (self.epoch_index.wrapping_mul(0x9E37));
+            match self.current_perm.as_mut() {
+                Some(p) => p.refill_random(coords, seed),
+                None => self.current_perm = Some(Permutation::random(coords, seed)),
+            }
             self.cursor = 0;
             self.epoch_index += 1;
         }
-        let perm = self.current_perm.clone().expect("just ensured");
+        // Move the permutation out for the loop (the borrow checker won't
+        // allow `&self.current_perm` alongside `&mut self` field access)
+        // and restore it afterwards — no clone, no allocation.
+        let perm = self.current_perm.take().expect("just ensured");
         let start = self.cursor;
         let end = match self.max_updates_per_call {
             Some(cap) => (start + cap).min(coords),
@@ -210,6 +216,7 @@ impl SequentialScd {
                 }
             }
         }
+        self.current_perm = Some(perm);
         (end - start, nnz_touched)
     }
 }
@@ -247,6 +254,16 @@ impl Solver for SequentialScd {
 
     fn shared_vector(&self) -> Vec<f32> {
         self.shared.clone()
+    }
+
+    fn weights_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.weights);
+    }
+
+    fn shared_vector_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.shared);
     }
 }
 

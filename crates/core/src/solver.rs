@@ -98,6 +98,23 @@ pub trait Solver {
     /// Fig. 1/2 plateau.
     fn shared_vector(&self) -> Vec<f32>;
 
+    /// [`Self::weights`] into a reusable buffer (cleared and refilled).
+    /// Engines whose weights live in host memory override this to skip
+    /// the intermediate clone, making steady-state reads allocation-free.
+    fn weights_into(&self, out: &mut Vec<f32>) {
+        let w = self.weights();
+        out.clear();
+        out.extend_from_slice(&w);
+    }
+
+    /// [`Self::shared_vector`] into a reusable buffer (cleared and
+    /// refilled); see [`Self::weights_into`].
+    fn shared_vector_into(&self, out: &mut Vec<f32>) {
+        let s = self.shared_vector();
+        out.clear();
+        out.extend_from_slice(&s);
+    }
+
     /// The duality gap of the current iterate, recomputed honestly from the
     /// weights alone (never from the possibly-inconsistent shared vector).
     /// Routed through the engine's objective; for ridge this is exactly

@@ -44,7 +44,8 @@ use scd_perf_model::CpuProfile;
 use scd_sparse::kernels;
 use scd_sparse::perm::Permutation;
 use scd_sparse::EllMatrix;
-use std::sync::{Arc, Mutex};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
 
 /// Default coordinates per bucket: 16 × 4-byte weights = one 64-byte
 /// cache line of model state per bucket.
@@ -66,7 +67,7 @@ const MERGE_CHUNK: usize = 4096;
 /// beyond it the padded stream costs more than CSR's irregularity.
 const ELL_MAX_PADDING: f64 = 2.0;
 
-/// Per-worker mutable state, locked once per merge window.
+/// Per-worker mutable state.
 struct WorkerState {
     /// Private replica of the shared vector.
     replica: Vec<f32>,
@@ -76,6 +77,37 @@ struct WorkerState {
     /// Nonzeros streamed this epoch (cost-model input).
     nnz: usize,
 }
+
+/// Per-worker state slot. During a window's scheduler group only worker
+/// `w` touches slot `w` (distinct indices ⇒ disjoint slots); between the
+/// group barriers only the master thread reads the slots, and the barrier
+/// provides the happens-before edge. No lock is needed — and none of the
+/// merge-path scratch (guard vectors, replica view vectors) has to be
+/// re-collected, i.e. allocated, every window.
+struct StateSlot(UnsafeCell<WorkerState>);
+
+// SAFETY: access is partitioned by worker index inside a group and by the
+// group barrier outside it (see the type docs).
+unsafe impl Sync for StateSlot {}
+
+/// Raw pointer to the shared vector, handed to the merge closure: each
+/// chunk writes a disjoint `range`, so the derived mutable slices never
+/// alias.
+struct SharedPtr(*mut f32);
+
+impl SharedPtr {
+    /// # Safety
+    /// Callers must hand out non-overlapping `(start, len)` ranges that
+    /// stay within the underlying allocation — that disjointness is what
+    /// makes the `&self → &mut` lifetime laundering sound.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn chunk(&self, start: usize, len: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+// SAFETY: chunk ranges are disjoint (see the type docs).
+unsafe impl Sync for SharedPtr {}
 
 /// SySCD-style parallel SCD: bucketized coordinates, shuffled static
 /// partitioning, per-worker shared-vector replicas with deterministic
@@ -90,11 +122,14 @@ pub struct SyscdScd {
     /// β (len M) or α (len N).
     weights: Vec<f32>,
     /// w = Aβ (len N) or w̄ = Aᵀα (len M), rebuilt from replicas at merge
-    /// boundaries.
+    /// boundaries. Doubles as the window's base snapshot: it is not
+    /// mutated while workers run, and the merge folds into it in place.
     shared: Vec<f32>,
-    /// Snapshot of `shared` at the current window's start.
-    base: Vec<f32>,
-    states: Vec<Mutex<WorkerState>>,
+    states: Vec<StateSlot>,
+    /// Epoch permutation, re-shuffled in place each epoch (bit-identical
+    /// to a fresh `Permutation::random`) so steady-state epochs never
+    /// allocate.
+    perm: Option<Permutation>,
     /// Dual form only: per-bucket ELL blocks (`None` where padding is too
     /// skewed — those buckets stream CSR rows; the kernels are
     /// bit-identical either way).
@@ -119,16 +154,16 @@ impl SyscdScd {
             merge_every: None,
             weights: vec![0.0; problem.coords(form)],
             shared: vec![0.0; shared_len],
-            base: vec![0.0; shared_len],
             states: (0..workers)
                 .map(|_| {
-                    Mutex::new(WorkerState {
+                    StateSlot(UnsafeCell::new(WorkerState {
                         replica: vec![0.0; shared_len],
                         staged: Vec::new(),
                         nnz: 0,
-                    })
+                    }))
                 })
                 .collect(),
+            perm: None,
             ell_blocks: Vec::new(),
             objective: ObjectiveKind::Ridge,
             cpu: CpuProfile::xeon_e5_2640(),
@@ -388,62 +423,69 @@ impl SyscdScd {
         // windows.
         let mut weights = std::mem::take(&mut self.weights);
         let mut shared = std::mem::take(&mut self.shared);
-        let mut base = std::mem::take(&mut self.base);
 
         for window in 0..windows {
-            base.copy_from_slice(&shared);
             {
+                // `shared` is the window's base: untouched while the
+                // workers run (each copies it into its replica first).
                 let weights = &weights;
-                let base = &base;
+                let base: &[f32] = &shared;
                 sched.parallel_for_limited(self.workers, self.workers, &|w| {
-                    let mut state = self.states[w].lock().unwrap();
+                    // SAFETY: distinct group indices ⇒ disjoint slots; the
+                    // group barrier orders these writes before the reads
+                    // in the merge below.
+                    let state = unsafe { &mut *self.states[w].0.get() };
                     self.run_worker_window(
-                        problem, perm, weights, base, &mut state, w, window, merge_every,
-                        n_buckets,
+                        problem, perm, weights, base, state, w, window, merge_every, n_buckets,
                     );
                 });
             }
-            // Deterministic reduce: lock every replica, fold worker
-            // deltas in worker-id order (scaled by 1/σ′ to undo the
+            // Deterministic reduce: fold worker deltas into `shared` in
+            // place, in worker-id order (scaled by 1/σ′ to undo the
             // safe-subproblem replica scaling), chunked over the pool.
-            // Each chunk owns a disjoint slice of `shared`, and each
-            // element's fold order is fixed by the replica list — the
-            // result does not depend on how chunks land on threads.
-            let guards: Vec<_> = self.states.iter().map(|s| s.lock().unwrap()).collect();
-            let replicas: Vec<&[f32]> = guards.iter().map(|g| g.replica.as_slice()).collect();
+            // Each chunk owns a disjoint slice of `shared`; each element
+            // reads its pre-merge value before writing it (the
+            // `merge_replicas_in_place` fold), and the fold order is
+            // fixed by the slot list — the result does not depend on how
+            // chunks land on threads. Nothing here allocates.
             {
-                let chunk_slots: Vec<Mutex<&mut [f32]>> =
-                    shared.chunks_mut(MERGE_CHUNK).map(Mutex::new).collect();
-                let base = &base;
-                let replicas = &replicas;
                 let merge_scale = (1.0 / self.sigma_prime()) as f32;
-                sched.parallel_for_chunked(base.len(), MERGE_CHUNK, self.workers, &|range| {
-                    let mut out = chunk_slots[range.start / MERGE_CHUNK].lock().unwrap();
-                    let views: Vec<&[f32]> =
-                        replicas.iter().map(|r| &r[range.clone()]).collect();
-                    kernels::merge_replicas(&base[range], &views, merge_scale, &mut out);
+                let states = &self.states;
+                let out = SharedPtr(shared.as_mut_ptr());
+                sched.parallel_for_chunked(shared.len(), MERGE_CHUNK, self.workers, &|range| {
+                    // SAFETY: chunk ranges are disjoint, so the mutable
+                    // slices never alias; the replica reads are ordered
+                    // after the worker writes by the group barrier above.
+                    let chunk = unsafe { out.chunk(range.start, range.len()) };
+                    for (i, slot) in range.clone().zip(chunk.iter_mut()) {
+                        let base = *slot;
+                        let mut delta = 0.0f32;
+                        for s in states {
+                            delta += unsafe { &(*s.0.get()).replica }[i] - base;
+                        }
+                        *slot = base + merge_scale * delta;
+                    }
                 });
             }
             // Weight updates: coordinates are partitioned across workers,
             // so the staged writes are disjoint; worker order kept anyway.
-            for guard in &guards {
-                for &(c, value) in &guard.staged {
+            for s in &self.states {
+                // SAFETY: workers are quiescent between group barriers;
+                // only the master touches the slots here.
+                let staged = unsafe { &(*s.0.get()).staged };
+                for &(c, value) in staged {
                     weights[c as usize] = value;
                 }
             }
         }
 
-        let nnz = self
-            .states
-            .iter()
-            .map(|s| {
-                let mut g = s.lock().unwrap();
-                std::mem::take(&mut g.nnz)
-            })
-            .sum();
         self.weights = weights;
         self.shared = shared;
-        self.base = base;
+        let nnz = self
+            .states
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.0.get_mut().nnz))
+            .sum();
         (nnz, windows)
     }
 
@@ -451,17 +493,29 @@ impl SyscdScd {
         let coords = problem.coords(self.form);
         let epoch_seed = self.seed ^ (self.epoch_index.wrapping_mul(0x9E37));
         self.epoch_index += 1;
-        if self.workers == 1 {
+        // Re-shuffle the persistent permutation in place (bit-identical
+        // to a fresh draw); move it out for the loop and restore after.
+        let len = if self.workers == 1 {
             // Degenerate to Algorithm 1 exactly: flat coordinate
             // permutation, in-place shared vector, zero merges.
-            let perm = Permutation::random(coords, epoch_seed);
+            coords
+        } else {
+            self.n_buckets(coords)
+        };
+        match self.perm.as_mut() {
+            Some(p) => p.refill_random(len, epoch_seed),
+            None => self.perm = Some(Permutation::random(len, epoch_seed)),
+        }
+        let perm = self.perm.take().expect("just ensured");
+        let stats = if self.workers == 1 {
             let nnz = self.run_epoch_sequential(problem, &perm);
             (coords, nnz, 0)
         } else {
-            let perm = Permutation::random(self.n_buckets(coords), epoch_seed);
             let (nnz, merges) = self.run_epoch_parallel(problem, &perm);
             (coords, nnz, merges)
-        }
+        };
+        self.perm = Some(perm);
+        stats
     }
 }
 
@@ -501,6 +555,16 @@ impl Solver for SyscdScd {
 
     fn shared_vector(&self) -> Vec<f32> {
         self.shared.clone()
+    }
+
+    fn weights_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.weights);
+    }
+
+    fn shared_vector_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.shared);
     }
 }
 

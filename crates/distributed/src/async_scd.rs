@@ -56,7 +56,7 @@ use scd_core::{
 use scd_events::{ActorId, Engine};
 use scd_perf_model::{CpuProfile, LinkProfile};
 use scd_sparse::dense;
-use scd_wire::{DeltaCodec, WireFormat};
+use scd_wire::{DeltaCodec, WireFormat, WirePayload};
 
 /// The staleness bound τ: how many rounds the fastest worker may run
 /// ahead of the slowest.
@@ -191,6 +191,10 @@ pub struct AsyncScd {
     round_metrics: Vec<RoundMetrics>,
     bytes_raw_total: usize,
     bytes_encoded_total: usize,
+    /// Reused codec scratch: the encoded payload and its decoded dense
+    /// form, recycled across every apply.
+    payload_scratch: WirePayload,
+    decoded_scratch: Vec<f32>,
 }
 
 impl AsyncScd {
@@ -235,6 +239,8 @@ impl AsyncScd {
             round_metrics: Vec::new(),
             bytes_raw_total: 0,
             bytes_encoded_total: 0,
+            payload_scratch: WirePayload::default(),
+            decoded_scratch: Vec::new(),
         })
     }
 
@@ -308,7 +314,7 @@ impl AsyncScd {
     fn on_snapshot(&mut self, worker: usize, state: Vec<f32>, version: u64, accum: &mut EpochAccum) {
         let k = self.workers.len();
         let round_idx = self.completed[worker];
-        let mut round = self.workers[worker].run_round(&state);
+        let mut round = self.workers[worker].run_round(&state).clone();
         let fate = self.fault.fate(round_idx, worker, 0, k);
         if fate == RoundFate::Delayed {
             round.breakdown.gpu *= self.fault.delay_factor;
@@ -368,9 +374,11 @@ impl AsyncScd {
                 self.workers[wid].discard_round();
                 accum.dropped.push(wid);
             } else {
-                let payload = self.codec.encode(wid, &push.round.delta_shared);
-                let decoded = self.codec.decode(&payload);
-                dense::axpy(1.0, &decoded, &mut delta);
+                self.codec
+                    .encode_into(wid, &push.round.delta_shared, &mut self.payload_scratch);
+                self.codec
+                    .decode_into(&self.payload_scratch, &mut self.decoded_scratch);
+                dense::axpy(1.0, &self.decoded_scratch, &mut delta);
                 scalars.push(push.round.scalars);
                 survivors.push(wid);
                 accum.bytes_raw += 4 * len;
@@ -453,8 +461,10 @@ impl AsyncScd {
             self.engine
                 .record(ActorId::MASTER, format!("push from worker{worker} lost"));
         } else {
-            let payload = self.codec.encode(worker, &push.round.delta_shared);
-            let decoded = self.codec.decode(&payload);
+            self.codec
+                .encode_into(worker, &push.round.delta_shared, &mut self.payload_scratch);
+            self.codec
+                .decode_into(&self.payload_scratch, &mut self.decoded_scratch);
             // γ for one delta: averaging still damps by 1/K (K deltas per
             // "round" arrive on average), the closed forms optimize the
             // objective for exactly this delta against the current state.
@@ -464,11 +474,11 @@ impl AsyncScd {
                 self.objective,
                 full,
                 &self.shared,
-                &decoded,
+                &self.decoded_scratch,
                 &push.round.scalars,
                 k,
             );
-            dense::axpy(gamma as f32, &decoded, &mut self.shared);
+            dense::axpy(gamma as f32, &self.decoded_scratch, &mut self.shared);
             self.workers[worker].apply_gamma(gamma);
             self.last_gamma = gamma;
             accum.last_gamma = gamma;

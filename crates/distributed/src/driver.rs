@@ -31,8 +31,7 @@ use crate::runtime::{RoundPool, RoundRuntime};
 use crate::source::{
     check_store_shape, memory_partition_bytes, store_partitions, PartitionSource, SetupCost,
 };
-use crate::worker::{Worker, WorkerRound};
-use std::cell::UnsafeCell;
+use crate::worker::Worker;
 use gpu_sim::{Gpu, GpuError, GpuProfile};
 use scd_store::{ShardedDataset, StoreError};
 use scd_core::{
@@ -164,6 +163,11 @@ pub struct DistributedConfig {
     /// Wire format the delta traffic travels in ([`WireFormat::Raw`] is
     /// bit-identical to direct exchange).
     pub wire: WireFormat,
+    /// Whether the driver retains a [`RoundMetrics`] entry per round
+    /// (default on). Retained telemetry is the one per-round allocation
+    /// that cannot be recycled; turn it off to make steady-state rounds
+    /// allocation-free.
+    pub record_round_metrics: bool,
     /// Host scheduler the round pool and any worker GPUs submit to;
     /// `None` (the default) uses the process-wide shared scheduler.
     pub sched: Option<Arc<Scheduler>>,
@@ -190,6 +194,7 @@ impl DistributedConfig {
             runtime: RoundRuntime::default(),
             fault: FaultPlan::none(),
             wire: WireFormat::Raw,
+            record_round_metrics: true,
             sched: None,
         }
     }
@@ -271,6 +276,12 @@ impl DistributedConfig {
     /// Select the wire format for delta traffic.
     pub fn with_wire(mut self, wire: WireFormat) -> Self {
         self.wire = wire;
+        self
+    }
+
+    /// Enable or disable per-round telemetry retention (on by default).
+    pub fn with_round_metrics(mut self, record: bool) -> Self {
+        self.record_round_metrics = record;
         self
     }
 
@@ -651,6 +662,29 @@ pub(crate) fn choose_gamma(
 /// stays ignorant of who consumes the snapshots.
 pub type RoundObserver = Box<dyn FnMut(u64, &[f32]) + Send>;
 
+/// Reusable per-epoch buffers of [`DistributedScd`]: after the first
+/// epoch has grown their capacities, steady-state rounds allocate only
+/// for retained telemetry (and nothing at all with
+/// [`DistributedConfig::record_round_metrics`] off).
+#[derive(Default)]
+struct EpochScratch {
+    /// Whether worker w committed a surviving round this epoch.
+    committed: Vec<bool>,
+    worker_time: Vec<TimeBreakdown>,
+    pending: Vec<usize>,
+    still_pending: Vec<usize>,
+    dropped: Vec<usize>,
+    /// The aggregated (post-codec) delta.
+    delta: Vec<f32>,
+    scalars: Vec<WorkerScalars>,
+    /// Encoded payload; `encode_into` recycles its buffers.
+    payload: scd_wire::WirePayload,
+    /// Dense decode of one payload.
+    decoded: Vec<f32>,
+    /// Observer-assembly scratch for the global weights.
+    weights: Vec<f32>,
+}
+
 /// The distributed solver (implements [`Solver`], so the same harness
 /// drives single-node and distributed runs).
 pub struct DistributedScd {
@@ -682,6 +716,10 @@ pub struct DistributedScd {
     bytes_encoded_total: usize,
     /// Round-boundary publication hook (model serving, checkpointing).
     observer: Option<RoundObserver>,
+    /// Whether a [`RoundMetrics`] entry is retained per round.
+    record_metrics: bool,
+    /// Reused epoch buffers (see [`EpochScratch`]).
+    scratch: EpochScratch,
 }
 
 impl DistributedScd {
@@ -742,6 +780,8 @@ impl DistributedScd {
             bytes_raw_total: 0,
             bytes_encoded_total: 0,
             observer: None,
+            record_metrics: config.record_round_metrics,
+            scratch: EpochScratch::default(),
         })
     }
 
@@ -799,21 +839,17 @@ impl DistributedScd {
     }
 
     /// Run the rounds of the `pending` workers (unique ids) against the
-    /// current shared vector, inline or on the pool; results align with
-    /// `pending`.
-    fn run_attempt(&mut self, pending: &[usize]) -> Vec<WorkerRound> {
+    /// current shared vector, inline or on the pool. Each result lands in
+    /// its worker's reused round buffer ([`Worker::round`]) — nothing is
+    /// returned, cloned, or allocated here.
+    fn run_attempt(&mut self, pending: &[usize]) {
         let Some(pool) = &self.pool else {
             let shared = &self.shared;
-            return pending
-                .iter()
-                .map(|&wid| self.workers[wid].run_round(shared))
-                .collect();
+            for &wid in pending {
+                self.workers[wid].run_round(shared);
+            }
+            return;
         };
-
-        /// One result slot, written by exactly one pool task.
-        struct RoundSlot(UnsafeCell<Option<WorkerRound>>);
-        // SAFETY: task i writes slot i only; slots are never shared.
-        unsafe impl Sync for RoundSlot {}
 
         /// Worker array base pointer, shipped to the pool tasks.
         struct WorkerBase(*mut Worker);
@@ -830,35 +866,34 @@ impl DistributedScd {
             }
         }
 
-        let slots: Vec<RoundSlot> = pending
-            .iter()
-            .map(|_| RoundSlot(UnsafeCell::new(None)))
-            .collect();
         let shared = &self.shared;
         let base = WorkerBase(self.workers.as_mut_ptr());
         pool.run(pending.len(), &|i| {
             // SAFETY: `pending` holds unique in-bounds worker ids and each
             // task index is claimed exactly once, so this is the only
-            // live reference to worker `pending[i]` and slot `i`.
+            // live reference to worker `pending[i]`; its result stays in
+            // the worker's own round buffer.
             let worker = unsafe { base.worker(pending[i]) };
-            let round = worker.run_round(shared);
-            unsafe { *slots[i].0.get() = Some(round) };
+            worker.run_round(shared);
         });
-        slots
-            .into_iter()
-            .map(|s| s.0.into_inner().expect("pool task completed"))
-            .collect()
     }
 
     /// Scatter the workers' local weights into the global coordinate space.
     pub fn assemble_weights(&self) -> Vec<f32> {
-        let mut global = vec![0.0f32; self.weights_total];
+        let mut global = Vec::new();
+        self.assemble_weights_into(&mut global);
+        global
+    }
+
+    /// [`Self::assemble_weights`] into a reusable buffer.
+    pub fn assemble_weights_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.weights_total, 0.0);
         for worker in &self.workers {
             for (local, &g) in worker.global_ids().iter().enumerate() {
-                global[g] = worker.weights()[local];
+                out[g] = worker.weights()[local];
             }
         }
-        global
     }
 }
 
@@ -891,33 +926,40 @@ impl Solver for DistributedScd {
         // Phase 1: run the rounds (concurrently when the pool is up) and
         // play the fault plan — delayed rounds cost more, lost rounds
         // (dropped, or slower than the master's timeout) are re-requested
-        // up to `max_retries` times, then aggregated around.
-        let mut rounds: Vec<Option<WorkerRound>> = (0..k).map(|_| None).collect();
-        let mut worker_time = vec![TimeBreakdown::default(); k];
-        let mut dropped: Vec<usize> = Vec::new();
+        // up to `max_retries` times, then aggregated around. All epoch
+        // state lives in the reused scratch, moved out for the borrow
+        // checker and restored at the end.
+        let mut s = std::mem::take(&mut self.scratch);
+        s.committed.clear();
+        s.committed.resize(k, false);
+        s.worker_time.clear();
+        s.worker_time.resize(k, TimeBreakdown::default());
+        s.dropped.clear();
+        s.pending.clear();
+        s.pending.extend(0..k);
         let mut retries = 0usize;
-        let mut pending: Vec<usize> = (0..k).collect();
         let max_attempts = if self.fault.is_active() {
             1 + self.fault.max_retries
         } else {
             1
         };
         for attempt in 0..max_attempts {
-            if pending.is_empty() {
+            if s.pending.is_empty() {
                 break;
             }
-            let results = self.run_attempt(&pending);
-            let mut still_pending = Vec::new();
-            for (slot, wid) in pending.iter().copied().enumerate() {
-                let mut round = results[slot].clone();
+            self.run_attempt(&s.pending);
+            s.still_pending.clear();
+            for slot in 0..s.pending.len() {
+                let wid = s.pending[slot];
                 let fate = self.fault.fate(epoch_idx, wid, attempt, k);
                 if fate == RoundFate::Delayed {
-                    round.breakdown.gpu *= self.fault.delay_factor;
-                    round.breakdown.host *= self.fault.delay_factor;
-                    round.breakdown.pcie *= self.fault.delay_factor;
-                    round.breakdown.network *= self.fault.delay_factor;
+                    let b = &mut self.workers[wid].round_mut().breakdown;
+                    b.gpu *= self.fault.delay_factor;
+                    b.host *= self.fault.delay_factor;
+                    b.pcie *= self.fault.delay_factor;
+                    b.network *= self.fault.delay_factor;
                 }
-                let total = round.breakdown.total();
+                let total = self.workers[wid].round().breakdown.total();
                 let timed_out = self
                     .fault
                     .timeout_seconds
@@ -928,7 +970,7 @@ impl Solver for DistributedScd {
                     // nominal duration) — a wall-clock charge with no
                     // usable result behind it.
                     let waited = self.fault.timeout_seconds.unwrap_or(total);
-                    worker_time[wid].network += waited;
+                    s.worker_time[wid].network += waited;
                     // The worker's speculative local pass is discarded so
                     // its state stays consistent with what the master will
                     // aggregate.
@@ -939,20 +981,20 @@ impl Solver for DistributedScd {
                         // *encoded* payload as a unicast outside the
                         // reduce tree — charge the encoded bytes, not the
                         // dense frame.
-                        worker_time[wid].network += self.network.retry_request_seconds()
+                        s.worker_time[wid].network += self.network.retry_request_seconds()
                             + self
                                 .network
                                 .transfer_seconds(self.codec.upload_bytes(self.shared.len()));
-                        still_pending.push(wid);
+                        s.still_pending.push(wid);
                     } else {
-                        dropped.push(wid);
+                        s.dropped.push(wid);
                     }
                 } else {
-                    worker_time[wid].accumulate(&round.breakdown);
-                    rounds[wid] = Some(round);
+                    s.worker_time[wid].accumulate(&self.workers[wid].round().breakdown);
+                    s.committed[wid] = true;
                 }
             }
-            pending = still_pending;
+            std::mem::swap(&mut s.pending, &mut s.still_pending);
         }
 
         // Phase 2: reduce the K′ surviving deltas in worker-id order —
@@ -961,17 +1003,23 @@ impl Solver for DistributedScd {
         // delta goes through the codec: what the master aggregates is what
         // the wire carried. Dropped rounds never reach `encode`, so a
         // stateful codec's per-worker residual only advances on commit.
-        let mut delta = vec![0.0f32; self.shared.len()];
-        let mut scalars = Vec::with_capacity(k);
-        for (wid, round) in rounds.iter().enumerate() {
-            let Some(round) = round else { continue };
-            let payload = self.codec.encode(wid, &round.delta_shared);
-            let decoded = self.codec.decode(&payload);
-            dense::axpy(1.0, &decoded, &mut delta);
-            scalars.push(round.scalars);
+        // The payload and decode scratch recycle their buffers, so this
+        // loop stops allocating once capacities have grown.
+        s.delta.clear();
+        s.delta.resize(self.shared.len(), 0.0);
+        s.scalars.clear();
+        for wid in 0..k {
+            if !s.committed[wid] {
+                continue;
+            }
+            let round = self.workers[wid].round();
+            self.codec.encode_into(wid, &round.delta_shared, &mut s.payload);
+            self.codec.decode_into(&s.payload, &mut s.decoded);
+            dense::axpy(1.0, &s.decoded, &mut s.delta);
+            s.scalars.push(round.scalars);
         }
-        let k_eff = scalars.len();
-        let reduced = WorkerScalars::reduce(scalars);
+        let k_eff = s.scalars.len();
+        let reduced = WorkerScalars::reduce(s.scalars.iter().copied());
 
         // Master: choose γ (degraded aggregation rescales over K′).
         let gamma = if k_eff == 0 {
@@ -983,7 +1031,7 @@ impl Solver for DistributedScd {
                 self.objective,
                 full,
                 &self.shared,
-                &delta,
+                &s.delta,
                 &reduced,
                 k_eff,
             )
@@ -994,9 +1042,9 @@ impl Solver for DistributedScd {
         // dropped worker never hears γ; its discarded Δ keeps it
         // consistent with the master regardless).
         if k_eff > 0 {
-            dense::axpy(gamma as f32, &delta, &mut self.shared);
-            for (wid, round) in rounds.iter().enumerate() {
-                if round.is_some() {
+            dense::axpy(gamma as f32, &s.delta, &mut self.shared);
+            for wid in 0..k {
+                if s.committed[wid] {
                     self.workers[wid].apply_gamma(gamma);
                 }
             }
@@ -1006,13 +1054,13 @@ impl Solver for DistributedScd {
         // *total* time; keep that worker's per-category breakdown.
         let slowest = (0..k)
             .max_by(|&a, &b| {
-                worker_time[a]
+                s.worker_time[a]
                     .total()
-                    .partial_cmp(&worker_time[b].total())
+                    .partial_cmp(&s.worker_time[b].total())
                     .expect("round times are finite")
             })
             .unwrap_or(0);
-        let mut breakdown = worker_time[slowest];
+        let mut breakdown = s.worker_time[slowest];
 
         // Master-side aggregation arithmetic: K′ Δ-vectors summed + applied.
         breakdown.host += self
@@ -1041,41 +1089,45 @@ impl Solver for DistributedScd {
         self.bytes_raw_total += bytes_raw;
         self.bytes_encoded_total += bytes_encoded;
 
-        self.round_metrics.push(RoundMetrics {
-            epoch: epoch_idx,
-            worker_round_seconds: worker_time.iter().map(TimeBreakdown::total).collect(),
-            barrier_seconds: worker_time[slowest].total(),
-            gamma,
-            // Synchronous rounds apply every surviving delta at staleness
-            // 0 by construction.
-            staleness_hist: vec![k_eff],
-            retries,
-            dropped_workers: dropped,
-            survivors: k_eff,
-            wire: self.wire.label(),
-            bytes_raw,
-            bytes_encoded,
-            compression_ratio: if bytes_encoded > 0 {
-                bytes_raw as f64 / bytes_encoded as f64
-            } else {
-                1.0
-            },
-        });
+        // Per-round metric rows allocate (per-worker timings, wire label);
+        // benches chasing zero-allocation rounds turn them off via
+        // `DistributedConfig::with_round_metrics(false)`.
+        if self.record_metrics {
+            self.round_metrics.push(RoundMetrics {
+                epoch: epoch_idx,
+                worker_round_seconds: s.worker_time.iter().map(TimeBreakdown::total).collect(),
+                barrier_seconds: s.worker_time[slowest].total(),
+                gamma,
+                // Synchronous rounds apply every surviving delta at staleness
+                // 0 by construction.
+                staleness_hist: vec![k_eff],
+                retries,
+                dropped_workers: s.dropped.clone(),
+                survivors: k_eff,
+                wire: self.wire.label(),
+                bytes_raw,
+                bytes_encoded,
+                compression_ratio: if bytes_encoded > 0 {
+                    bytes_raw as f64 / bytes_encoded as f64
+                } else {
+                    1.0
+                },
+            });
+        }
 
-        let updates = rounds
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.is_some())
-            .map(|(wid, _)| self.workers[wid].coords())
+        let updates = (0..k)
+            .filter(|&wid| s.committed[wid])
+            .map(|wid| self.workers[wid].coords())
             .sum();
 
         // Round boundary: the aggregated model is consistent — publish it.
         if self.observer.is_some() {
-            let weights = self.assemble_weights();
+            self.assemble_weights_into(&mut s.weights);
             if let Some(observer) = self.observer.as_mut() {
-                observer(self.epoch_index as u64, &weights);
+                observer(self.epoch_index as u64, &s.weights);
             }
         }
+        self.scratch = s;
         EpochStats { updates, breakdown }
     }
 

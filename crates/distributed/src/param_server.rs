@@ -138,6 +138,17 @@ struct PsWorker {
     problem: RidgeProblem,
 }
 
+/// Per-push scratch reused across chunks and epochs, so steady-state
+/// pushes stop allocating (the history ring recycles its own buffers).
+#[derive(Default)]
+struct PsScratch {
+    snapshot: Vec<f32>,
+    after: Vec<f32>,
+    delta: Vec<f32>,
+    payload: scd_wire::WirePayload,
+    decoded: Vec<f32>,
+}
+
 /// The asynchronous parameter-server trainer (implements [`Solver`]).
 pub struct ParamServerScd {
     form: Form,
@@ -163,6 +174,8 @@ pub struct ParamServerScd {
     epochs_done: u64,
     /// Round-boundary publication hook (model serving, checkpointing).
     observer: Option<crate::driver::RoundObserver>,
+    /// Reused per-push buffers.
+    scratch: PsScratch,
 }
 
 impl ParamServerScd {
@@ -209,6 +222,7 @@ impl ParamServerScd {
             bytes_encoded_total: 0,
             epochs_done: 0,
             observer: None,
+            scratch: PsScratch::default(),
         }
     }
 
@@ -237,21 +251,26 @@ impl ParamServerScd {
     }
 
     /// The snapshot a pull sees: the server state `staleness` pushes ago.
-    fn stale_snapshot(&self) -> Vec<f32> {
-        self.history
-            .front()
-            .cloned()
-            .unwrap_or_else(|| self.server.clone())
+    fn stale_snapshot_into(&self, out: &mut Vec<f32>) {
+        let src = self.history.front().unwrap_or(&self.server);
+        out.clear();
+        out.extend_from_slice(src);
     }
 
     fn record_history(&mut self) {
         if self.staleness == 0 {
             return;
         }
-        self.history.push_back(self.server.clone());
-        while self.history.len() > self.staleness {
-            self.history.pop_front();
-        }
+        // Recycle the evicted oldest entry as the new snapshot's buffer:
+        // once the ring is full, recording stops allocating.
+        let mut buf = if self.history.len() >= self.staleness {
+            self.history.pop_front().expect("ring is non-empty")
+        } else {
+            Vec::new()
+        };
+        buf.clear();
+        buf.extend_from_slice(&self.server);
+        self.history.push_back(buf);
     }
 }
 
@@ -284,6 +303,7 @@ impl Solver for ParamServerScd {
         let mut chunk_schedule: Vec<Vec<f64>> = vec![Vec::new(); self.workers.len()];
         let mut pushes = 0usize;
         // Round-robin until every worker exhausted its quota.
+        let mut s = std::mem::take(&mut self.scratch);
         loop {
             let mut any = false;
             for (k, compute) in per_worker_compute.iter_mut().enumerate() {
@@ -291,29 +311,32 @@ impl Solver for ParamServerScd {
                     continue;
                 }
                 any = true;
-                // Pull (stale), compute a chunk, push.
-                let snapshot = self.stale_snapshot();
-                let before = snapshot.clone();
+                // Pull (stale), compute a chunk, push — every vector on
+                // this path lands in a reused scratch buffer.
+                self.stale_snapshot_into(&mut s.snapshot);
                 let w = &mut self.workers[k];
-                w.solver.set_shared(&snapshot);
+                w.solver.set_shared(&s.snapshot);
                 let stats = w.solver.epoch(&w.problem);
                 w.remaining = w.remaining.saturating_sub(stats.updates);
                 *compute += stats.breakdown.total();
                 chunk_schedule[k].push(stats.breakdown.total());
-                let after = w.solver.shared_vector();
-                let delta = dense::sub(&after, &before);
+                w.solver.shared_vector_into(&mut s.after);
+                // The snapshot the worker pulled is the "before" state —
+                // `set_shared` copied it into the solver, leaving it intact.
+                dense::sub_into(&s.after, &s.snapshot, &mut s.delta);
                 // The push travels through the codec: the server applies
                 // what the wire carried, not the worker's exact delta.
-                let payload = self.codec.encode(k, &delta);
-                let decoded = self.codec.decode(&payload);
+                self.codec.encode_into(k, &s.delta, &mut s.payload);
+                self.codec.decode_into(&s.payload, &mut s.decoded);
                 self.record_history();
-                dense::axpy(1.0, &decoded, &mut self.server);
+                dense::axpy(1.0, &s.decoded, &mut self.server);
                 pushes += 1;
             }
             if !any {
                 break;
             }
         }
+        self.scratch = s;
         // Async overlap, timed on the event engine: each worker's chunks
         // complete back to back at its cumulative compute times; every
         // completion emits a push that contends for the server's single

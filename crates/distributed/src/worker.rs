@@ -32,6 +32,12 @@ pub struct Worker {
     local_epochs: usize,
     cpu: CpuProfile,
     pcie: LinkProfile,
+    /// The latest round's result, its buffers reused round to round.
+    round: WorkerRound,
+    /// Scratch for the engine's post-round weights, reused round to round.
+    new_weights: Vec<f32>,
+    /// Scratch for the engine's post-round shared vector, ditto.
+    new_shared: Vec<f32>,
 }
 
 impl Worker {
@@ -55,6 +61,13 @@ impl Worker {
             local_epochs: 1,
             cpu,
             pcie,
+            round: WorkerRound {
+                delta_shared: Vec::new(),
+                scalars: WorkerScalars::default(),
+                breakdown: TimeBreakdown::default(),
+            },
+            new_weights: Vec::new(),
+            new_shared: Vec::new(),
         }
     }
 
@@ -94,7 +107,7 @@ impl Worker {
     /// per-worker body): load w⁽ᵗ⁻¹⁾, run a permuted pass over the local
     /// coordinates, and return Δw⁽ᵗ,ᵏ⁾ plus the adaptive-aggregation
     /// scalars. The Δβ⁽ᵗ,ᵏ⁾ stays here until [`Self::apply_gamma`].
-    pub fn run_round(&mut self, global_shared: &[f32]) -> WorkerRound {
+    pub fn run_round(&mut self, global_shared: &[f32]) -> &WorkerRound {
         self.solver.load_shared(global_shared);
         let mut stats = self.solver.epoch(&self.partition.problem);
         for _ in 1..self.local_epochs {
@@ -102,13 +115,15 @@ impl Worker {
             stats.updates += extra.updates;
             stats.breakdown.accumulate(&extra.breakdown);
         }
-        let new_weights = self.solver.weights();
-        let new_shared = self.solver.shared_vector();
+        // All of the round's vectors land in reused buffers: steady-state
+        // rounds perform no heap allocation on this path.
+        self.solver.weights_into(&mut self.new_weights);
+        self.solver.shared_vector_into(&mut self.new_shared);
 
-        let delta_shared = dense::sub(&new_shared, global_shared);
-        self.pending_delta = dense::sub(&new_weights, &self.weights);
+        dense::sub_into(&self.new_shared, global_shared, &mut self.round.delta_shared);
+        dense::sub_into(&self.new_weights, &self.weights, &mut self.pending_delta);
 
-        let scalars = WorkerScalars {
+        self.round.scalars = WorkerScalars {
             x_dot_dx: dense::dot(&self.weights, &self.pending_delta),
             dx_sq: dense::squared_norm(&self.pending_delta),
             dx_dot_y: match self.form {
@@ -132,12 +147,19 @@ impl Worker {
             breakdown.pcie +=
                 self.pcie.transfer_seconds(down_bytes) + self.pcie.transfer_seconds(up_bytes);
         }
+        self.round.breakdown = breakdown;
+        &self.round
+    }
 
-        WorkerRound {
-            delta_shared,
-            scalars,
-            breakdown,
-        }
+    /// The latest [`Self::run_round`] result (stale until the first round).
+    pub fn round(&self) -> &WorkerRound {
+        &self.round
+    }
+
+    /// Mutable access to the latest round — the driver uses this to apply
+    /// fault-plan fates (delay multipliers) without cloning the round.
+    pub fn round_mut(&mut self) -> &mut WorkerRound {
+        &mut self.round
     }
 
     /// Apply the master's aggregation parameter to the pending local update
@@ -188,7 +210,7 @@ mod tests {
         let full = full();
         let mut w = make_worker(&full, 0, 2);
         let zeros = vec![0.0f32; full.n()];
-        let round = w.run_round(&zeros);
+        let round = w.run_round(&zeros).clone();
         // From β=0, w=0: the delta shared vector must equal A_k β_new.
         w.apply_gamma(1.0);
         let expected = w

@@ -68,6 +68,24 @@ impl GroupCore {
         }
     }
 
+    /// Re-arm a finished indexed group for a new body — the recycling
+    /// path that keeps steady-state `parallel_for` calls off the heap.
+    ///
+    /// # Safety
+    /// Same contract as [`Self::indexed`] for `f`'s lifetime. The `&mut`
+    /// receiver must come from proven exclusive ownership
+    /// (`Arc::get_mut`): no token for a previous incarnation may still be
+    /// live anywhere, so no concurrent claim can observe the reset
+    /// half-done.
+    pub(crate) unsafe fn reset_indexed(&mut self, f: &(dyn Fn(usize) + Sync), n: usize) {
+        let f: *const (dyn Fn(usize) + Sync) = std::mem::transmute(f);
+        self.body = Body::Indexed(f);
+        *self.next.get_mut() = 0;
+        *self.total.get_mut() = n;
+        *self.completed.get_mut() = 0;
+        *self.panicked.get_mut() = false;
+    }
+
     pub(crate) fn queued() -> Self {
         GroupCore {
             body: Body::Queued(Mutex::new(Vec::new())),

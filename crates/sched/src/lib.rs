@@ -241,6 +241,15 @@ pub struct Scheduler {
     shared: Arc<Shared>,
     threads: usize,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Recycled indexed [`GroupCore`]s. A `parallel_for` acquires an
+    /// exclusively-owned entry (`Arc::get_mut` succeeds) and re-arms it
+    /// in place instead of allocating; at release, the group's unpopped
+    /// tokens are reclaimed from the queues and the group returns here.
+    /// Each pool worker holds at most one token at a time, so at most
+    /// `threads - 1` entries can be pinned by in-flight stealers at any
+    /// acquire — a pool of `threads` entries always has a free one, and
+    /// steady-state launches allocate nothing.
+    group_pool: Mutex<Vec<Arc<GroupCore>>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -288,6 +297,7 @@ impl Scheduler {
             shared,
             threads,
             handles: Mutex::new(handles),
+            group_pool: Mutex::new(Vec::with_capacity(threads + 1)),
         }))
     }
 
@@ -350,7 +360,7 @@ impl Scheduler {
         }
         // Safety: we block in `wait` below until every index completes,
         // so the erased borrow of `f` outlives all claims.
-        let group = Arc::new(unsafe { GroupCore::indexed(f, n) });
+        let group = unsafe { self.acquire_group(f, n) };
         let me = self.worker_index();
         for _ in 0..width - 1 {
             let raw = Arc::into_raw(Arc::clone(&group)) as usize;
@@ -358,8 +368,94 @@ impl Scheduler {
         }
         self.shared.drain(&group);
         group.wait();
-        if group.panicked() {
+        let poisoned = group.panicked();
+        self.release_group(group, me);
+        if poisoned {
             panic!("scd-sched: a task in a parallel group panicked");
+        }
+    }
+
+    /// A group for `f` over `0..n`: a recycled pool entry when one is
+    /// exclusively owned (re-armed in place, no heap traffic), a fresh
+    /// allocation otherwise. The pool saturates at roughly `threads`
+    /// entries — see the `group_pool` field docs.
+    ///
+    /// # Safety
+    /// Same contract as [`GroupCore::indexed`]: the caller must block
+    /// until every index completes before `f`'s storage goes away.
+    unsafe fn acquire_group(&self, f: &(dyn Fn(usize) + Sync), n: usize) -> Arc<GroupCore> {
+        // A released entry can transiently stay pinned: a stealer that
+        // popped (and no-op-claimed) a token of the *previous* submission
+        // may not have dropped its reference yet. That window is a few
+        // instructions wide, so when the pool has entries but none is
+        // free, yield briefly and rescan before giving up and allocating.
+        for attempt in 0..3 {
+            let mut pool = self.group_pool.lock().unwrap();
+            for idx in 0..pool.len() {
+                if Arc::get_mut(&mut pool[idx]).is_some() {
+                    let mut group = pool.swap_remove(idx);
+                    // The get_mut above proved exclusive ownership: no token
+                    // of a previous incarnation survives anywhere, so the
+                    // in-place reset cannot race a claim.
+                    Arc::get_mut(&mut group)
+                        .expect("still exclusively owned")
+                        .reset_indexed(f, n);
+                    return group;
+                }
+            }
+            let empty = pool.is_empty();
+            drop(pool);
+            if empty {
+                break;
+            }
+            if attempt + 1 < 3 {
+                std::thread::yield_now();
+            }
+        }
+        Arc::new(GroupCore::indexed(f, n))
+    }
+
+    /// Return a finished group to the pool. Its unpopped tokens are
+    /// pulled back out of the queues first (they only pin the refcount;
+    /// their claims would no-op anyway), so by the next acquire the
+    /// entry is reusable unless an in-flight stealer still holds a
+    /// popped token.
+    fn release_group(&self, group: Arc<GroupCore>, me: Option<usize>) {
+        let ptr = Arc::as_ptr(&group) as usize;
+        match me {
+            Some(i) => {
+                // Our tokens went to our own deque bottom; anything above
+                // them (nested groups') was reclaimed by the nested call,
+                // so pop while the bottom entry is ours. A foreign entry
+                // ends the sweep and goes straight back.
+                while let Some(raw) = self.shared.deques[i].pop() {
+                    if raw == ptr {
+                        // Safety: the token carries one strong reference.
+                        unsafe { drop(Arc::from_raw(raw as *const GroupCore)) };
+                    } else {
+                        if let Err(back) = self.shared.deques[i].push(raw) {
+                            self.shared.injector.lock().unwrap().push_back(back);
+                        }
+                        break;
+                    }
+                }
+            }
+            None => {
+                // External submitters push every token to the injector.
+                self.shared.injector.lock().unwrap().retain(|&raw| {
+                    if raw == ptr {
+                        // Safety: as above — drop the queued reference.
+                        unsafe { drop(Arc::from_raw(raw as *const GroupCore)) };
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        let mut pool = self.group_pool.lock().unwrap();
+        if pool.len() < pool.capacity() {
+            pool.push(group);
         }
     }
 
@@ -607,6 +703,22 @@ mod tests {
             "peak {} exceeded pool width",
             sched.peak_parallelism()
         );
+    }
+
+    #[test]
+    fn recycled_groups_preserve_correctness_under_nesting() {
+        // Hundreds of launches re-arm the same few pooled GroupCores;
+        // every index must still run exactly once, nested included.
+        let sched = Scheduler::new(4);
+        for _ in 0..200 {
+            let total = AtomicUsize::new(0);
+            sched.parallel_for(6, &|_outer| {
+                sched.parallel_for(5, &|i| {
+                    total.fetch_add(i, SeqCst);
+                });
+            });
+            assert_eq!(total.load(SeqCst), 6 * 10);
+        }
     }
 
     #[test]

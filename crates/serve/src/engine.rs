@@ -11,14 +11,16 @@ use crate::ServeError;
 use scd_core::ObjectiveKind;
 use scd_sched::Scheduler;
 use scd_sparse::CsrMatrix;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Rows per parallel task: big enough to amortize scheduling, small
 /// enough that a 256-row batch still fans out.
 const DEFAULT_CHUNK: usize = 16;
 
 /// Decision values plus objective-mapped predictions for one batch.
-#[derive(Debug, Clone, PartialEq)]
+/// Reusable: [`BatchScorer::score_into`] refills one in place, so a
+/// serving loop can hold a single `Scored` across requests.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Scored {
     /// Raw linear scores ⟨āₙ, β⟩.
     pub decisions: Vec<f32>,
@@ -50,6 +52,25 @@ pub struct BatchScorer {
     chunk: usize,
 }
 
+/// Raw output pointer handed to the scoring tasks. The chunked scheduler
+/// guarantees disjoint ranges, so each task writes its own window; the
+/// accessor method (rather than a bare field read) keeps closures
+/// capturing the `Sync` wrapper instead of the raw pointer.
+struct OutPtr(*mut f32);
+
+impl OutPtr {
+    /// # Safety
+    /// `start..start + len` must lie inside the allocation and not
+    /// overlap any other task's window — that disjointness is what makes
+    /// the `&self → &mut` lifetime laundering sound.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn chunk(&self, start: usize, len: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+unsafe impl Sync for OutPtr {}
+
 impl BatchScorer {
     /// A scorer on the given scheduler with the default row chunking.
     pub fn new(sched: Arc<Scheduler>) -> BatchScorer {
@@ -68,6 +89,19 @@ impl BatchScorer {
 
     /// Decision values ⟨āₙ, β⟩ for every row of the batch.
     pub fn decisions(&self, rows: &CsrMatrix, beta: &[f32]) -> Result<Vec<f32>, ServeError> {
+        let mut out = Vec::new();
+        self.decisions_into(rows, beta, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::decisions`] into a caller-owned buffer: once `out` has
+    /// grown to the batch size, repeated scoring allocates nothing.
+    pub fn decisions_into(
+        &self,
+        rows: &CsrMatrix,
+        beta: &[f32],
+        out: &mut Vec<f32>,
+    ) -> Result<(), ServeError> {
         if rows.cols() > beta.len() {
             return Err(ServeError::FeatureMismatch {
                 model: beta.len(),
@@ -75,22 +109,20 @@ impl BatchScorer {
             });
         }
         let n = rows.rows();
-        let mut out = vec![0.0f32; n];
-        {
-            // Disjoint per-chunk output windows behind Mutexes, so the
-            // scheduler closure stays `Fn` without unsafe (the same
-            // pattern as the SySCD merge).
-            let slots: Vec<Mutex<&mut [f32]>> =
-                out.chunks_mut(self.chunk).map(Mutex::new).collect();
-            self.sched
-                .parallel_for_chunked(n, self.chunk, usize::MAX, &|range| {
-                    let mut slot = slots[range.start / self.chunk].lock().unwrap();
-                    for (i, row_idx) in range.enumerate() {
-                        slot[i] = rows.row(row_idx).dot_dense(beta) as f32;
-                    }
-                });
-        }
-        Ok(out)
+        out.clear();
+        out.resize(n, 0.0);
+        // Disjoint per-chunk output windows through a raw pointer (the
+        // same pattern as the SySCD merge): chunked ranges never overlap,
+        // so each task owns its slice of `out`.
+        let ptr = OutPtr(out.as_mut_ptr());
+        self.sched
+            .parallel_for_chunked(n, self.chunk, usize::MAX, &|range| {
+                let slot = unsafe { ptr.chunk(range.start, range.len()) };
+                for (i, row_idx) in range.enumerate() {
+                    slot[i] = rows.row(row_idx).dot_dense(beta) as f32;
+                }
+            });
+        Ok(())
     }
 
     /// Decisions plus predictions under the objective's decision rule.
@@ -100,15 +132,26 @@ impl BatchScorer {
         objective: ObjectiveKind,
         beta: &[f32],
     ) -> Result<Scored, ServeError> {
-        let decisions = self.decisions(rows, beta)?;
-        let predictions = decisions
-            .iter()
-            .map(|&d| prediction(objective, d))
-            .collect();
-        Ok(Scored {
-            decisions,
-            predictions,
-        })
+        let mut scored = Scored::default();
+        self.score_into(rows, objective, beta, &mut scored)?;
+        Ok(scored)
+    }
+
+    /// [`Self::score`] into a caller-owned [`Scored`], reusing both of
+    /// its vectors.
+    pub fn score_into(
+        &self,
+        rows: &CsrMatrix,
+        objective: ObjectiveKind,
+        beta: &[f32],
+        scored: &mut Scored,
+    ) -> Result<(), ServeError> {
+        self.decisions_into(rows, beta, &mut scored.decisions)?;
+        scored.predictions.clear();
+        scored
+            .predictions
+            .extend(scored.decisions.iter().map(|&d| prediction(objective, d)));
+        Ok(())
     }
 }
 

@@ -120,26 +120,60 @@ impl CscMatrix {
             });
         }
         let mut out = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matvec`] into a caller-owned buffer of length `rows` —
+    /// bit-identical output, no allocation. `out` is overwritten.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) -> Result<(), SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.rows,
+                got: out.len(),
+            });
+        }
+        out.fill(0.0);
         for (m, col) in self.iter_cols().enumerate() {
             if x[m] != 0.0 {
-                col.axpy_into(x[m], &mut out);
+                col.axpy_into(x[m], out);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Dense product `out = Aᵀ y`.
     pub fn matvec_t(&self, y: &[f32]) -> Result<Vec<f32>, SparseError> {
+        let mut out = vec![0.0f32; self.cols];
+        self.matvec_t_into(y, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matvec_t`] into a caller-owned buffer of length `cols` —
+    /// bit-identical output, no allocation. `out` is overwritten.
+    pub fn matvec_t_into(&self, y: &[f32], out: &mut [f32]) -> Result<(), SparseError> {
         if y.len() != self.rows {
             return Err(SparseError::DimensionMismatch {
                 expected: self.rows,
                 got: y.len(),
             });
         }
-        Ok(self
-            .iter_cols()
-            .map(|col| col.dot_dense(y) as f32)
-            .collect())
+        if out.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                got: out.len(),
+            });
+        }
+        for (col, slot) in self.iter_cols().zip(out.iter_mut()) {
+            *slot = col.dot_dense(y) as f32;
+        }
+        Ok(())
     }
 
     /// Extract the submatrix formed by the given columns, in the given order.

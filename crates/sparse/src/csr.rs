@@ -118,27 +118,61 @@ impl CsrMatrix {
                 got: x.len(),
             });
         }
-        Ok(self
-            .iter_rows()
-            .map(|row| row.dot_dense(x) as f32)
-            .collect())
+        let mut out = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matvec`] into a caller-owned buffer of length `rows` —
+    /// bit-identical output, no allocation. `out` is overwritten.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) -> Result<(), SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.rows,
+                got: out.len(),
+            });
+        }
+        for (row, slot) in self.iter_rows().zip(out.iter_mut()) {
+            *slot = row.dot_dense(x) as f32;
+        }
+        Ok(())
     }
 
     /// Dense product `out = Aᵀ y` (y has length `rows`, out length `cols`).
     ///
     /// This is the dual shared vector w̄ = Aᵀα.
     pub fn matvec_t(&self, y: &[f32]) -> Result<Vec<f32>, SparseError> {
+        let mut out = vec![0.0f32; self.cols];
+        self.matvec_t_into(y, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matvec_t`] into a caller-owned buffer of length `cols` —
+    /// bit-identical output, no allocation. `out` is overwritten.
+    pub fn matvec_t_into(&self, y: &[f32], out: &mut [f32]) -> Result<(), SparseError> {
         if y.len() != self.rows {
             return Err(SparseError::DimensionMismatch {
                 expected: self.rows,
                 got: y.len(),
             });
         }
-        let mut out = vec![0.0f32; self.cols];
-        for (n, row) in self.iter_rows().enumerate() {
-            row.axpy_into(y[n], &mut out);
+        if out.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                got: out.len(),
+            });
         }
-        Ok(out)
+        out.fill(0.0);
+        for (n, row) in self.iter_rows().enumerate() {
+            row.axpy_into(y[n], out);
+        }
+        Ok(())
     }
 
     /// Extract the submatrix formed by the given rows, in the given order.

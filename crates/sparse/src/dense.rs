@@ -51,6 +51,18 @@ pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
     a.iter().zip(b).map(|(&x, &y)| x - y).collect()
 }
 
+/// [`sub`] into a reusable buffer (cleared and refilled) — bit-identical
+/// result, allocation-free once `out`'s capacity has grown.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut Vec<f32>) {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| x - y));
+}
+
 /// `y[i] += alpha * x[i]` in place.
 ///
 /// # Panics

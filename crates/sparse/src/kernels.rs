@@ -157,6 +157,25 @@ pub fn merge_replicas(base: &[f32], replicas: &[&[f32]], scale: f32, out: &mut [
     }
 }
 
+/// [`merge_replicas`] with the shared vector serving as both base and
+/// output: each element is read before it is written, so the fold sees
+/// exactly the pre-merge value — bit-identical to
+/// `merge_replicas(shared_before, replicas, scale, shared)` without a
+/// separate base snapshot. Sound whenever the replicas were seeded from
+/// (and diverge from) the current contents of `shared`, which is the
+/// SySCD window invariant.
+pub fn merge_replicas_in_place(replicas: &[&[f32]], scale: f32, shared: &mut [f32]) {
+    debug_assert!(replicas.iter().all(|r| r.len() == shared.len()));
+    for (i, s) in shared.iter_mut().enumerate() {
+        let base = *s;
+        let mut delta = 0.0f32;
+        for r in replicas {
+            delta += r[i] - base;
+        }
+        *s = base + scale * delta;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +281,21 @@ mod tests {
         let mut out = vec![0.0f32; 2];
         merge_replicas(&base, &[&r0, &r1], 0.5, &mut out);
         assert_eq!(out, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn in_place_merge_bit_identical_to_out_of_place() {
+        let base: Vec<f32> = (0..37).map(|i| (i as f32 * 0.71).sin()).collect();
+        let r0: Vec<f32> = base.iter().map(|v| v + 0.125).collect();
+        let r1: Vec<f32> = base.iter().map(|v| v * 1.5).collect();
+        let mut out = vec![0.0f32; base.len()];
+        merge_replicas(&base, &[&r0, &r1], 0.5, &mut out);
+        let mut shared = base.clone();
+        merge_replicas_in_place(&[&r0, &r1], 0.5, &mut shared);
+        assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            shared.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -86,6 +86,22 @@ impl Permutation {
         p
     }
 
+    /// Re-shuffle in place to the permutation [`Self::random`]`(len, seed)`
+    /// would produce — bit-identical draw order, but reusing this
+    /// permutation's buffer. Once the buffer's capacity covers `len`
+    /// (every epoch after the first, for a solver), no allocation occurs.
+    pub fn refill_random(&mut self, len: usize, seed: u64) {
+        assert!(len <= u32::MAX as usize, "permutation too large for u32");
+        self.map.clear();
+        self.map.extend(0..len as u32);
+        let mut rng = SplitMix64::new(seed);
+        let m = &mut self.map;
+        for i in (1..m.len()).rev() {
+            let j = rng.next_below(i + 1);
+            m.swap(i, j);
+        }
+    }
+
     /// Wrap an explicit mapping; `Err(())` if it is not a permutation.
     pub fn from_vec(map: Vec<u32>) -> Result<Self, &'static str> {
         let mut seen = vec![false; map.len()];
@@ -189,6 +205,15 @@ mod tests {
             let v = p.apply(i);
             assert!(!seen[v]);
             seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn refill_random_is_bit_identical_to_random() {
+        let mut p = Permutation::identity(0);
+        for (len, seed) in [(1000usize, 3u64), (257, 11), (1, 0), (0, 9), (64, 7)] {
+            p.refill_random(len, seed);
+            assert_eq!(p, Permutation::random(len, seed), "len {len} seed {seed}");
         }
     }
 

@@ -70,6 +70,58 @@ proptest! {
     }
 
     #[test]
+    fn matvec_into_bit_identical_to_allocating_forms(coo in arb_coo()) {
+        // The workspace variants must be drop-in replacements: same bits,
+        // even with garbage in the output buffer, and across matrices
+        // with empty rows/cols (arb_coo leaves many slots unfilled).
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let x: Vec<f32> = (0..coo.cols()).map(|i| (i as f32 * 0.7) - 1.0).collect();
+        let y: Vec<f32> = (0..coo.rows()).map(|i| ((i * 5 % 11) as f32) - 5.0).collect();
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        let mut out_r = vec![f32::NAN; coo.rows()];
+        csr.matvec_into(&x, &mut out_r).unwrap();
+        prop_assert_eq!(bits(&out_r), bits(&csr.matvec(&x).unwrap()));
+        let mut out_c = vec![f32::NAN; coo.rows()];
+        csc.matvec_into(&x, &mut out_c).unwrap();
+        prop_assert_eq!(bits(&out_c), bits(&csc.matvec(&x).unwrap()));
+        let mut out_rt = vec![f32::NAN; coo.cols()];
+        csr.matvec_t_into(&y, &mut out_rt).unwrap();
+        prop_assert_eq!(bits(&out_rt), bits(&csr.matvec_t(&y).unwrap()));
+        let mut out_ct = vec![f32::NAN; coo.cols()];
+        csc.matvec_t_into(&y, &mut out_ct).unwrap();
+        prop_assert_eq!(bits(&out_ct), bits(&csc.matvec_t(&y).unwrap()));
+    }
+
+    #[test]
+    fn in_place_merge_bit_identical_including_ell_replicas(coo in arb_coo(), workers in 1usize..5) {
+        // Replicas perturbed through the ELL fast-path writes (the layout
+        // the SySCD workers actually use), then merged both ways: the
+        // in-place fold over the shared vector must match the out-of-place
+        // kernel against the pre-merge snapshot, bit for bit.
+        let csr = coo.to_csr();
+        let ell = EllMatrix::from_csr(&csr);
+        let base: Vec<f32> = (0..coo.cols()).map(|i| ((i * 3 % 7) as f32) * 0.3 - 0.9).collect();
+        let replicas: Vec<Vec<f32>> = (0..workers)
+            .map(|w| {
+                let mut r = base.clone();
+                for row in (w..csr.rows()).step_by(workers.max(1)) {
+                    ell.row_axpy(row, 0.25 + w as f32 * 0.5, &mut r);
+                }
+                r
+            })
+            .collect();
+        let views: Vec<&[f32]> = replicas.iter().map(Vec::as_slice).collect();
+        let scale = 1.0 / workers as f32;
+        let mut out = vec![f32::NAN; base.len()];
+        kernels::merge_replicas(&base, &views, scale, &mut out);
+        let mut shared = base.clone();
+        kernels::merge_replicas_in_place(&views, scale, &mut shared);
+        let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&out), bits(&shared));
+    }
+
+    #[test]
     fn norms_match_values(coo in arb_coo()) {
         let csr = coo.to_csr();
         let total_from_rows: f64 = csr.row_squared_norms().iter().sum();

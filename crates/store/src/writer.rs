@@ -28,6 +28,9 @@ pub struct ShardWriter {
     indices: Vec<u32>,
     values: Vec<f32>,
     shards: Vec<ShardMeta>,
+    /// Serialized-chunk scratch, reused across flushes: after the first
+    /// chunk, flushing allocates nothing.
+    payload: Vec<u8>,
     total_rows: u64,
     total_nnz: u64,
     disk_bytes: u64,
@@ -60,6 +63,7 @@ impl ShardWriter {
             indices: Vec::new(),
             values: Vec::new(),
             shards: Vec::new(),
+            payload: Vec::new(),
             total_rows: 0,
             total_nnz: 0,
             disk_bytes: 0,
@@ -171,16 +175,28 @@ impl ShardWriter {
         let rows = self.labels.len();
         let nnz = self.indices.len();
         let l = chunk_layout(rows, nnz);
-        let mut payload = vec![0u8; l.file_bytes - layout::CHUNK_HEADER_BYTES];
+        // The serialization scratch persists across flushes (clear +
+        // zero-fill resize, no reallocation once it has grown to one
+        // chunk), so it counts toward the buffered high-water alongside
+        // the row buffer it snapshots.
+        self.payload.clear();
+        self.payload.resize(l.file_bytes - layout::CHUNK_HEADER_BYTES, 0);
+        let payload = &mut self.payload;
         let base = layout::CHUNK_HEADER_BYTES;
         let put = |dst: &mut [u8], at: std::ops::Range<usize>, src: &[u8]| {
             dst[at.start - base..at.end - base].copy_from_slice(src);
         };
-        put(&mut payload, l.offsets.clone(), bytes_of_u64(&self.offsets));
-        put(&mut payload, l.labels.clone(), bytes_of_f32(&self.labels));
-        put(&mut payload, l.indices.clone(), bytes_of_u32(&self.indices));
-        put(&mut payload, l.values.clone(), bytes_of_f32(&self.values));
-        let checksum = fnv1a64(&payload);
+        put(payload, l.offsets.clone(), bytes_of_u64(&self.offsets));
+        put(payload, l.labels.clone(), bytes_of_f32(&self.labels));
+        put(payload, l.indices.clone(), bytes_of_u32(&self.indices));
+        put(payload, l.values.clone(), bytes_of_f32(&self.values));
+        let checksum = fnv1a64(&self.payload);
+        let buffered = self.offsets.len() * 8
+            + self.labels.len() * 4
+            + self.indices.len() * 4
+            + self.values.len() * 4
+            + self.payload.len();
+        self.buffered_high_water = self.buffered_high_water.max(buffered);
 
         let header = ChunkHeader {
             shard_id: self.shards.len() as u64,
@@ -192,7 +208,7 @@ impl ShardWriter {
         let path = self.dir.join(chunk_file_name(self.shards.len()));
         let mut file = fs::File::create(&path).map_err(|e| StoreError::io(&path, e))?;
         file.write_all(&header.encode()).map_err(|e| StoreError::io(&path, e))?;
-        file.write_all(&payload).map_err(|e| StoreError::io(&path, e))?;
+        file.write_all(&self.payload).map_err(|e| StoreError::io(&path, e))?;
 
         self.shards.push(ShardMeta {
             rows: rows as u64,
@@ -291,9 +307,13 @@ mod tests {
             w.push_row(&[c, c + 50], &[0.5, 1.5], -1.0).unwrap();
         }
         let s = w.finish().unwrap();
-        // One chunk buffers 16 rows: 17 offsets + 16 labels + 32 idx + 32 val.
+        // One chunk buffers 16 rows: 17 offsets + 16 labels + 32 idx + 32 val,
+        // plus the persistent serialization scratch holding the same chunk
+        // in its on-disk form (honest accounting: that buffer lives as
+        // long as the writer does).
         let one_chunk = 17 * 8 + 16 * 4 + 32 * 4 + 32 * 4;
-        assert_eq!(s.buffered_high_water, one_chunk);
+        let scratch = chunk_layout(16, 32).file_bytes - layout::CHUNK_HEADER_BYTES;
+        assert_eq!(s.buffered_high_water, one_chunk + scratch);
         assert!(s.disk_bytes >= 4 * s.buffered_high_water as u64);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -27,7 +27,7 @@ pub mod fp16;
 pub mod topk;
 
 pub use fp16::{f16_bits_to_f32, f32_to_f16_bits, round_through_f16};
-pub use topk::top_k_indices;
+pub use topk::{top_k_indices, top_k_indices_into};
 
 /// Bytes of the header on a sparse payload (u32 length + u32 pair count).
 pub const SPARSE_HEADER_BYTES: usize = 8;
@@ -51,6 +51,14 @@ pub enum WirePayload {
         /// Values at `idx`, kept in full f32.
         val: Vec<f32>,
     },
+}
+
+impl Default for WirePayload {
+    /// An empty dense-f32 payload — the natural seed for a reusable
+    /// encode buffer (no allocation until the first `encode_into`).
+    fn default() -> Self {
+        WirePayload::F32(Vec::new())
+    }
 }
 
 impl WirePayload {
@@ -88,17 +96,35 @@ pub trait DeltaCodec: Send {
     /// Encode `delta`, committing any per-worker codec state.
     fn encode(&mut self, worker: usize, delta: &[f32]) -> WirePayload;
 
+    /// [`Self::encode`] into a reusable payload — identical payload and
+    /// state commits, but when `out` already holds this codec's variant
+    /// its buffers are recycled, so steady-state encodes stop
+    /// allocating. The provided impl falls back to the allocating form;
+    /// the codecs in this crate all override it.
+    fn encode_into(&mut self, worker: usize, delta: &[f32], out: &mut WirePayload) {
+        *out = self.encode(worker, delta);
+    }
+
     /// Decode a payload back to a dense delta.
     fn decode(&self, payload: &WirePayload) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.decode_into(payload, &mut out);
+        out
+    }
+
+    /// [`Self::decode`] into a caller-owned buffer (cleared and
+    /// refilled) — bit-identical to [`Self::decode`], allocation-free
+    /// once `out`'s capacity has grown to the dense length.
+    fn decode_into(&self, payload: &WirePayload, out: &mut Vec<f32>) {
+        out.clear();
         match payload {
-            WirePayload::F32(v) => v.clone(),
-            WirePayload::F16(v) => v.iter().map(|&h| f16_bits_to_f32(h)).collect(),
+            WirePayload::F32(v) => out.extend_from_slice(v),
+            WirePayload::F16(v) => out.extend(v.iter().map(|&h| f16_bits_to_f32(h))),
             WirePayload::Sparse { len, idx, val } => {
-                let mut out = vec![0.0f32; *len];
+                out.resize(*len, 0.0);
                 for (&i, &x) in idx.iter().zip(val) {
                     out[i as usize] = x;
                 }
-                out
             }
         }
     }
@@ -129,6 +155,16 @@ impl DeltaCodec for RawF32 {
     fn encode(&mut self, _worker: usize, delta: &[f32]) -> WirePayload {
         WirePayload::F32(delta.to_vec())
     }
+
+    fn encode_into(&mut self, _worker: usize, delta: &[f32], out: &mut WirePayload) {
+        match out {
+            WirePayload::F32(v) => {
+                v.clear();
+                v.extend_from_slice(delta);
+            }
+            other => *other = WirePayload::F32(delta.to_vec()),
+        }
+    }
 }
 
 /// Dense binary16 codec (round-to-nearest-even), halving the payload at
@@ -144,6 +180,37 @@ impl DeltaCodec for Fp16 {
     fn encode(&mut self, _worker: usize, delta: &[f32]) -> WirePayload {
         WirePayload::F16(delta.iter().map(|&x| f32_to_f16_bits(x)).collect())
     }
+
+    fn encode_into(&mut self, _worker: usize, delta: &[f32], out: &mut WirePayload) {
+        let halves = delta.iter().map(|&x| f32_to_f16_bits(x));
+        match out {
+            WirePayload::F16(v) => {
+                v.clear();
+                v.extend(halves);
+            }
+            other => *other = WirePayload::F16(halves.collect()),
+        }
+    }
+}
+
+/// Rebuild `out` as a sparse payload over `dense_len` entries from the
+/// selected `keep` indices into `values`, recycling its index/value
+/// buffers when `out` is already sparse.
+fn fill_sparse(out: &mut WirePayload, dense_len: usize, keep: &[usize], values: &[f32]) {
+    if !matches!(out, WirePayload::Sparse { .. }) {
+        *out = WirePayload::Sparse {
+            len: 0,
+            idx: Vec::new(),
+            val: Vec::new(),
+        };
+    }
+    if let WirePayload::Sparse { len, idx, val } = out {
+        *len = dense_len;
+        idx.clear();
+        val.clear();
+        idx.extend(keep.iter().map(|&i| i as u32));
+        val.extend(keep.iter().map(|&i| values[i]));
+    }
 }
 
 /// Top-k magnitude sparsification: exactly `min(k, len)` pairs per
@@ -153,21 +220,17 @@ impl DeltaCodec for Fp16 {
 #[derive(Debug, Clone)]
 pub struct TopK {
     k: usize,
+    /// Selection scratch, recycled across encodes.
+    scratch: Vec<usize>,
 }
 
 impl TopK {
     /// Keep the `k` largest-magnitude entries per delta (`k >= 1`).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "top-k needs k >= 1");
-        TopK { k }
-    }
-
-    fn sparsify(&self, delta: &[f32]) -> WirePayload {
-        let keep = top_k_indices(delta, self.k);
-        WirePayload::Sparse {
-            len: delta.len(),
-            idx: keep.iter().map(|&i| i as u32).collect(),
-            val: keep.iter().map(|&i| delta[i]).collect(),
+        TopK {
+            k,
+            scratch: Vec::new(),
         }
     }
 }
@@ -177,8 +240,15 @@ impl DeltaCodec for TopK {
         WireFormat::TopK(self.k)
     }
 
-    fn encode(&mut self, _worker: usize, delta: &[f32]) -> WirePayload {
-        self.sparsify(delta)
+    fn encode(&mut self, worker: usize, delta: &[f32]) -> WirePayload {
+        let mut out = WirePayload::F32(Vec::new());
+        self.encode_into(worker, delta, &mut out);
+        out
+    }
+
+    fn encode_into(&mut self, _worker: usize, delta: &[f32], out: &mut WirePayload) {
+        top_k_indices_into(delta, self.k, &mut self.scratch);
+        fill_sparse(out, delta.len(), &self.scratch, delta);
     }
 }
 
@@ -200,6 +270,8 @@ pub struct TopKEf {
     k: usize,
     /// Residual per worker id, sized lazily on first encode.
     residuals: Vec<Vec<f32>>,
+    /// Selection scratch, recycled across encodes.
+    scratch: Vec<usize>,
 }
 
 impl TopKEf {
@@ -209,6 +281,7 @@ impl TopKEf {
         TopKEf {
             k,
             residuals: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -228,6 +301,12 @@ impl DeltaCodec for TopKEf {
     }
 
     fn encode(&mut self, worker: usize, delta: &[f32]) -> WirePayload {
+        let mut out = WirePayload::F32(Vec::new());
+        self.encode_into(worker, delta, &mut out);
+        out
+    }
+
+    fn encode_into(&mut self, worker: usize, delta: &[f32], out: &mut WirePayload) {
         if self.residuals.len() <= worker {
             self.residuals.resize_with(worker + 1, Vec::new);
         }
@@ -240,16 +319,10 @@ impl DeltaCodec for TopKEf {
         for (r, &d) in resid.iter_mut().zip(delta) {
             *r += d;
         }
-        let keep = top_k_indices(resid, self.k);
-        let idx: Vec<u32> = keep.iter().map(|&i| i as u32).collect();
-        let val: Vec<f32> = keep.iter().map(|&i| resid[i]).collect();
-        for &i in &keep {
+        top_k_indices_into(resid, self.k, &mut self.scratch);
+        fill_sparse(out, delta.len(), &self.scratch, resid);
+        for &i in &self.scratch {
             resid[i] = 0.0;
-        }
-        WirePayload::Sparse {
-            len: delta.len(),
-            idx,
-            val,
         }
     }
 }
@@ -453,6 +526,35 @@ mod tests {
         assert_eq!(WireFormat::Raw.broadcast_bytes(2000, 4), 8000);
         assert_eq!(WireFormat::Fp16.broadcast_bytes(2000, 4), 4000);
         assert_eq!(WireFormat::Fp16.upload_bytes(2000), 4000);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms_across_rounds() {
+        // Two codec instances per format, fed the same delta stream: the
+        // allocating and the buffer-reusing paths must agree payload for
+        // payload (including TopKEf's residual evolution), and the reused
+        // dense decode buffer must match a fresh decode every round.
+        for f in [
+            WireFormat::Raw,
+            WireFormat::Fp16,
+            WireFormat::TopK(3),
+            WireFormat::TopKEf(3),
+        ] {
+            let mut alloc = f.codec();
+            let mut reuse = f.codec();
+            let mut payload = WirePayload::F32(Vec::new());
+            let mut dense = Vec::new();
+            for round in 0..4u32 {
+                let delta: Vec<f32> = (0..16)
+                    .map(|i| ((i * 7 + round * 3) % 13) as f32 - 6.0)
+                    .collect();
+                let expect = alloc.encode(0, &delta);
+                reuse.encode_into(0, &delta, &mut payload);
+                assert_eq!(expect, payload, "{f} round {round}");
+                reuse.decode_into(&payload, &mut dense);
+                assert_eq!(alloc.decode(&expect), dense, "{f} round {round}");
+            }
+        }
     }
 
     #[test]

@@ -10,12 +10,22 @@
 /// ascending. Ties in magnitude go to the lower index. Returns all
 /// indices when `k >= values.len()`.
 pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut order = Vec::new();
+    top_k_indices_into(values, k, &mut order);
+    order
+}
+
+/// [`top_k_indices`] into a reusable scratch vector: same selection, but
+/// the index buffer's capacity is recycled across calls, so steady-state
+/// encodes never allocate.
+pub fn top_k_indices_into(values: &[f32], k: usize, order: &mut Vec<usize>) {
     let n = values.len();
     let k = k.min(n);
+    order.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut order: Vec<usize> = (0..n).collect();
+    order.extend(0..n);
     // Total order: |v| descending, then index ascending. `total_cmp` on
     // the absolute value is deterministic even for NaN/-0 corner cases.
     let rank = |i: usize, j: usize| {
@@ -29,7 +39,6 @@ pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
         order.truncate(k);
     }
     order.sort_unstable();
-    order
 }
 
 #[cfg(test)]

@@ -101,6 +101,15 @@ BENCH_OUT=$(mktemp) ./target/release/bench_cpu --smoke
 echo "==> bench_serve --smoke"
 BENCH_OUT=$(mktemp) ./target/release/bench_serve --smoke
 
+echo "==> bench_alloc --smoke (alloc-count)"
+# Build the allocation-audit binary with the counting allocator and
+# smoke-run it, then assert the steady-state zero-allocation contracts.
+# The counters are process-global, so the test binary runs single-threaded.
+cargo build -q --release -p scd-bench --features alloc-count --bin bench_alloc
+BENCH_OUT=$(mktemp) ./target/release/bench_alloc --smoke
+cargo test -q --release -p scd-bench --features alloc-count \
+  --test alloc_steady_state -- --test-threads=1
+
 echo "==> serve smoke"
 # Train one epoch, batch-score five rows, and answer one JSON-lines serve
 # request: the whole serving surface exercised end-to-end through the
